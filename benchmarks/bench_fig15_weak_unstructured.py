@@ -1,0 +1,65 @@
+"""Fig. 15: weak scalability of JSNT-U on reactor and ball meshes.
+
+Paper: mesh refined proportionally with cores; parallel efficiency at
+12,288 cores is ~40% for the reactor and below 20% for the ball - the
+thick-subdomain refinement lengthens the sweep critical path.
+
+Scaled: cores 24 -> 192 (8x); reactor resolution grows as sqrt(cores)
+(2-D mesh), ball resolution as cores^(1/3) (3-D), keeping cells/core
+approximately constant.  Shape to reproduce: efficiency decays well
+below 1; the 2-D reactor retains more efficiency than the 3-D ball at
+the largest scale (shorter critical-path growth).
+"""
+
+import pytest
+
+from _common import ball_app, print_series, reactor_app
+
+CORES = [24, 48, 96, 192]
+REACTOR_RES = {24: 20, 48: 28, 96: 40, 192: 56}  # ~ sqrt(cores)
+BALL_RES = {24: 10, 48: 13, 96: 16, 192: 20}  # ~ cores^(1/3)
+
+
+def _weak(app_fn, res_map, patch_size):
+    rows = []
+    base = None
+    for cores in CORES:
+        app = app_fn(res_map[cores], cores, patch_size=patch_size)
+        ncells = app.solver.mesh.num_cells
+        rep = app.sweep_report(cores)
+        if base is None:
+            base = rep.makespan
+        # Weak-scaling efficiency vs the per-core work actually placed
+        # (mesh generators cannot hit cell counts exactly).
+        work_ratio = (ncells / cores) / (
+            rows[0][1] / CORES[0] if rows else ncells / cores
+        )
+        eff = base / rep.makespan * work_ratio
+        rows.append([cores, ncells, ncells / cores, rep.makespan * 1e3, eff])
+    return rows
+
+
+def run_fig15():
+    return (
+        _weak(reactor_app, REACTOR_RES, patch_size=120),
+        _weak(ball_app, BALL_RES, patch_size=120),
+    )
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_weak_scaling(benchmark):
+    reactor_rows, ball_rows = benchmark.pedantic(
+        run_fig15, rounds=1, iterations=1
+    )
+    header = ["cores", "cells", "cells/core", "time_ms", "weak_eff"]
+    print_series("Fig. 15 - weak scaling, reactor (paper: ~40% at 512x)",
+                 header, reactor_rows)
+    print_series("Fig. 15 - weak scaling, ball (paper: <20% at 512x)",
+                 header, ball_rows)
+    # Efficiency decays well below 1 for both mesh families - the
+    # headline of Fig. 15.  (The paper's reactor-vs-ball *ordering*
+    # emerges only at its 512x scaling range; at our 8x range both
+    # families sit in the same band - recorded in EXPERIMENTS.md.)
+    for rows in (reactor_rows, ball_rows):
+        assert rows[-1][4] < 0.85
+        assert rows[-1][4] < rows[1][4] * 1.05

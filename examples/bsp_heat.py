@@ -1,0 +1,84 @@
+"""The framework's native BSP side: Jacobi heat diffusion on patches.
+
+JSweep extends a patch-based BSP framework (JAxMIN); most numerical
+algorithms stay BSP.  This example shows the classic component workflow
+the paper describes in Sec. II-B: initialize -> numerical super-steps
+with halo exchange -> reduction, solving a steady-state heat problem
+(Jacobi iteration for the discrete Laplace equation) on a patch-
+decomposed structured mesh with fixed hot/cold ends.
+
+Run:  python examples/bsp_heat.py
+"""
+
+import numpy as np
+
+from repro import PatchSet, cube_structured
+from repro.framework import (
+    BSPExecutor,
+    InitializeComponent,
+    NumericalComponent,
+    PatchField,
+    ReductionComponent,
+    build_interfaces,
+)
+
+
+def main() -> None:
+    mesh = cube_structured(10, length=1.0)
+    pset = PatchSet.from_structured(mesh, (5, 5, 5), nprocs=4)
+    print(f"mesh: {mesh}, patches: {pset.num_patches}")
+
+    it = build_interfaces(mesh)
+    nbrs: dict[int, list[int]] = {}
+    for a, b in zip(it.cell_a.tolist(), it.cell_b.tolist()):
+        nbrs.setdefault(a, []).append(b)
+        nbrs.setdefault(b, []).append(a)
+
+    centers = mesh.cell_centers()
+    hot = centers[:, 0] < 0.1  # x=0 plane held at 1
+    cold = centers[:, 0] > 0.9  # x=1 plane held at 0
+
+    def kernel(patch, local, gcells, ghost):
+        slot = {int(c): i for i, c in enumerate(gcells)}
+        out = np.empty_like(local)
+        for i, c in enumerate(patch.cells):
+            c = int(c)
+            if hot[c]:
+                out[i] = 1.0
+            elif cold[c]:
+                out[i] = 0.0
+            else:
+                acc, cnt = 0.0, 0
+                for nb in nbrs[c]:
+                    if pset.cell_patch[nb] == patch.id:
+                        acc += local[pset.cell_local[nb]]
+                    else:
+                        acc += ghost[slot[nb]]
+                    cnt += 1
+                out[i] = acc / cnt
+        return out
+
+    field = PatchField(pset, name="temperature")
+    InitializeComponent(lambda c: np.where(c[:, 0] < 0.1, 1.0, 0.0)).apply(field)
+
+    report = BSPExecutor(tol=1e-7, max_steps=20_000).run(
+        NumericalComponent(kernel), field
+    )
+    mean_t = ReductionComponent("sum").apply(field) / mesh.num_cells
+    print(f"BSP Jacobi: {report.supersteps} super-steps, "
+          f"converged={report.converged}, residual={report.residual:.2e}")
+    print(f"halo traffic: {report.halo.messages} messages, "
+          f"{report.halo.bytes} bytes "
+          f"({report.halo.inter_proc_messages} inter-process)")
+    print(f"mean temperature: {mean_t:.4f} (expect ~0.5 for a linear profile)")
+
+    # Temperature along the x axis should be ~linear from 1 to 0.
+    g = field.to_global()
+    print("\nprofile along x (centerline):")
+    for i in range(0, 10, 2):
+        t = g[mesh.linear_index((i, 5, 5))]
+        print(f"  x={centers[mesh.linear_index((i, 5, 5)), 0]:.2f}  T={t:.3f}")
+
+
+if __name__ == "__main__":
+    main()

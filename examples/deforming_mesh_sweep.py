@@ -1,0 +1,72 @@
+"""Sweeping a deforming structured mesh - the case KBA cannot handle.
+
+The paper's introduction motivates the data-driven approach with
+*deforming structured meshes*: logically regular grids whose warped
+geometry breaks the regular upwind pattern KBA's pipeline relies on.
+This example warps a quad grid, shows that the induced dependency
+graphs remain acyclic DAGs (so the data-driven sweep just works),
+solves a transport problem on it, and verifies particle balance.
+
+Run:  python examples/deforming_mesh_sweep.py
+"""
+
+import numpy as np
+
+from repro import (
+    Machine,
+    Material,
+    MaterialMap,
+    PatchSet,
+    SnSolver,
+    level_symmetric,
+    warped_quad_mesh,
+)
+from repro.framework import build_interfaces
+from repro.runtime import DataDrivenRuntime
+from repro.sweep import check_acyclic, directed_edges
+
+
+def main() -> None:
+    mesh = warped_quad_mesh((24, 24), (1.0, 1.0), amplitude=0.2)
+    print(f"deformed structured mesh: {mesh.num_cells} quads "
+          f"(area preserved: {mesh.total_volume():.6f})")
+
+    # Irregular upwind structure: count interior faces that are no
+    # longer axis-aligned.
+    interior = mesh.face_cells[:, 1] >= 0
+    n = np.abs(mesh.face_normals[interior])
+    off_axis = (np.minimum(n[:, 0], n[:, 1]) > 1e-6).mean()
+    print(f"off-axis interior faces: {off_axis * 100:.0f}% "
+          f"(KBA's regular pipeline assumption is broken)")
+
+    quad = level_symmetric(4)
+    it = build_interfaces(mesh)
+    ok = all(
+        check_acyclic(mesh.num_cells, *directed_edges(it, d))
+        for d in quad.directions
+    )
+    print(f"all {quad.num_angles} sweep graphs acyclic: {ok}")
+
+    pset = PatchSet.from_unstructured(mesh, 60, nprocs=2)
+    materials = MaterialMap.uniform(
+        Material.isotropic(2.0, 0.4), mesh.num_cells
+    )
+    solver = SnSolver(
+        pset, quad, materials, np.ones((mesh.num_cells, 1)), grain=32
+    )
+    result = solver.source_iteration(tol=1e-8)
+    print(f"source iteration: {result.iterations} iterations, "
+          f"balance residual {solver.balance_residual(result):.2e}")
+
+    machine = Machine(cores_per_proc=4)
+    programs, _ = solver.build_programs(compute=False)
+    report = DataDrivenRuntime(8, machine=machine).run(
+        programs, pset.patch_proc
+    )
+    print(f"simulated sweep on 8 cores: {report.makespan * 1e3:.2f} ms, "
+          f"idle={report.idle_fraction():.2f}, "
+          f"overhead={report.overhead_fraction():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""The second data-driven component: particle tracing through patches.
+
+The paper's conclusion notes the patch-centric abstraction also hosts
+particle trace.  This demo shoots rays from the centre of a
+triangulated disk, traces them cell-by-cell across patch boundaries
+(each crossing ships the particle as a stream), and verifies the exit
+path lengths against the exact circle chords.  Total workload is
+unknown a priori, so this component exercises the consensus
+(Misra-marker) termination path.
+
+Run:  python examples/particle_trace_demo.py
+"""
+
+import numpy as np
+
+from repro import Machine, PatchSet, disk_tri_mesh, trace_particles
+from repro.apps.particle_trace import Particle, ParticleTraceProgram
+from repro.runtime import DataDrivenRuntime
+
+
+def main() -> None:
+    mesh = disk_tri_mesh(12)
+    pset = PatchSet.from_unstructured(mesh, 60, nprocs=2)
+    print(f"disk mesh: {mesh.num_cells} cells, {pset.num_patches} patches")
+
+    n = 64
+    rng = np.random.default_rng(42)
+    pos = rng.uniform(-0.25, 0.25, size=(n, 2))
+    theta = rng.uniform(0, 2 * np.pi, n)
+    dirs = np.stack([np.cos(theta), np.sin(theta)], axis=1)
+
+    particles = trace_particles(pset, pos, dirs)
+    errs = []
+    for p, p0, d in zip(particles, pos, dirs):
+        b = p0 @ d
+        chord = -b + np.sqrt(b * b - (p0 @ p0 - 1.0))
+        errs.append(abs(p.path_length - chord))
+    crossings = sum(p.crossings for p in particles)
+    print(f"traced {len(particles)} rays, {crossings} cell crossings")
+    print(f"path-length error vs exact circle chord: "
+          f"median={np.median(errs):.4f}  p90={np.percentile(errs, 90):.4f}")
+
+    # Same component under the DES runtime with consensus termination.
+    from scipy.spatial import cKDTree
+
+    machine = Machine(cores_per_proc=4)
+    tree = cKDTree(mesh.cell_centroids)
+    _, cells = tree.query(pos)
+    seeds: dict[int, list[Particle]] = {}
+    for i, (x, d, c) in enumerate(zip(pos, dirs, cells)):
+        patch = int(pset.cell_patch[int(c)])
+        seeds.setdefault(patch, []).append(Particle(i, x.copy(), d.copy(), int(c)))
+    programs = [
+        ParticleTraceProgram(pset, p.id, seeds.get(p.id, []))
+        for p in pset.patches
+    ]
+    report = DataDrivenRuntime(
+        8, machine=machine, termination="consensus"
+    ).run(programs, pset.patch_proc)
+    done = sum(len(p.finished) for p in programs)
+    print(f"\nDES runtime: {done}/{n} rays finished, "
+          f"makespan={report.makespan * 1e3:.3f} ms, "
+          f"termination marker hops={report.termination_hops} "
+          f"(workload unknown a priori => consensus protocol)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro: a reproduction of *JSweep - a patch-centric data-driven
+approach for parallel sweeps on large-scale meshes* (Yan et al.).
+
+The package implements the paper's full stack in Python:
+
+* :mod:`repro.mesh`      - structured & unstructured meshes + generators
+* :mod:`repro.partition` - SFC / RCB / multilevel graph decomposition
+* :mod:`repro.framework` - patch-based application framework (JAxMIN)
+* :mod:`repro.core`      - the patch-centric data-driven abstraction
+* :mod:`repro.runtime`   - DES-simulated MPI+threads cluster runtime
+* :mod:`repro.sweep`     - Sn sweeps: quadrature, DAGs, kernels,
+  priorities, vertex clustering, coarsened graphs, KBA/BSP baselines
+* :mod:`repro.apps`      - JSNT-S / JSNT-U applications, Kobayashi
+  benchmark, particle tracing
+
+Quickstart::
+
+    from repro import JSNTS
+    app = JSNTS.kobayashi(20, total_cores=24)
+    result = app.solve(tol=1e-6)          # physics (source iteration)
+    report = app.sweep_report(24)         # simulated parallel sweep
+    print(report.format_breakdown())
+"""
+
+from .apps import JSNTS, JSNTU, JSNTApp, make_kobayashi_solver, trace_particles
+from .core import (
+    MisraMarkerRing,
+    PatchProgram,
+    ProgramId,
+    ProgramState,
+    SerialEngine,
+    Stream,
+    WorkloadTracker,
+)
+from .framework import PatchSet
+from .mesh import (
+    Box,
+    StructuredMesh,
+    UnstructuredMesh,
+    ball_tet_mesh,
+    cube_structured,
+    cube_tet_mesh,
+    disk_tri_mesh,
+    reactor_mesh_2d,
+    warped_quad_mesh,
+)
+from .runtime import TIANHE2, CostModel, DataDrivenRuntime, Machine, RunReport
+from .sweep import (
+    Material,
+    MaterialMap,
+    PriorityStrategy,
+    Quadrature,
+    SnSolver,
+    SweepPatchProgram,
+    SweepResult,
+    SweepTopology,
+    level_symmetric,
+    product_quadrature,
+)
+from .sweep.baselines import BSPSweepRuntime, KBASchedule
+from .sweep.coarsened import (
+    CoarsenedSweepProgram,
+    build_coarsened,
+    coarsened_is_acyclic,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "PatchProgram",
+    "ProgramId",
+    "ProgramState",
+    "Stream",
+    "SerialEngine",
+    "WorkloadTracker",
+    "MisraMarkerRing",
+    "Box",
+    "StructuredMesh",
+    "UnstructuredMesh",
+    "cube_structured",
+    "cube_tet_mesh",
+    "ball_tet_mesh",
+    "disk_tri_mesh",
+    "reactor_mesh_2d",
+    "warped_quad_mesh",
+    "PatchSet",
+    "Machine",
+    "TIANHE2",
+    "CostModel",
+    "DataDrivenRuntime",
+    "RunReport",
+    "Quadrature",
+    "level_symmetric",
+    "product_quadrature",
+    "SweepTopology",
+    "SnSolver",
+    "SweepResult",
+    "SweepPatchProgram",
+    "Material",
+    "MaterialMap",
+    "PriorityStrategy",
+    "KBASchedule",
+    "BSPSweepRuntime",
+    "build_coarsened",
+    "coarsened_is_acyclic",
+    "CoarsenedSweepProgram",
+    "JSNTApp",
+    "JSNTS",
+    "JSNTU",
+    "make_kobayashi_solver",
+    "trace_particles",
+]

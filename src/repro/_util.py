@@ -1,0 +1,58 @@
+"""Small shared utilities used across the repro package."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "as_int_array",
+    "as_float_array",
+    "check",
+    "pairwise",
+    "prod",
+    "ReproError",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class for errors raised by the repro package."""
+
+
+def check(cond: bool, msg: str) -> None:
+    """Raise :class:`ReproError` with ``msg`` unless ``cond`` holds."""
+    if not cond:
+        raise ReproError(msg)
+
+
+def as_int_array(a, ndim: int | None = None) -> np.ndarray:
+    """Convert ``a`` to a contiguous int64 array, optionally checking rank."""
+    arr = np.ascontiguousarray(a, dtype=np.int64)
+    if ndim is not None and arr.ndim != ndim:
+        raise ReproError(f"expected {ndim}-d integer array, got shape {arr.shape}")
+    return arr
+
+
+def as_float_array(a, ndim: int | None = None) -> np.ndarray:
+    """Convert ``a`` to a contiguous float64 array, optionally checking rank."""
+    arr = np.ascontiguousarray(a, dtype=np.float64)
+    if ndim is not None and arr.ndim != ndim:
+        raise ReproError(f"expected {ndim}-d float array, got shape {arr.shape}")
+    return arr
+
+
+def prod(seq: Iterable[int]) -> int:
+    """Integer product of a sequence (empty product is 1)."""
+    out = 1
+    for s in seq:
+        out *= int(s)
+    return out
+
+
+def pairwise(seq: Sequence) -> Iterator[tuple]:
+    """Yield consecutive pairs ``(seq[i], seq[i+1])``."""
+    a, b = itertools.tee(seq)
+    next(b, None)
+    return zip(a, b)

@@ -1,0 +1,27 @@
+"""Applications: JSNT-S, JSNT-U, Kobayashi benchmark, particle trace."""
+
+from .jsnt import JSNTApp, JSNTS, JSNTU
+from .kobayashi import (
+    KOBAYASHI_DOMAIN,
+    kobayashi_materials,
+    kobayashi_mesh,
+    kobayashi_region,
+    kobayashi_source,
+    make_kobayashi_solver,
+)
+from .particle_trace import Particle, ParticleTraceProgram, trace_particles
+
+__all__ = [
+    "JSNTApp",
+    "JSNTS",
+    "JSNTU",
+    "KOBAYASHI_DOMAIN",
+    "kobayashi_region",
+    "kobayashi_mesh",
+    "kobayashi_materials",
+    "kobayashi_source",
+    "make_kobayashi_solver",
+    "Particle",
+    "ParticleTraceProgram",
+    "trace_particles",
+]

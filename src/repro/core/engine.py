@@ -1,0 +1,138 @@
+"""Serial data-driven engine: the Alg. 1 reference executor.
+
+Runs a collection of patch-programs to global termination in one
+process, delivering streams immediately.  This is the correctness
+reference for the DES runtime: both apply identical execution
+semantics, so a solver must produce identical numerics under either.
+
+The engine owns the Fig. 7 state machine: a program deactivates when it
+votes to halt and reactivates when a stream arrives.  Scheduling order
+follows program priorities (a max-heap), which is how the multi-level
+priority strategies of Sec. V-D take effect even in serial runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .._util import ReproError
+from .patch_program import PatchProgram, ProgramState
+from .stream import ProgramId, Stream
+
+__all__ = ["EngineStats", "SerialEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine run."""
+
+    executions: int = 0
+    streams: int = 0
+    stream_items: int = 0
+    stream_bytes: int = 0
+    activations: int = 0
+    max_queue: int = 0
+
+
+class SerialEngine:
+    """Serial executor for patch-programs with Alg. 1 semantics."""
+
+    def __init__(self, max_executions: int = 100_000_000):
+        self.max_executions = max_executions
+        self.programs: dict[ProgramId, PatchProgram] = {}
+        self._state: dict[ProgramId, ProgramState] = {}
+        self._inbox: dict[ProgramId, list[Stream]] = {}
+        self._inited: set[ProgramId] = set()
+        self._heap: list = []
+        self._queued: set[ProgramId] = set()
+        self._seq = 0
+        self.stats = EngineStats()
+
+    # -- registration -------------------------------------------------------------
+
+    def add_program(self, prog: PatchProgram) -> None:
+        if prog.id in self.programs:
+            raise ReproError(f"duplicate program {prog.id!r}")
+        self.programs[prog.id] = prog
+        self._state[prog.id] = ProgramState.ACTIVE  # all start active
+        self._inbox[prog.id] = []
+
+    def state(self, pid: ProgramId) -> ProgramState:
+        return self._state[pid]
+
+    # -- internals -----------------------------------------------------------------
+
+    def _push(self, pid: ProgramId) -> None:
+        if pid in self._queued:
+            return
+        self._queued.add(pid)
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (-self.programs[pid].priority(), self._seq, pid)
+        )
+        self.stats.max_queue = max(self.stats.max_queue, len(self._heap))
+
+    def _deliver(self, s: Stream) -> None:
+        if s.dst not in self.programs:
+            raise ReproError(f"stream to unknown program {s.dst!r}")
+        self._inbox[s.dst].append(s)
+        self.stats.streams += 1
+        self.stats.stream_items += s.items
+        self.stats.stream_bytes += s.nbytes
+        # Receiving a stream activates the target (Fig. 7).
+        if self._state[s.dst] is ProgramState.INACTIVE:
+            self._state[s.dst] = ProgramState.ACTIVE
+            self.stats.activations += 1
+        self._push(s.dst)
+
+    def _execute(self, pid: ProgramId) -> None:
+        prog = self.programs[pid]
+        if self._state[pid] is not ProgramState.ACTIVE:
+            raise ReproError(f"executing inactive program {pid!r}")
+        if pid not in self._inited:
+            prog.init()
+            self._inited.add(pid)
+        inbox = self._inbox[pid]
+        while inbox:
+            prog.input(inbox.pop(0))
+        prog.compute()
+        while (s := prog.output()) is not None:
+            if s.src != pid:
+                raise ReproError(
+                    f"program {pid!r} emitted a stream claiming src {s.src!r}"
+                )
+            self._deliver(s)
+        self.stats.executions += 1
+        if prog.vote_to_halt() and not self._inbox[pid]:
+            self._state[pid] = ProgramState.INACTIVE
+        else:
+            self._push(pid)
+
+    # -- driver ------------------------------------------------------------------------
+
+    def run(self) -> EngineStats:
+        """Execute until global termination (no active programs)."""
+        for pid in self.programs:
+            self._push(pid)
+        while self._heap:
+            if self.stats.executions > self.max_executions:
+                raise ReproError("engine exceeded max_executions; livelock?")
+            _, _, pid = heapq.heappop(self._heap)
+            self._queued.discard(pid)
+            if self._state[pid] is ProgramState.ACTIVE:
+                self._execute(pid)
+        self._check_termination()
+        return self.stats
+
+    def _check_termination(self) -> None:
+        for pid, prog in self.programs.items():
+            if self._state[pid] is not ProgramState.INACTIVE:
+                raise ReproError(f"program {pid!r} still active at termination")
+            if self._inbox[pid]:
+                raise ReproError(f"undelivered streams for {pid!r}")
+            rem = prog.remaining_workload()
+            if rem is not None and rem != 0:
+                raise ReproError(
+                    f"program {pid!r} terminated with workload {rem} remaining"
+                )

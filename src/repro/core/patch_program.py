@@ -1,0 +1,103 @@
+"""The patch-program interface and its state machine (Sec. III-A).
+
+A patch-program encodes the data-driven logic executed on one patch
+for one task.  It is *fully reentrant*: the runtime may schedule it any
+number of times (partial computation), and the program keeps whatever
+local context it needs between runs.  The five primitive functions
+mirror Fig. 6 of the paper:
+
+``init``          one-time local-context initialization
+``input``         consume one received stream
+``compute``       perform (part of) the local computation
+``output``        emit the next pending outgoing stream (None = drained)
+``vote_to_halt``  True when no ready work remains locally
+
+The two-state machine of Fig. 7 is owned by the engine/runtime, not by
+the program: a program deactivates when it votes to halt and
+reactivates when a stream arrives.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Hashable
+
+from .stream import ProgramId, Stream
+
+__all__ = ["ProgramState", "PatchProgram"]
+
+
+class ProgramState(enum.Enum):
+    """Fig. 7: every program is either active or inactive."""
+
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+
+
+class PatchProgram(ABC):
+    """Base class for data-driven patch-programs.
+
+    Subclasses implement the five primitives; the engine applies the
+    Alg. 1 execution semantics.  Programs must tolerate arbitrary
+    interleavings of ``input`` and ``compute`` calls across runs -
+    that is the partial-computation contract.
+    """
+
+    def __init__(self, patch: int, task: Hashable):
+        self.id = ProgramId(patch, task)
+
+    @property
+    def patch(self) -> int:
+        return self.id.patch
+
+    @property
+    def task(self) -> Hashable:
+        return self.id.task
+
+    # -- the five primitives (Fig. 6) ------------------------------------------
+
+    def init(self) -> None:
+        """Initialize local context; called exactly once, before any run."""
+
+    @abstractmethod
+    def input(self, stream: Stream) -> None:
+        """Consume one received stream."""
+
+    @abstractmethod
+    def compute(self) -> None:
+        """Perform (part of) the local computation on ready work."""
+
+    @abstractmethod
+    def output(self) -> Stream | None:
+        """Return the next pending outgoing stream, or None when drained."""
+
+    @abstractmethod
+    def vote_to_halt(self) -> bool:
+        """True when the program has no ready work left."""
+
+    # -- optional hooks used by the runtime --------------------------------------
+
+    def remaining_workload(self) -> int | None:
+        """Remaining work units, when known a priori (sweeps: un-solved
+        vertices).  Enables the no-negotiation termination fast path of
+        Sec. III-B; return None when unknown."""
+        return None
+
+    def priority(self) -> float:
+        """Dynamic scheduling priority; larger runs earlier."""
+        return 0.0
+
+    # -- cost-model hooks (all zero-cost by default) -------------------------------
+    #
+    # The DES runtime charges virtual time based on what a run actually
+    # did; programs report the raw work counters of their *last* run
+    # (e.g. vertices solved, edges relaxed, stream items packed) and the
+    # runtime's CostModel maps them to virtual seconds.
+
+    def last_run_counters(self) -> dict[str, int]:
+        """Raw work counters for the most recent run."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}{self.id!r}"

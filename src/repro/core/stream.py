@@ -1,0 +1,50 @@
+"""Streams: the unit of inter-patch-program communication (Fig. 6).
+
+A stream carries user-defined data between two patch-programs, each
+identified by a ``(patch, task)`` pair.  Streams are self-describing
+(they carry their source and target program ids), which is what makes
+them *routable*: the runtime can deliver any stream by looking up the
+target program in its route table, locally or across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = ["ProgramId", "Stream"]
+
+
+@dataclass(frozen=True, order=True)
+class ProgramId:
+    """Identifier of a patch-program: ``(patch, task)``.
+
+    ``task`` is application-defined; the Sn sweep component uses the
+    sweeping-angle index, giving patch-angle parallelism for free.
+    """
+
+    patch: int
+    task: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.patch},{self.task})"
+
+
+@dataclass
+class Stream:
+    """A routable message between two patch-programs.
+
+    ``payload`` is opaque to the runtime; ``nbytes`` is the modeled
+    wire size used by communication cost accounting, and ``items`` the
+    logical item count used by pack/unpack accounting.
+    """
+
+    src: ProgramId
+    dst: ProgramId
+    payload: Any = None
+    items: int = 1
+    nbytes: int = 0
+
+    def __post_init__(self):
+        if self.items < 0 or self.nbytes < 0:
+            raise ValueError("stream items/nbytes must be non-negative")

@@ -1,0 +1,127 @@
+"""Distributed termination detection (Sec. III-B, IV-C).
+
+Two mechanisms, as in the paper:
+
+* :class:`WorkloadTracker` - the no-negotiation fast path.  Data-driven
+  numerical algorithms know their workload in advance (sweeps: the
+  number of (cell, angle) pairs), so each patch-program *commits* its
+  remaining workload to a structure shared by the process's master and
+  workers, and the process only joins distributed negotiation when its
+  committed workload is zero.
+
+* :class:`MisraMarkerRing` - the general consensus protocol [14]: a
+  marker circulates a ring of processes; a process is *black* if it
+  has sent or received an application message since the marker last
+  visited.  The marker must complete a full circuit of white, idle
+  processes for termination to be declared.  The DES runtime drives
+  this through the event API below; tests drive it manually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import ReproError
+
+__all__ = ["WorkloadTracker", "MisraMarkerRing"]
+
+
+class WorkloadTracker:
+    """Shared remaining-workload registry (per process or global)."""
+
+    def __init__(self):
+        self._remaining: dict = {}
+
+    def commit(self, key, remaining: int) -> None:
+        """Commit the remaining workload of ``key`` (e.g. a program id)."""
+        if remaining < 0:
+            raise ReproError("negative workload")
+        if remaining == 0:
+            self._remaining.pop(key, None)
+        else:
+            self._remaining[key] = int(remaining)
+
+    def total(self) -> int:
+        return sum(self._remaining.values())
+
+    def is_done(self) -> bool:
+        return not self._remaining
+
+    def pending_keys(self) -> list:
+        return list(self._remaining.keys())
+
+
+@dataclass
+class MisraMarkerRing:
+    """Misra's marker algorithm on a logical ring of ``nprocs`` processes.
+
+    The caller reports application-level events (`on_send`, `on_receive`,
+    `on_idle`, `on_busy`); `step()` advances the marker by one hop when
+    the holding process is idle, and returns True once the marker has
+    seen ``nprocs`` consecutive white idle processes.  ``hops`` counts
+    marker messages, the negotiation cost the paper's fast path avoids.
+    """
+
+    nprocs: int
+    holder: int = 0
+    hops: int = 0
+    rounds_clean: int = 0
+    finished: bool = False
+    _black: list = field(default_factory=list)
+    _idle: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.nprocs <= 0:
+            raise ReproError("nprocs must be positive")
+        self._black = [True] * self.nprocs  # start conservative
+        self._idle = [False] * self.nprocs
+
+    # -- application events ----------------------------------------------------
+
+    def on_send(self, proc: int) -> None:
+        self._black[proc] = True
+
+    def on_receive(self, proc: int) -> None:
+        self._black[proc] = True
+        self._idle[proc] = False
+
+    def on_busy(self, proc: int) -> None:
+        self._idle[proc] = False
+
+    def on_idle(self, proc: int) -> None:
+        self._idle[proc] = True
+
+    # -- marker movement -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance the marker one hop if possible; True when terminated."""
+        if self.finished:
+            return True
+        p = self.holder
+        if not self._idle[p]:
+            return False  # marker waits until the holder quiesces
+        if self._black[p]:
+            self.rounds_clean = 0
+            self._black[p] = False  # whiten and restart the count
+        else:
+            self.rounds_clean += 1
+        if self.rounds_clean >= self.nprocs:
+            self.finished = True
+            return True
+        self.holder = (p + 1) % self.nprocs
+        self.hops += 1
+        return False
+
+    def run_to_completion(self, max_hops: int = 10_000_000) -> int:
+        """Drive the marker until termination, assuming no further events.
+
+        Returns the number of hops used.  Raises if the system cannot
+        terminate (some process never idles).
+        """
+        if not all(self._idle):
+            raise ReproError("cannot complete: some process is busy")
+        start = self.hops
+        while not self.step():
+            if self.hops - start > max_hops:
+                raise ReproError("marker did not converge")
+        return self.hops - start

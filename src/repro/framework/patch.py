@@ -1,0 +1,153 @@
+"""Patches and patch sets - the JAxMIN mesh-management analogue.
+
+A *patch* is a well-defined subdomain of the mesh (Sec. II-B of the
+paper): a contiguous collection of cells with complete knowledge of its
+own mesh entities and, through ghost cells, of its neighbourhood.  A
+:class:`PatchSet` is the global decomposition: every cell belongs to
+exactly one patch and every patch to exactly one process.
+
+Both mesh families share one representation here: a patch stores the
+*global linear cell ids* it owns (for structured meshes these are the
+C-order ids of its box).  This uniformity is what lets the sweep
+component treat structured and unstructured meshes identically, which
+is the point of the patch abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import ReproError
+from ..mesh.box import Box
+from ..mesh.structured import StructuredMesh
+from ..mesh.unstructured import UnstructuredMesh
+from ..partition.structured import assign_patches_sfc, patchify_structured
+from ..partition.unstructured import decompose_unstructured
+
+__all__ = ["Patch", "PatchSet"]
+
+
+@dataclass
+class Patch:
+    """One mesh subdomain: globally-indexed cells owned by one process."""
+
+    id: int
+    proc: int
+    cells: np.ndarray  # global linear cell ids, local order = array order
+    box: Box | None = None  # set for structured patches
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Patch(id={self.id}, proc={self.proc}, cells={self.num_cells})"
+
+
+@dataclass
+class PatchSet:
+    """Global patch decomposition of a mesh."""
+
+    mesh: StructuredMesh | UnstructuredMesh
+    patches: list[Patch]
+    cell_patch: np.ndarray  # (num_cells,) patch id per global cell
+    cell_local: np.ndarray  # (num_cells,) local index within owning patch
+
+    @property
+    def num_patches(self) -> int:
+        return len(self.patches)
+
+    @property
+    def num_procs(self) -> int:
+        return int(max(p.proc for p in self.patches)) + 1
+
+    @property
+    def patch_proc(self) -> np.ndarray:
+        return np.array([p.proc for p in self.patches], dtype=np.int64)
+
+    def patches_of_proc(self, proc: int) -> list[Patch]:
+        return [p for p in self.patches if p.proc == proc]
+
+    def validate(self) -> None:
+        """Check the patch cover: every cell in exactly one patch."""
+        seen = np.zeros(self.mesh.num_cells, dtype=np.int64)
+        for p in self.patches:
+            seen[p.cells] += 1
+            if not np.all(self.cell_patch[p.cells] == p.id):
+                raise ReproError(f"cell_patch inconsistent for patch {p.id}")
+            if not np.all(
+                self.cell_local[p.cells] == np.arange(p.num_cells)
+            ):
+                raise ReproError(f"cell_local inconsistent for patch {p.id}")
+        if not np.all(seen == 1):
+            raise ReproError("patches do not cover the mesh exactly once")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_structured(
+        cls,
+        mesh: StructuredMesh,
+        patch_shape: tuple[int, ...],
+        nprocs: int = 1,
+        curve: str = "hilbert",
+    ) -> "PatchSet":
+        """JAxMIN-style structured decomposition (fixed boxes + SFC ranks)."""
+        boxes = patchify_structured(mesh, patch_shape)
+        if nprocs > len(boxes):
+            raise ReproError(
+                f"{nprocs} procs but only {len(boxes)} patches; "
+                "shrink patch_shape or procs"
+            )
+        procs = assign_patches_sfc(boxes, nprocs, curve=curve)
+        domain = mesh.domain_box
+        cell_patch = np.empty(mesh.num_cells, dtype=np.int64)
+        cell_local = np.empty(mesh.num_cells, dtype=np.int64)
+        patches = []
+        for pid, (b, proc) in enumerate(zip(boxes, procs)):
+            idx = b.all_indices()
+            # Global C-order linear ids of the patch cells.
+            lin = np.ravel_multi_index(idx.T, domain.shape)
+            patches.append(Patch(id=pid, proc=int(proc), cells=lin, box=b))
+            cell_patch[lin] = pid
+            cell_local[lin] = np.arange(len(lin))
+        return cls(mesh, patches, cell_patch, cell_local)
+
+    @classmethod
+    def from_unstructured(
+        cls,
+        mesh: UnstructuredMesh,
+        patch_size: int,
+        nprocs: int = 1,
+        method: str = "rcb",
+        seed: int = 0,
+    ) -> "PatchSet":
+        """JSNT-U-style decomposition into ~``patch_size``-cell patches."""
+        dec = decompose_unstructured(
+            mesh, patch_size, nprocs, method=method, seed=seed
+        )
+        cell_patch = dec.cell_patch
+        cell_local = np.empty(mesh.num_cells, dtype=np.int64)
+        patches = []
+        for pid in range(dec.num_patches):
+            cells = np.nonzero(cell_patch == pid)[0]
+            patches.append(
+                Patch(id=pid, proc=int(dec.patch_proc[pid]), cells=cells)
+            )
+            cell_local[cells] = np.arange(len(cells))
+        return cls(mesh, patches, cell_patch, cell_local)
+
+    @classmethod
+    def single_patch(cls, mesh) -> "PatchSet":
+        """Whole mesh as one patch on one process (serial reference)."""
+        cells = np.arange(mesh.num_cells, dtype=np.int64)
+        box = mesh.domain_box if isinstance(mesh, StructuredMesh) else None
+        patch = Patch(id=0, proc=0, cells=cells, box=box)
+        return cls(
+            mesh,
+            [patch],
+            np.zeros(mesh.num_cells, dtype=np.int64),
+            cells.copy(),
+        )

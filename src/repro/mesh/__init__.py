@@ -1,0 +1,36 @@
+"""Mesh substrate: structured and unstructured meshes and generators.
+
+This package is the analogue of JAxMIN's mesh-management layer
+(systems S1-S3 in DESIGN.md).
+"""
+
+from .box import Box, box_union_covers, split_box
+from .generators import (
+    ball_tet_mesh,
+    box_hex_mesh,
+    box_structured,
+    cube_structured,
+    cube_tet_mesh,
+    disk_tri_mesh,
+    reactor_mesh_2d,
+    warped_quad_mesh,
+)
+from .structured import StructuredMesh
+from .unstructured import CELL_TYPES, UnstructuredMesh
+
+__all__ = [
+    "Box",
+    "split_box",
+    "box_union_covers",
+    "StructuredMesh",
+    "UnstructuredMesh",
+    "CELL_TYPES",
+    "cube_structured",
+    "box_structured",
+    "box_hex_mesh",
+    "cube_tet_mesh",
+    "ball_tet_mesh",
+    "disk_tri_mesh",
+    "reactor_mesh_2d",
+    "warped_quad_mesh",
+]

@@ -1,0 +1,138 @@
+"""Vectorized geometric primitives for mesh construction.
+
+All functions operate on NumPy arrays of points and return NumPy
+arrays; they are used by :mod:`repro.mesh.unstructured` to compute
+cell volumes, face areas and face normals for 2-D (triangle / quad)
+and 3-D (tetrahedral / hexahedral) meshes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ReproError
+
+__all__ = [
+    "triangle_areas",
+    "polygon_areas_2d",
+    "polygon_centroids_2d",
+    "edge_normals_2d",
+    "tet_volumes",
+    "tri_face_normals",
+    "tri_face_areas",
+    "tri_face_centroids",
+    "hex_volumes",
+    "quad_face_normals_areas",
+]
+
+
+def triangle_areas(p0: np.ndarray, p1: np.ndarray, p2: np.ndarray) -> np.ndarray:
+    """Areas of triangles given three (n, dim) corner arrays (dim 2 or 3)."""
+    a = p1 - p0
+    b = p2 - p0
+    if p0.shape[1] == 2:
+        cross = a[:, 0] * b[:, 1] - a[:, 1] * b[:, 0]
+        return 0.5 * np.abs(cross)
+    cross = np.cross(a, b)
+    return 0.5 * np.linalg.norm(cross, axis=1)
+
+
+def polygon_areas_2d(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Signed shoelace area per polygon; ``cells`` is (n, k) point indices."""
+    xs = points[cells, 0]  # (n, k)
+    ys = points[cells, 1]
+    xn = np.roll(xs, -1, axis=1)
+    yn = np.roll(ys, -1, axis=1)
+    return 0.5 * np.sum(xs * yn - xn * ys, axis=1)
+
+
+def polygon_centroids_2d(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Area-weighted centroids of simple polygons (n, k) -> (n, 2)."""
+    xs = points[cells, 0]
+    ys = points[cells, 1]
+    xn = np.roll(xs, -1, axis=1)
+    yn = np.roll(ys, -1, axis=1)
+    w = xs * yn - xn * ys
+    area = 0.5 * np.sum(w, axis=1)
+    if np.any(np.abs(area) < 1e-300):
+        raise ReproError("degenerate polygon in centroid computation")
+    cx = np.sum((xs + xn) * w, axis=1) / (6.0 * area)
+    cy = np.sum((ys + yn) * w, axis=1) / (6.0 * area)
+    return np.stack([cx, cy], axis=1)
+
+
+def edge_normals_2d(p0: np.ndarray, p1: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unit normals and lengths of 2-D edges p0->p1.
+
+    The normal is the edge direction rotated -90 degrees, i.e. it points
+    to the *right* of the directed edge.  For a counter-clockwise cell
+    boundary this is the outward normal.
+    """
+    d = p1 - p0
+    lengths = np.linalg.norm(d, axis=1)
+    if np.any(lengths <= 0):
+        raise ReproError("zero-length edge")
+    n = np.stack([d[:, 1], -d[:, 0]], axis=1) / lengths[:, None]
+    return n, lengths
+
+
+def tet_volumes(p0, p1, p2, p3) -> np.ndarray:
+    """Signed volumes of tetrahedra from four (n, 3) corner arrays."""
+    a = p1 - p0
+    b = p2 - p0
+    c = p3 - p0
+    return np.einsum("ij,ij->i", a, np.cross(b, c)) / 6.0
+
+
+def tri_face_normals(p0, p1, p2) -> np.ndarray:
+    """Unit normals of 3-D triangles (right-hand rule around p0,p1,p2)."""
+    cross = np.cross(p1 - p0, p2 - p0)
+    norm = np.linalg.norm(cross, axis=1)
+    if np.any(norm <= 0):
+        raise ReproError("degenerate triangle face")
+    return cross / norm[:, None]
+
+
+def tri_face_areas(p0, p1, p2) -> np.ndarray:
+    return triangle_areas(p0, p1, p2)
+
+
+def tri_face_centroids(p0, p1, p2) -> np.ndarray:
+    return (p0 + p1 + p2) / 3.0
+
+
+def hex_volumes(points: np.ndarray, cells: np.ndarray) -> np.ndarray:
+    """Volumes of hexahedra with standard VTK corner ordering (n, 8).
+
+    Each hexahedron is decomposed into five tetrahedra; this is exact
+    for hexes with planar faces and a good approximation otherwise.
+    """
+    c = [points[cells[:, i]] for i in range(8)]
+    # Decomposition into 6 tets sharing the diagonal 0-6 (robust for
+    # mildly warped hexes).
+    tets = [
+        (0, 1, 2, 6),
+        (0, 2, 3, 6),
+        (0, 3, 7, 6),
+        (0, 7, 4, 6),
+        (0, 4, 5, 6),
+        (0, 5, 1, 6),
+    ]
+    vol = np.zeros(cells.shape[0])
+    for i, j, k, l in tets:
+        vol += np.abs(tet_volumes(c[i], c[j], c[k], c[l]))
+    return vol
+
+
+def quad_face_normals_areas(p0, p1, p2, p3) -> tuple[np.ndarray, np.ndarray]:
+    """Average unit normals and areas of (possibly warped) 3-D quads.
+
+    The quad is split along both diagonals; the area vector is the mean
+    of the two triangulations, which is the standard finite-volume
+    treatment of bilinear faces.
+    """
+    n1 = np.cross(p1 - p0, p2 - p0) * 0.5 + np.cross(p2 - p0, p3 - p0) * 0.5
+    areas = np.linalg.norm(n1, axis=1)
+    if np.any(areas <= 0):
+        raise ReproError("degenerate quad face")
+    return n1 / areas[:, None], areas

@@ -1,0 +1,275 @@
+"""Unstructured conforming meshes (triangles, quads, tets, hexes).
+
+This module is the JAUMIN-analogue substrate: a cell-centred
+unstructured mesh with the connectivity arrays a sweep solver needs:
+
+* unique interior/boundary faces with unit normals oriented from the
+  face's first adjacent cell towards its second,
+* cell volumes and centroids,
+* per-cell face lists with orientation signs, and
+* cell neighbour adjacency.
+
+All connectivity is built with vectorized NumPy (sort + unique over
+face keys), so meshes with 10^5-10^6 cells construct in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .._util import ReproError
+from . import geometry as geo
+
+__all__ = ["UnstructuredMesh", "CELL_TYPES"]
+
+# Local face definitions (point index tuples per cell corner layout).
+CELL_TYPES: dict[str, dict] = {
+    "tri": {"dim": 2, "corners": 3, "faces": [(0, 1), (1, 2), (2, 0)]},
+    "quad": {"dim": 2, "corners": 4, "faces": [(0, 1), (1, 2), (2, 3), (3, 0)]},
+    "tet": {
+        "dim": 3,
+        "corners": 4,
+        "faces": [(0, 2, 1), (0, 1, 3), (1, 2, 3), (0, 3, 2)],
+    },
+    "hex": {
+        "dim": 3,
+        "corners": 8,
+        # VTK hexahedron corner layout.
+        "faces": [
+            (0, 3, 2, 1),
+            (4, 5, 6, 7),
+            (0, 1, 5, 4),
+            (2, 3, 7, 6),
+            (1, 2, 6, 5),
+            (0, 4, 7, 3),
+        ],
+    },
+}
+
+
+@dataclass
+class UnstructuredMesh:
+    """Conforming unstructured mesh with a single cell type."""
+
+    points: np.ndarray
+    cells: np.ndarray
+    cell_type: str
+    materials: np.ndarray | None = None
+
+    # connectivity, built by __post_init__
+    face_points: np.ndarray = field(init=False, repr=False)
+    face_cells: np.ndarray = field(init=False, repr=False)
+    face_normals: np.ndarray = field(init=False, repr=False)
+    face_areas: np.ndarray = field(init=False, repr=False)
+    face_centroids: np.ndarray = field(init=False, repr=False)
+    cell_volumes: np.ndarray = field(init=False, repr=False)
+    cell_centroids: np.ndarray = field(init=False, repr=False)
+    cell_faces: np.ndarray = field(init=False, repr=False)
+    cell_face_signs: np.ndarray = field(init=False, repr=False)
+    cell_neighbors: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self):
+        if self.cell_type not in CELL_TYPES:
+            raise ReproError(f"unknown cell type {self.cell_type!r}")
+        spec = CELL_TYPES[self.cell_type]
+        self.points = np.ascontiguousarray(self.points, dtype=np.float64)
+        self.cells = np.ascontiguousarray(self.cells, dtype=np.int64)
+        if self.points.ndim != 2 or self.points.shape[1] != spec["dim"]:
+            raise ReproError(
+                f"points must be (n, {spec['dim']}) for {self.cell_type}"
+            )
+        if self.cells.ndim != 2 or self.cells.shape[1] != spec["corners"]:
+            raise ReproError(
+                f"cells must be (n, {spec['corners']}) for {self.cell_type}"
+            )
+        if self.cells.size and (
+            self.cells.min() < 0 or self.cells.max() >= len(self.points)
+        ):
+            raise ReproError("cell corner index out of range")
+        if self.materials is None:
+            self.materials = np.zeros(len(self.cells), dtype=np.int64)
+        else:
+            self.materials = np.asarray(self.materials, dtype=np.int64)
+            if self.materials.shape != (len(self.cells),):
+                raise ReproError("materials must have one id per cell")
+        self._fix_orientation()
+        self._build_cell_geometry()
+        self._build_faces()
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return CELL_TYPES[self.cell_type]["dim"]
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def num_faces(self) -> int:
+        return len(self.face_cells)
+
+    @property
+    def faces_per_cell(self) -> int:
+        return len(CELL_TYPES[self.cell_type]["faces"])
+
+    @property
+    def boundary_faces(self) -> np.ndarray:
+        """Face ids lying on the domain boundary."""
+        return np.nonzero(self.face_cells[:, 1] < 0)[0]
+
+    # -- construction helpers --------------------------------------------------
+
+    def _fix_orientation(self) -> None:
+        """Reorder corners so cell volumes/areas are positive."""
+        if self.num_cells == 0:
+            raise ReproError("mesh has no cells")
+        if self.cell_type == "tet":
+            p = [self.points[self.cells[:, i]] for i in range(4)]
+            vol = geo.tet_volumes(*p)
+            flip = vol < 0
+            if np.any(flip):
+                self.cells[flip, 2], self.cells[flip, 3] = (
+                    self.cells[flip, 3].copy(),
+                    self.cells[flip, 2].copy(),
+                )
+        elif self.cell_type in ("tri", "quad"):
+            area = geo.polygon_areas_2d(self.points, self.cells)
+            flip = area < 0
+            if np.any(flip):
+                self.cells[flip] = self.cells[flip, ::-1]
+
+    def _build_cell_geometry(self) -> None:
+        ct = self.cell_type
+        if ct == "tri" or ct == "quad":
+            self.cell_volumes = np.abs(
+                geo.polygon_areas_2d(self.points, self.cells)
+            )
+            self.cell_centroids = geo.polygon_centroids_2d(self.points, self.cells)
+        elif ct == "tet":
+            p = [self.points[self.cells[:, i]] for i in range(4)]
+            self.cell_volumes = np.abs(geo.tet_volumes(*p))
+            self.cell_centroids = (p[0] + p[1] + p[2] + p[3]) / 4.0
+        elif ct == "hex":
+            self.cell_volumes = geo.hex_volumes(self.points, self.cells)
+            self.cell_centroids = self.points[self.cells].mean(axis=1)
+        if np.any(self.cell_volumes <= 0):
+            raise ReproError("mesh contains degenerate (zero-volume) cells")
+
+    def _build_faces(self) -> None:
+        spec = CELL_TYPES[self.cell_type]
+        face_defs = spec["faces"]
+        nfc = len(face_defs)
+        nc = self.num_cells
+
+        # All (cell, local face) incidences with their point tuples.
+        local = np.concatenate(
+            [self.cells[:, list(fd)] for fd in face_defs], axis=0
+        )  # (nc * nfc, pts_per_face), block i holds local face i of all cells
+        owner_cell = np.tile(np.arange(nc), nfc)
+
+        keys = np.sort(local, axis=1)
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        nfaces = len(uniq)
+
+        face_cells = np.full((nfaces, 2), -1, dtype=np.int64)
+        first_incidence = np.full(nfaces, -1, dtype=np.int64)
+        order = np.argsort(inverse, kind="stable")
+        sorted_inv = inverse[order]
+        boundaries = np.searchsorted(sorted_inv, np.arange(nfaces))
+        counts = np.bincount(inverse, minlength=nfaces)
+        if np.any(counts > 2):
+            raise ReproError("non-manifold mesh: face shared by >2 cells")
+        first = order[boundaries]
+        face_cells[:, 0] = owner_cell[first]
+        first_incidence[:] = first
+        has_second = counts == 2
+        second = order[boundaries[has_second] + 1]
+        face_cells[has_second, 1] = owner_cell[second]
+
+        # Face geometry, using the corner order of the first incidence so
+        # the raw normal is outward for face_cells[:, 0].
+        fp = local[first_incidence]
+        self.face_points = fp
+        pts = self.points
+        if self.cell_type in ("tri", "quad"):
+            normals, areas = geo.edge_normals_2d(pts[fp[:, 0]], pts[fp[:, 1]])
+            centroids = 0.5 * (pts[fp[:, 0]] + pts[fp[:, 1]])
+        elif self.cell_type == "tet":
+            p0, p1, p2 = pts[fp[:, 0]], pts[fp[:, 1]], pts[fp[:, 2]]
+            normals = geo.tri_face_normals(p0, p1, p2)
+            areas = geo.tri_face_areas(p0, p1, p2)
+            centroids = geo.tri_face_centroids(p0, p1, p2)
+        else:  # hex
+            p = [pts[fp[:, i]] for i in range(4)]
+            normals, areas = geo.quad_face_normals_areas(*p)
+            centroids = np.mean(p, axis=0)
+
+        # Orient: normal must point away from face_cells[:, 0].
+        away = centroids - self.cell_centroids[face_cells[:, 0]]
+        flip = np.einsum("ij,ij->i", normals, away) < 0
+        normals[flip] *= -1.0
+
+        self.face_cells = face_cells
+        self.face_normals = normals
+        self.face_areas = areas
+        self.face_centroids = centroids
+
+        # Per-cell face table and signs (+1 when the cell is face_cells[0],
+        # i.e. the face normal is outward for that cell).
+        cell_faces = np.empty((nc, nfc), dtype=np.int64)
+        for lf in range(nfc):
+            cell_faces[:, lf] = inverse[lf * nc : (lf + 1) * nc]
+        self.cell_faces = cell_faces
+        self.cell_face_signs = np.where(
+            self.face_cells[cell_faces, 0] == np.arange(nc)[:, None], 1, -1
+        ).astype(np.int8)
+
+        neigh = np.where(
+            self.cell_face_signs == 1,
+            self.face_cells[cell_faces, 1],
+            self.face_cells[cell_faces, 0],
+        )
+        self.cell_neighbors = neigh
+
+    # -- queries ----------------------------------------------------------------
+
+    def outward_normal(self, cell: int, local_face: int) -> np.ndarray:
+        """Outward unit normal of ``local_face`` of ``cell``."""
+        fid = self.cell_faces[cell, local_face]
+        return self.face_normals[fid] * self.cell_face_signs[cell, local_face]
+
+    def adjacency_graph(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cell adjacency as CSR ``(indptr, indices)`` over interior faces."""
+        interior = self.face_cells[self.face_cells[:, 1] >= 0]
+        both = np.concatenate([interior, interior[:, ::-1]], axis=0)
+        order = np.argsort(both[:, 0], kind="stable")
+        both = both[order]
+        indptr = np.searchsorted(
+            both[:, 0], np.arange(self.num_cells + 1), side="left"
+        )
+        return indptr.astype(np.int64), both[:, 1].copy()
+
+    def assign_materials(self, fn: Callable[[np.ndarray], np.ndarray]) -> None:
+        """Set material ids from ``fn(cell_centroids) -> ids``."""
+        ids = np.asarray(fn(self.cell_centroids), dtype=np.int64)
+        if ids.shape != (self.num_cells,):
+            raise ReproError("material function must return one id per cell")
+        self.materials = ids
+
+    def total_volume(self) -> float:
+        return float(self.cell_volumes.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UnstructuredMesh({self.cell_type}, cells={self.num_cells}, "
+            f"points={self.num_points}, faces={self.num_faces})"
+        )

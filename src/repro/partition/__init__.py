@@ -1,0 +1,45 @@
+"""Domain decomposition: space-filling curves, RCB and graph partitioners.
+
+System S4 in DESIGN.md - the stand-in for METIS/Chaco (unstructured)
+and Morton/Hilbert SFC assignment (structured).
+"""
+
+from .graph import (
+    CSRGraph,
+    edge_cut,
+    greedy_partition,
+    multilevel_partition,
+    part_weights,
+    spectral_bisection,
+)
+from .rcb import rcb_partition
+from .sfc import (
+    chunk_by_weight,
+    hilbert_decode,
+    hilbert_encode,
+    morton_decode,
+    morton_encode,
+    sfc_order,
+)
+from .structured import assign_patches_sfc, patchify_structured
+from .unstructured import UnstructuredDecomposition, decompose_unstructured
+
+__all__ = [
+    "CSRGraph",
+    "edge_cut",
+    "part_weights",
+    "greedy_partition",
+    "spectral_bisection",
+    "multilevel_partition",
+    "rcb_partition",
+    "morton_encode",
+    "morton_decode",
+    "hilbert_encode",
+    "hilbert_decode",
+    "sfc_order",
+    "chunk_by_weight",
+    "assign_patches_sfc",
+    "patchify_structured",
+    "UnstructuredDecomposition",
+    "decompose_unstructured",
+]

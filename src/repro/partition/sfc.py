@@ -1,0 +1,201 @@
+"""Space-filling curves (Morton and Hilbert) for structured partitioning.
+
+JAxMIN assigns structured-mesh patches to processes by ordering the
+patch lattice along a space-filling curve and cutting the curve into
+balanced contiguous chunks; this module provides the same machinery.
+All encoders are vectorized over arrays of integer coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ReproError, as_int_array
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "hilbert_encode",
+    "hilbert_decode",
+    "sfc_order",
+    "chunk_by_weight",
+]
+
+
+def _check_coords(coords: np.ndarray, bits: int) -> np.ndarray:
+    coords = as_int_array(coords, ndim=2)
+    if bits <= 0 or bits * coords.shape[1] > 62:
+        raise ReproError(f"unsupported bits={bits} for dim={coords.shape[1]}")
+    if coords.size and (coords.min() < 0 or coords.max() >= (1 << bits)):
+        raise ReproError("coordinates out of range for given bits")
+    return coords
+
+
+# -- Morton ---------------------------------------------------------------------
+
+
+def morton_encode(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Interleave-bit (Z-order) keys for (n, dim) integer coordinates."""
+    coords = _check_coords(coords, bits)
+    n, dim = coords.shape
+    keys = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        for ax in range(dim):
+            bit = (coords[:, ax] >> b) & 1
+            keys |= bit << (b * dim + (dim - 1 - ax))
+    return keys
+
+
+def morton_decode(keys: np.ndarray, bits: int, dim: int) -> np.ndarray:
+    """Inverse of :func:`morton_encode`."""
+    keys = as_int_array(keys)
+    coords = np.zeros((len(keys), dim), dtype=np.int64)
+    for b in range(bits):
+        for ax in range(dim):
+            bit = (keys >> (b * dim + (dim - 1 - ax))) & 1
+            coords[:, ax] |= bit << b
+    return coords
+
+
+# -- Hilbert (Skilling's transpose algorithm) -----------------------------------
+
+
+def _axes_to_transpose(x: np.ndarray, bits: int) -> np.ndarray:
+    """In-place Skilling AxesToTranspose, vectorized over rows of ``x``."""
+    dim = x.shape[1]
+    m = np.int64(1) << (bits - 1)
+    q = m
+    while q > 1:
+        p = q - 1
+        for i in range(dim):
+            on = (x[:, i] & q) != 0
+            x[:, 0] ^= np.where(on, p, 0)  # invert
+            t = np.where(on, 0, (x[:, 0] ^ x[:, i]) & p)  # exchange
+            x[:, 0] ^= t
+            x[:, i] ^= t
+        q >>= 1
+    for i in range(1, dim):
+        x[:, i] ^= x[:, i - 1]
+    t = np.zeros(len(x), dtype=np.int64)
+    q = m
+    while q > 1:
+        on = (x[:, dim - 1] & q) != 0
+        t ^= np.where(on, q - 1, 0)
+        q >>= 1
+    for i in range(dim):
+        x[:, i] ^= t
+    return x
+
+
+def _transpose_to_axes(x: np.ndarray, bits: int) -> np.ndarray:
+    """In-place Skilling TransposeToAxes, vectorized over rows of ``x``."""
+    dim = x.shape[1]
+    n = np.int64(2) << (bits - 1)
+    # Gray decode by H ^ (H/2)
+    t = x[:, dim - 1] >> 1
+    for i in range(dim - 1, 0, -1):
+        x[:, i] ^= x[:, i - 1]
+    x[:, 0] ^= t
+    q = np.int64(2)
+    while q != n:
+        p = q - 1
+        for i in range(dim - 1, -1, -1):
+            on = (x[:, i] & q) != 0
+            x[:, 0] ^= np.where(on, p, 0)
+            t = np.where(on, 0, (x[:, 0] ^ x[:, i]) & p)
+            x[:, 0] ^= t
+            x[:, i] ^= t
+        q <<= 1
+    return x
+
+
+def _pack_transpose(x: np.ndarray, bits: int) -> np.ndarray:
+    """Interleave the transpose form into scalar Hilbert indices."""
+    dim = x.shape[1]
+    keys = np.zeros(len(x), dtype=np.int64)
+    pos = dim * bits - 1
+    for b in range(bits - 1, -1, -1):
+        for i in range(dim):
+            keys |= ((x[:, i] >> b) & 1) << pos
+            pos -= 1
+    return keys
+
+
+def _unpack_transpose(keys: np.ndarray, bits: int, dim: int) -> np.ndarray:
+    x = np.zeros((len(keys), dim), dtype=np.int64)
+    pos = dim * bits - 1
+    for b in range(bits - 1, -1, -1):
+        for i in range(dim):
+            x[:, i] |= ((keys >> pos) & 1) << b
+            pos -= 1
+    return x
+
+
+def hilbert_encode(coords: np.ndarray, bits: int) -> np.ndarray:
+    """Hilbert-curve keys for (n, dim) integer coordinates."""
+    coords = _check_coords(coords, bits)
+    x = coords.copy()
+    _axes_to_transpose(x, bits)
+    return _pack_transpose(x, bits)
+
+
+def hilbert_decode(keys: np.ndarray, bits: int, dim: int) -> np.ndarray:
+    """Inverse of :func:`hilbert_encode`."""
+    keys = as_int_array(keys)
+    x = _unpack_transpose(keys, bits, dim)
+    return _transpose_to_axes(x, bits)
+
+
+# -- partitioning helpers --------------------------------------------------------
+
+
+def sfc_order(coords: np.ndarray, curve: str = "hilbert") -> np.ndarray:
+    """Permutation ordering integer coordinates along an SFC."""
+    coords = as_int_array(coords, ndim=2)
+    if len(coords) == 0:
+        return np.zeros(0, dtype=np.int64)
+    span = int(coords.max()) + 1 if coords.size else 1
+    bits = max(1, int(np.ceil(np.log2(max(span, 2)))))
+    if curve == "morton":
+        keys = morton_encode(coords, bits)
+    elif curve == "hilbert":
+        keys = hilbert_encode(coords, bits)
+    else:
+        raise ReproError(f"unknown curve {curve!r}")
+    return np.argsort(keys, kind="stable")
+
+
+def chunk_by_weight(
+    order: np.ndarray, weights: np.ndarray, nparts: int
+) -> np.ndarray:
+    """Cut an ordered sequence into ``nparts`` weight-balanced chunks.
+
+    Returns a part id per element (indexed like ``weights``); every part
+    is non-empty when ``nparts <= len(order)``.
+    """
+    if nparts <= 0:
+        raise ReproError("nparts must be positive")
+    weights = np.asarray(weights, dtype=np.float64)
+    n = len(order)
+    if nparts > n:
+        raise ReproError(f"cannot make {nparts} non-empty parts of {n} items")
+    part = np.zeros(len(weights), dtype=np.int64)
+    total = float(weights[order].sum())
+    if total <= 0:
+        weights = np.ones_like(weights)
+        total = float(n)
+    cum = 0.0
+    p = 0
+    count_in_p = 0
+    for rank, idx in enumerate(order):
+        # Once the items left barely cover the unfilled parts, every
+        # remaining item must open a new part.
+        must_advance = (n - rank) <= (nparts - p)
+        past_quota = cum + 0.5 * weights[idx] >= (p + 1) * total / nparts
+        if p < nparts - 1 and count_in_p > 0 and (must_advance or past_quota):
+            p += 1
+            count_in_p = 0
+        part[idx] = p
+        cum += weights[idx]
+        count_in_p += 1
+    return part

@@ -1,0 +1,25 @@
+"""Simulated-cluster data-driven runtime (systems S9-S10).
+
+The stand-in for the paper's MPI+threads runtime on Tianhe-2: a
+discrete-event simulation that executes the real patch-programs and
+reports virtual makespan plus the Fig. 16 time breakdown.
+"""
+
+from .cluster import TIANHE2, Layout, Machine
+from .costmodel import CATEGORIES, CostModel
+from .engine_des import DataDrivenRuntime
+from .metrics import Breakdown, RunReport
+from .perfmodel import SweepModelPrediction, SweepPerformanceModel
+
+__all__ = [
+    "Machine",
+    "Layout",
+    "TIANHE2",
+    "CostModel",
+    "CATEGORIES",
+    "DataDrivenRuntime",
+    "RunReport",
+    "Breakdown",
+    "SweepPerformanceModel",
+    "SweepModelPrediction",
+]

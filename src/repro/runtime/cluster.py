@@ -1,0 +1,84 @@
+"""Machine model of the simulated cluster (Tianhe-2 analogue).
+
+The paper's platform: nodes with two 12-core sockets, one MPI process
+per socket (bound to it), the master thread on a reserved core and 11
+worker threads; the Tianhe Express-II network at 40 GB/s.  This module
+describes such a machine and maps a requested total core count to a
+(process, worker) layout for each runtime *mode*:
+
+``hybrid``    the JSweep runtime: 1 process per socket, dedicated
+              master core, ``cores_per_proc - 1`` workers.
+``mpi_only``  the JASMIN/JAUMIN/PSD-b baseline style: every core is an
+              MPI rank doing both computation and communication; no
+              dedicated master, so message handling competes with
+              compute on the same core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import ReproError
+
+__all__ = ["Machine", "Layout", "TIANHE2"]
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Resolved process/worker layout for a run."""
+
+    total_cores: int
+    nprocs: int
+    workers_per_proc: int
+    mode: str
+
+    @property
+    def total_workers(self) -> int:
+        return self.nprocs * self.workers_per_proc
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Cluster hardware description."""
+
+    cores_per_proc: int = 12  # cores per MPI process (one socket)
+    procs_per_node: int = 2
+    latency_intra: float = 1.5e-6  # seconds, same-node message
+    latency_inter: float = 6.0e-6  # seconds, cross-node message
+    bandwidth: float = 5.0e9  # bytes/second effective per link
+
+    def layout(self, total_cores: int, mode: str = "hybrid") -> Layout:
+        """Process/worker layout for ``total_cores`` in the given mode."""
+        if total_cores <= 0:
+            raise ReproError("total_cores must be positive")
+        if mode == "hybrid":
+            if total_cores % self.cores_per_proc:
+                raise ReproError(
+                    f"total_cores must be a multiple of {self.cores_per_proc}"
+                )
+            nprocs = total_cores // self.cores_per_proc
+            workers = max(1, self.cores_per_proc - 1)  # master core reserved
+            return Layout(total_cores, nprocs, workers, mode)
+        if mode == "mpi_only":
+            return Layout(total_cores, total_cores, 1, mode)
+        raise ReproError(f"unknown runtime mode {mode!r}")
+
+    def node_of(self, proc: int, layout: Layout) -> int:
+        if layout.mode == "mpi_only":
+            # One rank per core: cores_per_proc * procs_per_node ranks per node.
+            return proc // (self.cores_per_proc * self.procs_per_node)
+        return proc // self.procs_per_node
+
+    def message_time(self, src: int, dst: int, nbytes: int, layout: Layout) -> float:
+        """Wire time of one message between two processes."""
+        lat = (
+            self.latency_intra
+            if self.node_of(src, layout) == self.node_of(dst, layout)
+            else self.latency_inter
+        )
+        return lat + nbytes / self.bandwidth
+
+
+#: The evaluation platform: Tianhe-2 nodes (2 x 12-core Ivy Bridge,
+#: Express-II network).  Bandwidth is the effective per-link share.
+TIANHE2 = Machine()

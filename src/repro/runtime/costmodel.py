@@ -1,0 +1,70 @@
+"""Virtual-time cost model for the simulated cluster.
+
+The DES executes the *real* data-driven algorithm; this model maps the
+raw work counters each patch-program run reports (vertices solved,
+edges relaxed, items packed...) to virtual seconds, split into the
+categories of the paper's Fig. 16 breakdown:
+
+``kernel``     user numerical computation on vertices
+``graph_op``   DAG bookkeeping: heap pops, counter updates
+``pack``       serializing outgoing remote streams
+``unpack``     deserializing incoming remote streams
+``sched``      master-thread program dispatch
+``comm``       master-thread stream routing and message handling
+``idle``       core time with no work available
+
+Default constants are calibrated so that a JSNT-S-like run reproduces
+the paper's observed proportions (~23% graph+pack overhead, 13-19%
+comm, large idle at scale); absolute values are arbitrary but
+self-consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "CATEGORIES"]
+
+CATEGORIES = ("kernel", "graph_op", "pack", "unpack", "sched", "comm", "idle")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation virtual costs, in seconds."""
+
+    t_vertex: float = 1.0e-6  # kernel per (cell, angle) vertex per group
+    t_edge: float = 60.0e-9  # per relaxed dependency edge
+    t_pop: float = 90.0e-9  # per ready-queue pop/push pair
+    t_input_item: float = 45.0e-9  # per received item (counter update)
+    t_pack_fixed: float = 1.2e-6  # per outgoing remote stream
+    t_pack_item: float = 25.0e-9  # per packed item
+    t_unpack_fixed: float = 1.0e-6  # per incoming remote stream
+    t_unpack_item: float = 25.0e-9
+    t_sched: float = 1.2e-6  # shared-queue pop per program run (worker)
+    t_route: float = 0.2e-6  # master routing of one local stream
+    t_exec_fixed: float = 1.5e-6  # per-run fixed overhead on the worker
+    groups: int = 1  # energy groups swept together
+
+    def run_cost(
+        self, counters: dict[str, int], remote_streams: int, remote_items: int
+    ) -> dict[str, float]:
+        """Virtual-time breakdown of one worker run of a patch-program."""
+        v = counters.get("vertices", 0)
+        e = counters.get("edges", 0)
+        inp = counters.get("input_items", 0)
+        # Ready-queue pops default to one per vertex; coarsened-graph
+        # programs pop whole clusters and report the coarse count.
+        pops = counters.get("pops", v)
+        return {
+            "kernel": v * self.t_vertex * self.groups,
+            "graph_op": e * self.t_edge + pops * self.t_pop + inp * self.t_input_item,
+            "pack": remote_streams * self.t_pack_fixed
+            + remote_items * self.t_pack_item * self.groups,
+            "fixed": self.t_exec_fixed,
+        }
+
+    def unpack_cost(self, streams: int, items: int) -> float:
+        return (
+            streams * self.t_unpack_fixed
+            + items * self.t_unpack_item * self.groups
+        )

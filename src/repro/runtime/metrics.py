@@ -1,0 +1,97 @@
+"""Runtime metrics: the Fig. 16 time-breakdown accounting.
+
+Every core (worker or master) accumulates busy virtual-seconds by
+category; idle time is derived from the run makespan.  The report can
+be printed in the layout of the paper's Fig. 16: average seconds per
+core, stacked by category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .costmodel import CATEGORIES
+
+__all__ = ["Breakdown", "RunReport"]
+
+
+class Breakdown:
+    """Busy-time accumulator over a set of cores."""
+
+    def __init__(self):
+        self.by_category: dict[str, float] = {c: 0.0 for c in CATEGORIES}
+        self.core_busy: dict[tuple, float] = {}
+
+    def add(self, core: tuple, category: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("negative time")
+        self.by_category[category] = (
+            self.by_category.get(category, 0.0) + seconds
+        )
+        self.core_busy[core] = self.core_busy.get(core, 0.0) + seconds
+
+    def finalize_idle(self, makespan: float, cores: list[tuple]) -> None:
+        """Charge (makespan - busy) of every core to the idle category."""
+        idle = 0.0
+        for core in cores:
+            idle += max(0.0, makespan - self.core_busy.get(core, 0.0))
+        self.by_category["idle"] = idle
+
+    def total(self) -> float:
+        return sum(self.by_category.values())
+
+    def fractions(self) -> dict[str, float]:
+        t = self.total()
+        if t <= 0:
+            return {c: 0.0 for c in self.by_category}
+        return {c: v / t for c, v in self.by_category.items()}
+
+
+@dataclass
+class RunReport:
+    """Outcome of one DES run."""
+
+    makespan: float
+    breakdown: Breakdown
+    total_cores: int
+    executions: int = 0
+    local_streams: int = 0
+    messages: int = 0
+    message_bytes: int = 0
+    stream_items: int = 0  # payload items across local + remote streams
+    vertices_solved: int = 0
+    events: int = 0
+    termination_hops: int = 0
+    termination_time: float = 0.0
+
+    @property
+    def core_seconds(self) -> float:
+        return self.makespan * self.total_cores
+
+    def overhead_fraction(self) -> float:
+        """graph-op + pack/unpack share of total core time (Fig. 16's
+        'overhead introduced by JSweep')."""
+        f = self.breakdown.fractions()
+        return f["graph_op"] + f["pack"] + f["unpack"] + f["sched"]
+
+    def idle_fraction(self) -> float:
+        return self.breakdown.fractions()["idle"]
+
+    def comm_fraction(self) -> float:
+        return self.breakdown.fractions()["comm"]
+
+    def avg_seconds_per_core(self) -> dict[str, float]:
+        """Fig. 16's y-axis: average time per core, by category."""
+        return {
+            c: v / self.total_cores
+            for c, v in self.breakdown.by_category.items()
+        }
+
+    def format_breakdown(self, label: str = "") -> str:
+        rows = self.avg_seconds_per_core()
+        parts = [f"{label} makespan={self.makespan:.4f}s"]
+        for c in CATEGORIES:
+            parts.append(f"  {c:>9}: {rows[c]:.4f}s ({self.breakdown.fractions()[c] * 100:5.1f}%)")
+        return "\n".join(parts)

@@ -1,0 +1,135 @@
+"""Analytic sweep performance model (Mathis-Kerbyson style).
+
+The sweep-performance literature the paper builds on (e.g. [21],
+Mathis & Kerbyson, "A General Performance Model of Structured and
+Unstructured Mesh Particle Transport Computations") predicts sweep
+time from two competing terms:
+
+* useful work per worker:  ``V * t_vertex * groups / workers``, and
+* pipeline fill along the critical path: the longest chain of
+  patch-level dependencies, each hop paying a block compute plus a
+  message.
+
+This module provides that closed-form estimate for any PatchSet +
+quadrature, which serves three purposes: sanity-checking the DES
+(trend agreement is tested), extrapolating to core counts too large to
+simulate, and locating the strong-scaling knee analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .._util import ReproError
+from ..framework.patch import PatchSet
+from ..sweep.dag import SweepTopology
+from .cluster import Machine, TIANHE2
+from .costmodel import CostModel
+
+__all__ = ["SweepModelPrediction", "SweepPerformanceModel"]
+
+
+@dataclass
+class SweepModelPrediction:
+    """Closed-form estimate of one sweep's parallel runtime."""
+
+    time: float
+    work_term: float
+    pipeline_term: float
+    critical_path_patches: int
+    total_vertices: int
+
+    @property
+    def pipeline_bound(self) -> bool:
+        return self.pipeline_term > self.work_term
+
+
+class SweepPerformanceModel:
+    """Analytic model over a sweep topology.
+
+    ``predict(total_cores)`` returns the max of the work term and the
+    pipeline term - the standard two-regime sweep model.  The patch
+    critical path is measured on the real patch-level DAG (condensed
+    over strongly connected components for the interleaved-dependency
+    case), weighted by patch cell counts.
+    """
+
+    def __init__(
+        self,
+        topology: SweepTopology,
+        machine: Machine = TIANHE2,
+        cost: CostModel | None = None,
+    ):
+        self.topology = topology
+        self.machine = machine
+        self.cost = cost if cost is not None else CostModel()
+        self._critical = self._critical_path()
+
+    def _critical_path(self) -> tuple[int, float]:
+        """(hops, weighted cells) of the longest patch chain, maximized
+        over angles.  Computed on the SCC condensation so interleaved
+        patch dependencies (Fig. 4) are handled."""
+        pset = self.topology.pset
+        sizes = np.array([p.num_cells for p in pset.patches], dtype=float)
+        best_hops, best_cells = 0, 0.0
+        for a, edges in self.topology.patch_dag.items():
+            g = nx.DiGraph()
+            g.add_nodes_from(range(pset.num_patches))
+            g.add_edges_from(map(tuple, edges.tolist()))
+            cond = nx.condensation(g)
+            hops: dict[int, int] = {}
+            cells: dict[int, float] = {}
+            for c in nx.topological_sort(cond):
+                members = cond.nodes[c]["members"]
+                own = float(sizes[list(members)].sum()) / max(1, len(members))
+                h0, c0 = 0, 0.0
+                for p_ in cond.predecessors(c):
+                    if hops[p_] + 1 > h0:
+                        h0 = hops[p_] + 1
+                    if cells[p_] > c0:
+                        c0 = cells[p_]
+                hops[c] = h0
+                cells[c] = c0 + own
+            if hops:
+                h = max(hops.values()) + 1
+                w = max(cells.values())
+                if w > best_cells:
+                    best_hops, best_cells = h, w
+        return best_hops, best_cells
+
+    def predict(self, total_cores: int, mode: str = "hybrid") -> SweepModelPrediction:
+        lay = self.machine.layout(total_cores, mode)
+        cm = self.cost
+        topo = self.topology
+        v_total = topo.num_vertices
+        t_vertex_eff = cm.t_vertex * cm.groups + cm.t_edge * 4 + cm.t_pop
+        work = v_total * t_vertex_eff / lay.total_workers
+
+        hops, path_cells = self._critical
+        # One pipeline stage = compute the upwind patch's share for one
+        # angle, then ship a face message downwind.
+        per_hop_msg = self.machine.latency_inter + cm.t_unpack_fixed
+        pipeline = (
+            path_cells * t_vertex_eff  # the chain's own compute
+            + hops * per_hop_msg
+        )
+        return SweepModelPrediction(
+            time=max(work, pipeline),
+            work_term=work,
+            pipeline_term=pipeline,
+            critical_path_patches=hops,
+            total_vertices=v_total,
+        )
+
+    def knee_cores(self, mode: str = "hybrid", max_cores: int = 10**7) -> int:
+        """Smallest core count at which the pipeline term dominates -
+        the analytic strong-scaling knee."""
+        cores = self.machine.cores_per_proc if mode == "hybrid" else 1
+        while cores < max_cores:
+            if self.predict(cores, mode).pipeline_bound:
+                return cores
+            cores *= 2
+        raise ReproError("no knee below max_cores")

@@ -1,0 +1,37 @@
+"""Sn sweep component: quadrature, DAGs, kernels, programs, optimizations."""
+
+from .dag import PatchAngleGraph, SweepTopology, check_acyclic, directed_edges
+from .kernels import AngleKernel
+from .materials import Material, MaterialMap
+from .priorities import (
+    ANGLE_FACTOR,
+    PriorityStrategy,
+    apply_priorities,
+    patch_priorities,
+    vertex_priorities,
+)
+from .quadrature import Quadrature, level_symmetric, product_quadrature
+from .solver import FOUR_PI, SnSolver, SweepResult
+from .sweep_program import SweepPatchProgram
+
+__all__ = [
+    "Quadrature",
+    "level_symmetric",
+    "product_quadrature",
+    "SweepTopology",
+    "PatchAngleGraph",
+    "directed_edges",
+    "check_acyclic",
+    "AngleKernel",
+    "Material",
+    "MaterialMap",
+    "PriorityStrategy",
+    "apply_priorities",
+    "patch_priorities",
+    "vertex_priorities",
+    "ANGLE_FACTOR",
+    "SnSolver",
+    "SweepResult",
+    "FOUR_PI",
+    "SweepPatchProgram",
+]

@@ -1,0 +1,328 @@
+"""Baseline sweep schedulers: KBA and BSP (system S16).
+
+* :class:`KBASchedule` - the Koch-Baker-Alcouffe wavefront algorithm
+  for regular structured meshes (the Denovo/Sweep3D approach the paper
+  compares against in Table I).  The 3-D mesh is decomposed into a 2-D
+  columnar Px x Py process grid; blocks of k-planes pipeline through
+  the processor array for every angle.  Simulated with the same
+  latency/bandwidth machine model as the data-driven runtime, so
+  Table I's efficiency comparison is apples-to-apples.
+
+* :class:`BSPSweepRuntime` - sweeping inside the BSP component model
+  (Sec. II-D's motivation): every super-step each patch computes all
+  *currently ready* vertices, then a global barrier and bulk exchange
+  deliver the produced face data.  The number of super-steps equals the
+  patch-graph critical path, and every step pays barrier plus
+  max-process compute time - the inefficiency that motivates JSweep.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import ReproError
+from ..core.patch_program import PatchProgram, ProgramState
+from ..core.stream import Stream
+from ..runtime.cluster import Machine, TIANHE2
+from ..runtime.costmodel import CostModel
+
+__all__ = ["KBASchedule", "KBAResult", "BSPSweepRuntime", "BSPSweepResult"]
+
+
+# ---------------------------------------------------------------------------
+# KBA
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class KBAResult:
+    """Outcome of a simulated KBA sweep."""
+
+    time: float
+    serial_time: float
+    num_tasks: int
+    stages: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_time / self.time if self.time > 0 else 0.0
+
+    def efficiency(self, cores: int) -> float:
+        return self.speedup / cores
+
+
+class KBASchedule:
+    """Pipelined KBA wavefront sweep on a Px x Py columnar decomposition."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int],
+        px: int,
+        py: int,
+        k_blocks: int = 8,
+        machine: Machine = TIANHE2,
+        cost: CostModel | None = None,
+    ):
+        if len(shape) != 3:
+            raise ReproError("KBA requires a 3-D structured mesh")
+        if px <= 0 or py <= 0 or k_blocks <= 0:
+            raise ReproError("px, py, k_blocks must be positive")
+        if shape[0] < px or shape[1] < py or shape[2] < k_blocks:
+            raise ReproError("decomposition finer than the mesh")
+        self.shape = shape
+        self.px, self.py = px, py
+        self.k_blocks = k_blocks
+        self.machine = machine
+        self.cost = cost if cost is not None else CostModel()
+
+    def simulate(self, num_angles: int, octants: int = 8) -> KBAResult:
+        """Simulate sweeping ``num_angles`` directions (spread over octants).
+
+        Angles in one octant pipeline back-to-back; octants run in
+        sequence of four corner pairs, the classic KBA octant schedule.
+        """
+        nx, ny, nz = self.shape
+        px, py, kb = self.px, self.py, self.k_blocks
+        cm = self.cost
+        block_cells = (nx / px) * (ny / py) * (nz / kb)
+        t_block = block_cells * cm.t_vertex * cm.groups
+        # Face data shipped downwind per block, per direction.
+        bytes_x = (ny / py) * (nz / kb) * 8 * cm.groups
+        bytes_y = (nx / px) * (nz / kb) * 8 * cm.groups
+        layout = self.machine.layout(px * py, "mpi_only")
+
+        def proc(i: int, j: int) -> int:
+            return i * py + j
+
+        angles_per_octant = max(1, num_angles // octants)
+        # Corner-paired octant schedule: 4 sequential phases, two
+        # opposite octants each (they never collide on a process).
+        phases = [
+            [(1, 1), (-1, -1)],
+            [(1, -1), (-1, 1)],
+            [(1, 1), (-1, -1)],
+            [(1, -1), (-1, 1)],
+        ][: max(1, octants // 2)]
+
+        total_time = 0.0
+        num_tasks = 0
+        stages = 0
+        for phase in phases:
+            # Event simulation of one phase: tasks (i, j, k, a) for each
+            # direction of the phase's octants.
+            ready: list = []
+            seq = 0
+            proc_free = np.zeros(px * py)
+            remaining = {}
+            finish = 0.0
+            for sx, sy in phase:
+                for a in range(angles_per_octant):
+                    for i in range(px):
+                        for j in range(py):
+                            for k in range(kb):
+                                key = (sx, sy, a, i, j, k)
+                                deps = 0
+                                if (sx > 0 and i > 0) or (sx < 0 and i < px - 1):
+                                    deps += 1
+                                if (sy > 0 and j > 0) or (sy < 0 and j < py - 1):
+                                    deps += 1
+                                if k > 0:
+                                    deps += 1  # k-pipeline is process-local
+                                if a > 0:
+                                    deps += 1  # angle pipelining in-order
+                                remaining[key] = deps
+                                if deps == 0:
+                                    seq += 1
+                                    heapq.heappush(ready, (0.0, seq, key))
+            num_tasks += len(remaining)
+
+            def release(key, t):
+                nonlocal seq
+                remaining[key] -= 1
+                if remaining[key] == 0:
+                    seq += 1
+                    heapq.heappush(ready, (t, seq, key))
+
+            while ready:
+                t_ready, _, key = heapq.heappop(ready)
+                sx, sy, a, i, j, k = key
+                p = proc(i, j)
+                start = max(t_ready, proc_free[p])
+                end = start + t_block
+                proc_free[p] = end
+                finish = max(finish, end)
+                ni = i + (1 if sx > 0 else -1)
+                if 0 <= ni < px:
+                    arr = end + self.machine.message_time(
+                        p, proc(ni, j), int(bytes_x), layout
+                    )
+                    release((sx, sy, a, ni, j, k), arr)
+                nj = j + (1 if sy > 0 else -1)
+                if 0 <= nj < py:
+                    arr = end + self.machine.message_time(
+                        p, proc(i, nj), int(bytes_y), layout
+                    )
+                    release((sx, sy, a, i, nj, k), arr)
+                if k + 1 < kb:
+                    release((sx, sy, a, i, j, k + 1), end)
+                if a + 1 < angles_per_octant:
+                    release((sx, sy, a + 1, i, j, k), end)
+            total_time += finish
+            stages += 1
+
+        serial = (
+            nx * ny * nz * cm.t_vertex * cm.groups
+            * angles_per_octant * 2 * len(phases)
+        )
+        return KBAResult(
+            time=total_time, serial_time=serial, num_tasks=num_tasks,
+            stages=stages,
+        )
+
+
+# ---------------------------------------------------------------------------
+# BSP sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BSPSweepResult:
+    """Outcome of a BSP-super-step sweep."""
+
+    time: float
+    supersteps: int
+    compute_time: float
+    barrier_time: float
+    comm_time: float
+    idle_core_seconds: float
+    executions: int
+
+    def idle_fraction(self, total_cores: int) -> float:
+        denom = self.time * total_cores
+        return self.idle_core_seconds / denom if denom > 0 else 0.0
+
+
+class BSPSweepRuntime:
+    """Sweep with JAxMIN's native BSP model (the motivation baseline).
+
+    Each super-step: every active patch-program runs once over all the
+    work that is currently ready (unbounded grain would be unfair to
+    neither side - programs keep their configured grain semantics by
+    running to exhaustion within the step), then a global barrier, then
+    streams produced this step are delivered for the next one.
+    """
+
+    def __init__(
+        self,
+        total_cores: int,
+        machine: Machine = TIANHE2,
+        cost: CostModel | None = None,
+    ):
+        self.machine = machine
+        self.cost = cost if cost is not None else CostModel()
+        self.layout = machine.layout(total_cores, "hybrid")
+
+    def run(self, programs: list[PatchProgram], patch_proc: np.ndarray) -> BSPSweepResult:
+        lay = self.layout
+        cm = self.cost
+        nprocs = lay.nprocs
+        if int(np.max(patch_proc)) >= nprocs:
+            raise ReproError("patch_proc inconsistent with layout")
+        proc_of = {p.id: int(patch_proc[p.id.patch]) for p in programs}
+        progs = {p.id: p for p in programs}
+        inbox: dict = {p.id: [] for p in programs}
+        active = set(progs)
+        for p in programs:
+            p.init()
+
+        time_total = 0.0
+        compute_total = 0.0
+        barrier_total = 0.0
+        comm_total = 0.0
+        idle_core_seconds = 0.0
+        executions = 0
+        steps = 0
+        barrier = np.log2(max(2, nprocs)) * self.machine.latency_inter
+
+        while active:
+            steps += 1
+            proc_time = np.zeros(nprocs)
+            send_bytes = np.zeros(nprocs)
+            recv_bytes = np.zeros(nprocs)
+            msgs = 0
+            pending: list[Stream] = []
+            next_active = set()
+            for pid in sorted(active, key=lambda x: (x.patch, str(x.task))):
+                prog = progs[pid]
+                p = proc_of[pid]
+                for s in inbox[pid]:
+                    prog.input(s)
+                inbox[pid].clear()
+                # Run the program to exhaustion within the super-step
+                # (BSP: no mid-step delivery can wake anyone else).
+                step_counters = {"vertices": 0, "edges": 0, "input_items": 0,
+                                 "pops": 0}
+                own_streams: list[Stream] = []
+                while True:
+                    prog.compute()
+                    c = prog.last_run_counters()
+                    executions += 1
+                    for k in ("vertices", "edges", "input_items"):
+                        step_counters[k] += c.get(k, 0)
+                    step_counters["pops"] += c.get("pops", c.get("vertices", 0))
+                    while (s := prog.output()) is not None:
+                        own_streams.append(s)
+                    if prog.vote_to_halt():
+                        break
+                pending.extend(own_streams)
+                remote_streams = [
+                    s for s in own_streams if proc_of[s.dst] != p
+                ]
+                cost = cm.run_cost(
+                    step_counters,
+                    remote_streams=len(remote_streams),
+                    remote_items=sum(s.items for s in remote_streams),
+                )
+                proc_time[p] += sum(cost.values())
+            # Deliver all streams for the next step.
+            for s in pending:
+                inbox[s.dst].append(s)
+                next_active.add(s.dst)
+                sp, dp = proc_of[s.src], proc_of[s.dst]
+                if sp != dp:
+                    msgs += 1
+                    send_bytes[sp] += s.nbytes
+                    recv_bytes[dp] += s.nbytes
+            # Per-proc compute happens worker-parallel (idealized).
+            per_proc = proc_time / lay.workers_per_proc
+            step_compute = float(per_proc.max()) if nprocs else 0.0
+            comm = float(
+                np.maximum(send_bytes, recv_bytes).max() / self.machine.bandwidth
+                + (self.machine.latency_inter if msgs else 0.0)
+            )
+            time_total += step_compute + barrier + comm
+            compute_total += step_compute
+            barrier_total += barrier
+            comm_total += comm
+            idle_core_seconds += float(
+                (step_compute - per_proc).sum() * lay.workers_per_proc
+            )
+            active = next_active
+
+        # Final verification: every program must have completed its work.
+        for pid, prog in progs.items():
+            rem = prog.remaining_workload()
+            if rem is not None and rem != 0:
+                raise ReproError(f"BSP sweep finished with {rem} work at {pid!r}")
+        return BSPSweepResult(
+            time=time_total,
+            supersteps=steps,
+            compute_time=compute_total,
+            barrier_time=barrier_total,
+            comm_time=comm_total,
+            idle_core_seconds=idle_core_seconds,
+            executions=executions,
+        )

@@ -1,0 +1,112 @@
+"""Multigroup cross-section data for Sn transport.
+
+A :class:`Material` is a total cross section and an isotropic
+group-to-group scattering matrix; a :class:`MaterialMap` binds
+materials to the mesh's per-cell material ids and exposes the
+vectorized per-cell arrays the solver consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import ReproError
+
+__all__ = ["Material", "MaterialMap"]
+
+
+@dataclass
+class Material:
+    """One material: ``sigma_t[g]`` and scattering ``sigma_s[g_from, g_to]``."""
+
+    sigma_t: np.ndarray
+    sigma_s: np.ndarray
+    name: str = "material"
+
+    def __post_init__(self):
+        self.sigma_t = np.atleast_1d(np.asarray(self.sigma_t, dtype=float))
+        self.sigma_s = np.asarray(self.sigma_s, dtype=float)
+        ng = len(self.sigma_t)
+        if self.sigma_s.ndim == 0:
+            self.sigma_s = np.full((ng, ng), float(self.sigma_s)) * np.eye(ng)
+        if self.sigma_s.shape != (ng, ng):
+            raise ReproError(
+                f"sigma_s must be ({ng}, {ng}); got {self.sigma_s.shape}"
+            )
+        if np.any(self.sigma_t < 0) or np.any(self.sigma_s < 0):
+            raise ReproError("cross sections must be non-negative")
+        out_scatter = self.sigma_s.sum(axis=1)
+        if np.any(out_scatter > self.sigma_t + 1e-12):
+            raise ReproError(
+                f"material {self.name!r}: scattering exceeds total "
+                "(multiplication is not modeled)"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.sigma_t)
+
+    @property
+    def sigma_a(self) -> np.ndarray:
+        """Absorption per group (total minus out-scatter)."""
+        return self.sigma_t - self.sigma_s.sum(axis=1)
+
+    @classmethod
+    def isotropic(
+        cls, sigma_t: float, scatter_ratio: float = 0.0, groups: int = 1,
+        name: str = "material",
+    ) -> "Material":
+        """One-parameter material: within-group scattering only."""
+        if not 0.0 <= scatter_ratio <= 1.0:
+            raise ReproError("scatter_ratio must be in [0, 1]")
+        st = np.full(groups, float(sigma_t))
+        ss = np.eye(groups) * (sigma_t * scatter_ratio)
+        return cls(st, ss, name=name)
+
+    @classmethod
+    def void(cls, groups: int = 1) -> "Material":
+        return cls(np.zeros(groups), np.zeros((groups, groups)), name="void")
+
+
+class MaterialMap:
+    """Materials bound to mesh cells through the mesh's material ids."""
+
+    def __init__(self, materials: dict[int, Material], material_ids: np.ndarray):
+        if not materials:
+            raise ReproError("no materials given")
+        groups = {m.num_groups for m in materials.values()}
+        if len(groups) != 1:
+            raise ReproError("all materials must share the group count")
+        self.num_groups = groups.pop()
+        self.materials = dict(materials)
+        self.material_ids = np.asarray(material_ids, dtype=np.int64)
+        missing = set(np.unique(self.material_ids)) - set(self.materials)
+        if missing:
+            raise ReproError(f"mesh uses undefined material ids {sorted(missing)}")
+        ncells = len(self.material_ids)
+        self.sigma_t_cell = np.empty((ncells, self.num_groups))
+        self._scatter_cell = np.empty((ncells, self.num_groups, self.num_groups))
+        for mid, mat in self.materials.items():
+            mask = self.material_ids == mid
+            self.sigma_t_cell[mask] = mat.sigma_t
+            self._scatter_cell[mask] = mat.sigma_s
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.material_ids)
+
+    def scatter_source(self, phi: np.ndarray) -> np.ndarray:
+        """Isotropic scattering source: ``S[c,g] = sum_g' phi[c,g'] ss[g',g]``."""
+        if phi.shape != (self.num_cells, self.num_groups):
+            raise ReproError("phi shape mismatch")
+        return np.einsum("cg,cgh->ch", phi, self._scatter_cell)
+
+    def sigma_a_cell(self) -> np.ndarray:
+        """(ncells, groups) absorption cross sections."""
+        return self.sigma_t_cell - self._scatter_cell.sum(axis=2)
+
+    @classmethod
+    def uniform(cls, material: Material, ncells: int) -> "MaterialMap":
+        return cls({0: material}, np.zeros(ncells, dtype=np.int64))

@@ -1,0 +1,220 @@
+"""Multi-level priority strategies for sweep scheduling (Sec. V-D).
+
+The paper prioritizes at two levels:
+
+* **(patch, angle) priority** used by the runtime to pick the next
+  patch-program:  ``prior(p, a) = prior(a) * C + prior(p)`` with C
+  large so same-angle programs are scheduled consecutively and data
+  streams flow to nearby patches quickly.
+* **vertex priority** ordering the ready queue inside a patch-program.
+
+Strategies (for both levels):
+
+``fifo``  no preference (insertion order).
+``bfs``   breadth-first level from the sources - compute upwind work as
+          early as possible (paper: unstructured patch strategy).
+``ldcp``  Longest Distance on Critical Path - prefer work with the
+          longest downstream chain (paper: structured meshes).
+``slbd``  Shortest Local Boundary Distance - prefer vertices closest to
+          a patch boundary so downwind patches are unblocked soonest
+          (a DFS variant; the paper's best performer).  At the patch
+          level SLBD is dynamic: the program's priority follows the
+          most boundary-near ready vertex in its queue.
+
+Vertex keys are *min-heap* keys (smaller pops first); patch priorities
+are *max* priorities (larger runs first).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .._util import ReproError
+from .dag import PatchAngleGraph, SweepTopology
+
+__all__ = [
+    "PriorityStrategy",
+    "vertex_priorities",
+    "patch_priorities",
+    "apply_priorities",
+    "ANGLE_FACTOR",
+]
+
+STRATEGIES = ("fifo", "bfs", "ldcp", "slbd")
+ANGLE_FACTOR = 1.0e6  # the paper's constant C
+_FAR = 1.0e9
+
+
+@dataclass(frozen=True)
+class PriorityStrategy:
+    """A patch-level + vertex-level strategy pair, e.g. ``SLBD+SLBD``."""
+
+    patch: str = "slbd"
+    vertex: str = "slbd"
+
+    def __post_init__(self):
+        for level, s in (("patch", self.patch), ("vertex", self.vertex)):
+            if s not in STRATEGIES:
+                raise ReproError(f"unknown {level} strategy {s!r}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "PriorityStrategy":
+        """Parse ``"LDCP+SLBD"`` / ``"slbd"`` (single = both levels)."""
+        parts = [p.strip().lower() for p in spec.split("+")]
+        if len(parts) == 1:
+            return cls(parts[0], parts[0])
+        if len(parts) == 2:
+            return cls(parts[0], parts[1])
+        raise ReproError(f"cannot parse strategy {spec!r}")
+
+    def __str__(self) -> str:
+        return f"{self.patch.upper()}+{self.vertex.upper()}"
+
+
+# -- vertex level ---------------------------------------------------------------------
+
+
+def _local_topo_order(graph: PatchAngleGraph) -> list[int]:
+    """Topological order of the patch-local subgraph (local edges only)."""
+    n = graph.n_local
+    indeg = np.bincount(graph.dl_target, minlength=n).tolist()
+    indptr = graph.dl_indptr
+    target = graph.dl_target
+    q = deque(v for v in range(n) if indeg[v] == 0)
+    order = []
+    while q:
+        v = q.popleft()
+        order.append(v)
+        for i in range(indptr[v], indptr[v + 1]):
+            w = int(target[i])
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                q.append(w)
+    if len(order) != n:
+        raise ReproError("patch-local sweep subgraph is cyclic")
+    return order
+
+
+def vertex_priorities(graph: PatchAngleGraph, strategy: str) -> np.ndarray:
+    """Min-heap keys per local vertex for the chosen strategy."""
+    n = graph.n_local
+    if strategy == "fifo":
+        return np.zeros(n)
+    order = _local_topo_order(graph)
+    indptr, target = graph.dl_indptr, graph.dl_target
+
+    if strategy == "bfs":
+        # Dependency depth from local sources (schedule shallow first).
+        level = np.zeros(n)
+        for v in order:
+            lv = level[v]
+            for i in range(indptr[v], indptr[v + 1]):
+                w = target[i]
+                if level[w] < lv + 1:
+                    level[w] = lv + 1
+        return level
+
+    if strategy == "ldcp":
+        # Longest downstream chain; schedule the longest first.
+        height = np.zeros(n)
+        for v in reversed(order):
+            h = 0.0
+            for i in range(indptr[v], indptr[v + 1]):
+                h = max(h, height[target[i]] + 1)
+            height[v] = h
+        return -height
+
+    if strategy == "slbd":
+        # Downstream distance to the nearest vertex with a remote
+        # downwind edge; schedule the closest-to-boundary first.
+        dist = np.full(n, _FAR)
+        bnd = graph.boundary_vertices()
+        dist[bnd] = 0.0
+        for v in reversed(order):
+            if dist[v] == 0.0:
+                continue
+            best = dist[v]
+            for i in range(indptr[v], indptr[v + 1]):
+                d = dist[target[i]] + 1
+                if d < best:
+                    best = d
+            dist[v] = best
+        return dist
+
+    raise ReproError(f"unknown vertex strategy {strategy!r}")
+
+
+# -- patch level -----------------------------------------------------------------------
+
+
+def patch_priorities(
+    topology: SweepTopology, strategy: str
+) -> dict[tuple[int, int], float]:
+    """The ``prior(p)`` term per (patch, angle); larger runs earlier.
+
+    The patch-level digraph can be cyclic (interleaved dependencies,
+    Fig. 4), so levels/heights are computed on its strongly-connected-
+    component condensation.
+    """
+    out: dict[tuple[int, int], float] = {}
+    npatches = topology.pset.num_patches
+    for a in range(topology.num_angles):
+        if strategy in ("fifo", "slbd"):
+            # SLBD is dynamic at the patch level (see SweepPatchProgram).
+            for p in range(npatches):
+                out[(p, a)] = 0.0
+            continue
+        edges = topology.patch_dag[a]
+        g = nx.DiGraph()
+        g.add_nodes_from(range(npatches))
+        g.add_edges_from(map(tuple, edges.tolist()))
+        cond = nx.condensation(g)
+        topo = list(nx.topological_sort(cond))
+        if strategy == "bfs":
+            level = {c: 0 for c in cond.nodes}
+            for c in topo:
+                for d in cond.successors(c):
+                    level[d] = max(level[d], level[c] + 1)
+            for c in cond.nodes:
+                for p in cond.nodes[c]["members"]:
+                    out[(p, a)] = -float(level[c])
+        elif strategy == "ldcp":
+            height = {c: 0 for c in cond.nodes}
+            for c in reversed(topo):
+                for d in cond.successors(c):
+                    height[c] = max(height[c], height[d] + 1)
+            for c in cond.nodes:
+                for p in cond.nodes[c]["members"]:
+                    out[(p, a)] = float(height[c])
+        else:
+            raise ReproError(f"unknown patch strategy {strategy!r}")
+    return out
+
+
+def apply_priorities(
+    topology: SweepTopology,
+    strategy: PriorityStrategy | str,
+    angle_factor: float = ANGLE_FACTOR,
+) -> dict[tuple[int, int], float]:
+    """Compute static (patch, angle) priorities and set vertex keys.
+
+    Returns ``prior(p, a) = prior(a) * C + prior(p)``; as the paper
+    requires, the angle term dominates so sweeps of one angle flow
+    through the patch graph before the next angle's work starts.
+    Vertex keys are stored on each :class:`PatchAngleGraph`.
+    """
+    if isinstance(strategy, str):
+        strategy = PriorityStrategy.parse(strategy)
+    patch_term = patch_priorities(topology, strategy.patch)
+    na = topology.num_angles
+    static: dict[tuple[int, int], float] = {}
+    for (p, a), prior_p in patch_term.items():
+        prior_a = float(na - a)  # earlier angles strictly dominate
+        static[(p, a)] = prior_a * angle_factor + prior_p
+    for key, graph in topology.graphs.items():
+        graph.vertex_prio = vertex_priorities(graph, strategy.vertex)
+    return static

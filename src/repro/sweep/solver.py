@@ -1,0 +1,542 @@
+"""Multigroup Sn transport solver driven by data-driven sweeps.
+
+:class:`SnSolver` assembles the pieces: mesh + patches, quadrature,
+materials, spatial kernel, sweep DAG topology and priorities.  A
+*source iteration* repeatedly sweeps all angles with the scattering
+source lagged, which is the solver structure of JSNT-S / JSNT-U.
+
+Two sweep execution modes produce identical numerics:
+
+* ``fast``   - direct per-angle topological traversal (no patch
+  machinery); the reference and the quickest way to converge a flux.
+* ``engine`` - the patch-centric data-driven execution of Listing 1 via
+  :class:`repro.core.SerialEngine`; exercises exactly the program that
+  the DES runtime schedules.
+
+Bitwise agreement between modes is part of the test suite: the
+data-driven machinery must not change the physics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import ReproError
+from ..core.engine import EngineStats, SerialEngine
+from ..framework.connectivity import build_boundary, build_interfaces
+from ..framework.patch import PatchSet
+from ..mesh.structured import StructuredMesh
+from .dag import SweepTopology, directed_edges
+from .kernels import AngleKernel
+from .materials import MaterialMap
+from .priorities import PriorityStrategy, apply_priorities
+from .quadrature import Quadrature
+from .sweep_program import SweepPatchProgram
+
+__all__ = ["SnSolver", "SweepResult", "FOUR_PI"]
+
+FOUR_PI = 4.0 * np.pi
+
+
+@dataclass
+class SweepResult:
+    """Converged (or best-effort) solution of a source iteration."""
+
+    phi: np.ndarray  # (ncells, groups) scalar flux
+    leakage: np.ndarray  # (groups,) outgoing boundary current
+    iterations: int
+    residuals: list[float]
+    converged: bool
+    engine_stats: list[EngineStats] = field(default_factory=list)
+
+
+class SnSolver:
+    """Discrete-ordinates solver on a patch decomposition."""
+
+    def __init__(
+        self,
+        pset: PatchSet,
+        quadrature: Quadrature,
+        materials: MaterialMap,
+        source: np.ndarray,
+        scheme: str | None = None,
+        fixup: bool = True,
+        boundary_flux: float = 0.0,
+        grain: int = 64,
+        strategy: PriorityStrategy | str = "slbd+slbd",
+        validate_dag: bool = False,
+        reflecting: bool = False,
+    ):
+        self.pset = pset
+        self.mesh = pset.mesh
+        self.quadrature = quadrature
+        self.materials = materials
+        ng = materials.num_groups
+        source = np.asarray(source, dtype=float)
+        if source.ndim == 1:
+            source = source[:, None]
+        if source.shape != (self.mesh.num_cells, ng):
+            raise ReproError(
+                f"source must be ({self.mesh.num_cells}, {ng}); got {source.shape}"
+            )
+        self.source = source
+        if scheme is None:
+            scheme = "dd" if isinstance(self.mesh, StructuredMesh) else "step"
+        self.scheme = scheme
+        self.fixup = fixup
+        self.boundary_flux = boundary_flux
+        self.grain = grain
+        self.strategy = (
+            PriorityStrategy.parse(strategy)
+            if isinstance(strategy, str)
+            else strategy
+        )
+        self.validate_dag = validate_dag
+
+        self.interfaces = build_interfaces(self.mesh)
+        self.boundary = build_boundary(self.mesh)
+        if hasattr(self.mesh, "cell_volumes"):
+            self.volumes = self.mesh.cell_volumes
+        else:
+            self.volumes = np.full(self.mesh.num_cells, self.mesh.cell_volume)
+        self.sigma_t_v = materials.sigma_t_cell * self.volumes[:, None]
+
+        self._kernels: dict[int, AngleKernel] = {}
+        self._topo_orders: dict[int, np.ndarray] = {}
+        self._topo_levels: dict[int, list] = {}
+        self._topology: SweepTopology | None = None
+        self._static_prio: dict[tuple[int, int], float] | None = None
+
+        # Reflecting boundaries: lagged outgoing boundary fluxes, one
+        # slab per angle, swapped after every full sweep.
+        self.reflecting = reflecting
+        self._angle_mirror: np.ndarray | None = None
+        self._bnd_out_prev: np.ndarray | None = None
+        self._bnd_out_next: np.ndarray | None = None
+        if reflecting:
+            self._setup_reflection()
+
+    # -- reflecting boundaries -------------------------------------------------------
+
+    def _setup_reflection(self) -> None:
+        """Precompute angle mirrors and the lagged boundary-flux store.
+
+        Specular reflection on axis-aligned boundaries maps each
+        ordinate to the one with the face-normal component flipped;
+        level-symmetric and product quadratures are closed under these
+        sign flips.  The incoming flux of angle ``a`` on a boundary
+        face equals the *previous sweep's* outgoing flux of the
+        mirrored angle on the same face (standard lagged treatment,
+        converged by the source iteration).
+        """
+        n = self.boundary.normal
+        axis = np.argmax(np.abs(n), axis=1)
+        aligned = np.abs(n[np.arange(len(n)), axis])
+        if np.any(aligned < 1.0 - 1e-9):
+            raise ReproError(
+                "reflecting boundaries require axis-aligned boundary faces"
+            )
+        dirs = self.quadrature.directions
+        na = len(dirs)
+        ndim = dirs.shape[1]
+        mirror = np.full((ndim, na), -1, dtype=np.int64)
+        for ax in range(ndim):
+            flipped = dirs.copy()
+            flipped[:, ax] *= -1.0
+            for a in range(na):
+                match = np.nonzero(
+                    np.all(np.abs(dirs - flipped[a]) < 1e-9, axis=1)
+                )[0]
+                if len(match) != 1:
+                    raise ReproError(
+                        "quadrature is not closed under axis reflection; "
+                        "use a level-symmetric or product set"
+                    )
+                mirror[ax, a] = match[0]
+        self._angle_mirror = mirror
+        shape = (na, self.boundary.num_faces, self.num_groups)
+        self._bnd_out_prev = np.zeros(shape)
+        self._bnd_out_next = np.zeros(shape)
+
+    def _capture_outgoing(self, angle: int, psi_faces: np.ndarray) -> None:
+        """Record this sweep's outgoing boundary fluxes for the lag."""
+        if not self.reflecting:
+            return
+        k = self.kernel(angle)
+        self._bnd_out_next[angle, k.outflow_rows] = psi_faces[k.outflow_slots]
+
+    def finish_reflection_sweep(self) -> None:
+        """Swap the lagged boundary store after a full sweep."""
+        if self.reflecting:
+            self._bnd_out_prev, self._bnd_out_next = (
+                self._bnd_out_next,
+                self._bnd_out_prev,
+            )
+
+    # -- cached structures ---------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        return self.materials.num_groups
+
+    def kernel(self, angle: int) -> AngleKernel:
+        if angle not in self._kernels:
+            self._kernels[angle] = AngleKernel(
+                self.mesh,
+                self.interfaces,
+                self.boundary,
+                self.quadrature.directions[angle],
+                scheme=self.scheme,
+                fixup=self.fixup,
+            )
+        return self._kernels[angle]
+
+    @property
+    def topology(self) -> SweepTopology:
+        if self._topology is None:
+            self._topology = SweepTopology(
+                self.pset,
+                self.quadrature,
+                interfaces=self.interfaces,
+                validate=self.validate_dag,
+            )
+            self._static_prio = apply_priorities(self._topology, self.strategy)
+        return self._topology
+
+    @property
+    def static_priorities(self) -> dict[tuple[int, int], float]:
+        _ = self.topology
+        return self._static_prio
+
+    def topo_order(self, angle: int) -> np.ndarray:
+        """Global topological cell order for one angle (fast mode)."""
+        if angle not in self._topo_orders:
+            u, v = directed_edges(
+                self.interfaces, self.quadrature.directions[angle]
+            )
+            n = self.mesh.num_cells
+            indeg = np.bincount(v, minlength=n).tolist()
+            order_e = np.argsort(u, kind="stable")
+            us, vs = u[order_e], v[order_e]
+            indptr = np.searchsorted(us, np.arange(n + 1)).tolist()
+            vs = vs.tolist()
+            q = deque(i for i in range(n) if indeg[i] == 0)
+            topo = []
+            while q:
+                x = q.popleft()
+                topo.append(x)
+                for i in range(indptr[x], indptr[x + 1]):
+                    w = vs[i]
+                    indeg[w] -= 1
+                    if indeg[w] == 0:
+                        q.append(w)
+            if len(topo) != n:
+                raise ReproError(f"sweep graph for angle {angle} is cyclic")
+            self._topo_orders[angle] = np.asarray(topo, dtype=np.int64)
+        return self._topo_orders[angle]
+
+    def topo_levels(self, angle: int) -> list[np.ndarray]:
+        """Dependency levels of the global sweep graph for one angle
+        (cached), for the level-vectorized fast path."""
+        if angle not in self._topo_levels:
+            from .dag import topological_levels
+
+            u, v = directed_edges(
+                self.interfaces, self.quadrature.directions[angle]
+            )
+            self._topo_levels[angle] = topological_levels(
+                self.mesh.num_cells, u, v
+            )
+        return self._topo_levels[angle]
+
+    # -- single sweep -----------------------------------------------------------------
+
+    def _angle_source_v(self, scatter: np.ndarray) -> np.ndarray:
+        """Cell-integrated per-angle source ``(q + S) V / 4pi``."""
+        return (self.source + scatter) * self.volumes[:, None] / FOUR_PI
+
+    def _apply_bc(self, kernel: AngleKernel, psi_faces: np.ndarray, angle: int):
+        """Apply the boundary condition for one angle.
+
+        ``boundary_flux`` may be a scalar (isotropic incident / vacuum)
+        or a callable ``fn(face_centroids, direction) -> values`` for
+        position- and angle-dependent incident flux.
+        """
+        if self.reflecting:
+            k = kernel
+            mirrors = self._angle_mirror[k.inflow_axes, angle]
+            psi_faces[k.inflow_slots] = self._bnd_out_prev[
+                mirrors, k.inflow_rows
+            ]
+            return
+        bf = self.boundary_flux
+        if callable(bf):
+            vals = np.asarray(
+                bf(kernel.inflow_centroids, self.quadrature.directions[angle]),
+                dtype=float,
+            )
+            kernel.apply_boundary(psi_faces, vals)
+        else:
+            kernel.apply_boundary(psi_faces, bf)
+
+    def sweep_once(
+        self,
+        scatter: np.ndarray | None = None,
+        mode: str = "fast",
+        record_clusters: bool = False,
+    ):
+        """One full sweep of all angles; returns ``(phi, leakage, stats)``.
+
+        ``stats`` is the :class:`EngineStats` of engine mode, or None.
+        """
+        ng = self.num_groups
+        ncells = self.mesh.num_cells
+        if scatter is None:
+            scatter = np.zeros((ncells, ng))
+        src_v = self._angle_source_v(scatter)
+        phi = np.zeros((ncells, ng))
+        leakage = np.zeros(ng)
+        if mode in ("fast", "fast-level"):
+            psi_cell = np.zeros((ncells, ng))
+            for a in range(self.quadrature.num_angles):
+                k = self.kernel(a)
+                psi_faces = k.new_face_array(ng)
+                self._apply_bc(k, psi_faces, a)
+                if mode == "fast-level":
+                    for level in self.topo_levels(a):
+                        k.solve_level(
+                            level, src_v, self.sigma_t_v, psi_faces, psi_cell
+                        )
+                else:
+                    k.solve_cells(
+                        self.topo_order(a), src_v, self.sigma_t_v,
+                        psi_faces, psi_cell,
+                    )
+                self._capture_outgoing(a, psi_faces)
+                w = self.quadrature.weights[a]
+                phi += w * psi_cell
+                leakage += w * k.leakage(psi_faces)
+            self.finish_reflection_sweep()
+            return phi, leakage, None
+        if mode == "engine":
+            programs, faces = self.build_programs(
+                src_v, record_clusters=record_clusters
+            )
+            engine = SerialEngine()
+            for prog in programs:
+                engine.add_program(prog)
+            stats = engine.run()
+            phi, leakage = self.accumulate(faces)
+            return phi, leakage, stats
+        raise ReproError(f"unknown sweep mode {mode!r}")
+
+    # -- data-driven program construction (shared with the DES runtime) ---------------
+
+    def build_programs(
+        self,
+        src_v: np.ndarray | None = None,
+        scatter: np.ndarray | None = None,
+        compute: bool = True,
+        record_clusters: bool = False,
+        grain: int | None = None,
+    ):
+        """Instantiate one SweepPatchProgram per (patch, angle).
+
+        Returns ``(programs, face_arrays)`` where ``face_arrays[a]`` is
+        the per-angle ``(psi_faces, psi_cell)`` pair written by the
+        programs' solve callbacks (None entries when ``compute`` is
+        False - scheduling-only runs used by the performance studies).
+        """
+        topo = self.topology
+        ng = self.num_groups
+        ncells = self.mesh.num_cells
+        if src_v is None:
+            if scatter is None:
+                scatter = np.zeros((ncells, ng))
+            src_v = self._angle_source_v(scatter)
+        grain = grain if grain is not None else self.grain
+
+        faces: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        solve_fns: dict[int, object] = {}
+        if compute:
+            faces, solve_fns = self._make_face_solvers(src_v)
+
+        programs = []
+        dynamic = self.strategy.patch == "slbd"
+        for (p, a), graph in topo.graphs.items():
+            prog = SweepPatchProgram(
+                graph,
+                cells_global=self.pset.patches[p].cells,
+                grain=grain,
+                solve_fn=solve_fns.get(a),
+                static_priority=self.static_priorities[(p, a)],
+                dynamic_priority=dynamic,
+                bytes_per_item=8 * ng,
+                record_clusters=record_clusters,
+            )
+            programs.append(prog)
+        return programs, faces
+
+    def _make_face_solvers(self, src_v: np.ndarray):
+        """Per-angle (psi_faces, psi_cell) arrays plus solve callbacks."""
+        ng = self.num_groups
+        ncells = self.mesh.num_cells
+        faces: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        solve_fns: dict[int, object] = {}
+        for a in range(self.quadrature.num_angles):
+            k = self.kernel(a)
+            pf = k.new_face_array(ng)
+            self._apply_bc(k, pf, a)
+            pc = np.zeros((ncells, ng))
+            faces[a] = (pf, pc)
+
+            def solve(cells, angle, _k=k, _pf=pf, _pc=pc):
+                _k.solve_cells(cells, src_v, self.sigma_t_v, _pf, _pc)
+
+            solve_fns[a] = solve
+        return faces, solve_fns
+
+    def record_coarsened(self, grain: int | None = None):
+        """One scheduling-only engine sweep that records clusters, then
+        builds the coarsened graph (Sec. V-E).  Returns ``cgs``."""
+        from ..core.engine import SerialEngine
+        from .coarsened import build_coarsened
+
+        programs, _ = self.build_programs(
+            compute=False, record_clusters=True, grain=grain
+        )
+        engine = SerialEngine()
+        for prog in programs:
+            engine.add_program(prog)
+        engine.run()
+        return build_coarsened(self.topology, programs)
+
+    def build_coarsened_programs(
+        self,
+        cgs,
+        src_v: np.ndarray | None = None,
+        scatter: np.ndarray | None = None,
+        compute: bool = True,
+    ):
+        """Instantiate CoarsenedSweepProgram per (patch, angle) from ``cgs``."""
+        from .coarsened import CoarsenedSweepProgram
+
+        ng = self.num_groups
+        ncells = self.mesh.num_cells
+        if src_v is None:
+            if scatter is None:
+                scatter = np.zeros((ncells, ng))
+            src_v = self._angle_source_v(scatter)
+        faces: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        solve_fns: dict[int, object] = {}
+        if compute:
+            faces, solve_fns = self._make_face_solvers(src_v)
+        programs = []
+        for (p, a), cg in cgs.items():
+            programs.append(
+                CoarsenedSweepProgram(
+                    cg,
+                    cells_global=self.pset.patches[p].cells,
+                    solve_fn=solve_fns.get(a),
+                    static_priority=self.static_priorities[(p, a)],
+                    bytes_per_item=8 * ng,
+                )
+            )
+        return programs, faces
+
+    def accumulate(self, faces) -> tuple[np.ndarray, np.ndarray]:
+        """Scalar flux and leakage from per-angle arrays of a program run."""
+        ng = self.num_groups
+        phi = np.zeros((self.mesh.num_cells, ng))
+        leakage = np.zeros(ng)
+        for a, (pf, pc) in faces.items():
+            self._capture_outgoing(a, pf)
+            w = self.quadrature.weights[a]
+            phi += w * pc
+            leakage += w * self.kernel(a).leakage(pf)
+        self.finish_reflection_sweep()
+        return phi, leakage
+
+    # -- source iteration ------------------------------------------------------------------
+
+    def source_iteration(
+        self,
+        tol: float = 1e-6,
+        max_iterations: int = 200,
+        mode: str = "fast",
+        accelerate: bool = False,
+    ) -> SweepResult:
+        """Iterate sweeps with lagged scattering until the flux converges.
+
+        ``accelerate`` enables Lyusternik extrapolation: once the
+        iteration's error-reduction ratio rho stabilizes, the fixed
+        point is extrapolated as ``phi + d * rho / (1 - rho)`` - the
+        classic cheap accelerator for high-scattering-ratio problems
+        (source iteration's spectral radius approaches c = sigma_s /
+        sigma_t, so plain iteration stalls exactly where the physics is
+        most interesting).
+        """
+        ng = self.num_groups
+        phi = np.zeros((self.mesh.num_cells, ng))
+        residuals: list[float] = []
+        stats_list: list[EngineStats] = []
+        leakage = np.zeros(ng)
+        prev_res = None
+        ratio_hist: list[float] = []
+        for it in range(1, max_iterations + 1):
+            scatter = self.materials.scatter_source(phi)
+            phi_new, leakage, stats = self.sweep_once(scatter, mode=mode)
+            if stats is not None:
+                stats_list.append(stats)
+            diff = phi_new - phi
+            scale = float(np.max(np.abs(phi_new))) or 1.0
+            res = float(np.max(np.abs(diff))) / scale
+            residuals.append(res)
+            if accelerate and prev_res is not None and prev_res > 0:
+                ratio_hist.append(res / prev_res)
+                if len(ratio_hist) >= 3:
+                    r3 = ratio_hist[-3:]
+                    rho = r3[-1]
+                    # Extrapolate only once the ratio has stabilized.
+                    if (
+                        0.05 < rho < 0.99
+                        and max(r3) - min(r3) < 0.02
+                    ):
+                        phi_new = phi_new + diff * (rho / (1.0 - rho))
+                        ratio_hist.clear()
+                        prev_res = None
+                        phi = phi_new
+                        if res < tol:
+                            return SweepResult(
+                                phi, leakage, it, residuals, True, stats_list
+                            )
+                        continue
+            prev_res = res
+            phi = phi_new
+            if res < tol:
+                return SweepResult(phi, leakage, it, residuals, True, stats_list)
+        return SweepResult(
+            phi, leakage, max_iterations, residuals, False, stats_list
+        )
+
+    # -- diagnostics ------------------------------------------------------------------------
+
+    def balance_residual(self, result: SweepResult) -> float:
+        """Relative particle-balance error: |source - absorption - leakage|.
+
+        Exact (to round-off) for the step scheme and for DD without
+        fixup; the set-to-zero fixup intentionally trades a little
+        conservation for positivity.
+        """
+        produced = float((self.source * self.volumes[:, None]).sum())
+        sigma_a = self.materials.sigma_a_cell()
+        absorbed = float(
+            (sigma_a * result.phi * self.volumes[:, None]).sum()
+        )
+        leaked = 0.0 if self.reflecting else float(result.leakage.sum())
+        if produced == 0:
+            return abs(absorbed + leaked)
+        return abs(produced - absorbed - leaked) / produced

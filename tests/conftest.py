@@ -1,0 +1,89 @@
+"""Shared fixtures: small meshes, patch sets and machines.
+
+Session-scoped where construction is expensive; tests must not mutate
+fixture objects (build your own if you need to).
+"""
+
+import numpy as np
+import pytest
+
+from repro.framework import PatchSet
+from repro.mesh import (
+    ball_tet_mesh,
+    cube_structured,
+    cube_tet_mesh,
+    disk_tri_mesh,
+    reactor_mesh_2d,
+    warped_quad_mesh,
+)
+from repro.runtime import CostModel, Machine
+from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
+
+
+@pytest.fixture(scope="session")
+def cube8():
+    return cube_structured(8, length=4.0)
+
+
+@pytest.fixture(scope="session")
+def disk():
+    return disk_tri_mesh(8)
+
+
+@pytest.fixture(scope="session")
+def ball():
+    return ball_tet_mesh(5)
+
+
+@pytest.fixture(scope="session")
+def reactor():
+    return reactor_mesh_2d(12)
+
+
+@pytest.fixture(scope="session")
+def warped():
+    return warped_quad_mesh((10, 10))
+
+
+@pytest.fixture(scope="session")
+def kuhn_cube():
+    return cube_tet_mesh((3, 3, 3))
+
+
+@pytest.fixture(scope="session")
+def cube8_patches(cube8):
+    return PatchSet.from_structured(cube8, (4, 4, 4), nprocs=2)
+
+
+@pytest.fixture(scope="session")
+def disk_patches(disk):
+    return PatchSet.from_unstructured(disk, 40, nprocs=2)
+
+
+@pytest.fixture(scope="session")
+def small_machine():
+    return Machine(cores_per_proc=4)
+
+
+@pytest.fixture(scope="session")
+def fast_cost():
+    return CostModel()
+
+
+def make_solver(pset, scatter=0.5, sn=2, groups=1, **kw):
+    mesh = pset.mesh
+    mm = MaterialMap.uniform(
+        Material.isotropic(1.0, scatter, groups=groups), mesh.num_cells
+    )
+    q = np.ones((mesh.num_cells, groups))
+    return SnSolver(pset, level_symmetric(sn), mm, q, **kw)
+
+
+@pytest.fixture()
+def cube_solver(cube8_patches):
+    return make_solver(cube8_patches, grain=16)
+
+
+@pytest.fixture()
+def disk_solver(disk_patches):
+    return make_solver(disk_patches, sn=4, grain=16)

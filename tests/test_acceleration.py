@@ -1,0 +1,75 @@
+"""Tests for Lyusternik-accelerated source iteration."""
+
+import numpy as np
+import pytest
+
+from repro.framework import PatchSet
+from repro.mesh import cube_structured, disk_tri_mesh
+from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
+
+
+def _solver(mesh, c, groups=1):
+    ps = PatchSet.single_patch(mesh)
+    mm = MaterialMap.uniform(
+        Material.isotropic(1.0, c, groups=groups), mesh.num_cells
+    )
+    return SnSolver(
+        ps, level_symmetric(2), mm, np.ones((mesh.num_cells, groups)),
+        fixup=False,
+    )
+
+
+class TestLyusternik:
+    def test_fewer_iterations_high_c(self):
+        mesh = cube_structured(8, length=8.0)
+        plain = _solver(mesh, 0.95).source_iteration(
+            tol=1e-8, max_iterations=2000
+        )
+        accel = _solver(mesh, 0.95).source_iteration(
+            tol=1e-8, max_iterations=2000, accelerate=True
+        )
+        assert plain.converged and accel.converged
+        assert accel.iterations < 0.7 * plain.iterations
+
+    def test_same_solution(self):
+        mesh = cube_structured(8, length=8.0)
+        plain = _solver(mesh, 0.9).source_iteration(
+            tol=1e-10, max_iterations=3000
+        )
+        accel = _solver(mesh, 0.9).source_iteration(
+            tol=1e-10, max_iterations=3000, accelerate=True
+        )
+        np.testing.assert_allclose(accel.phi, plain.phi, rtol=1e-7)
+
+    def test_harmless_on_low_c(self):
+        """With little scattering the iteration converges before the
+        ratio stabilizes; acceleration must not break anything."""
+        mesh = cube_structured(6, length=3.0)
+        plain = _solver(mesh, 0.1).source_iteration(tol=1e-10)
+        accel = _solver(mesh, 0.1).source_iteration(
+            tol=1e-10, accelerate=True
+        )
+        assert accel.converged
+        np.testing.assert_allclose(accel.phi, plain.phi, rtol=1e-8)
+
+    def test_unstructured(self, disk):
+        plain = _solver(disk, 0.85).source_iteration(
+            tol=1e-9, max_iterations=2000
+        )
+        accel = _solver(disk, 0.85).source_iteration(
+            tol=1e-9, max_iterations=2000, accelerate=True
+        )
+        assert accel.converged
+        assert accel.iterations <= plain.iterations
+        np.testing.assert_allclose(accel.phi, plain.phi, rtol=1e-6)
+
+    def test_multigroup(self):
+        mesh = cube_structured(6, length=6.0)
+        accel = _solver(mesh, 0.9, groups=2).source_iteration(
+            tol=1e-9, max_iterations=2000, accelerate=True
+        )
+        assert accel.converged
+        # Groups are identical here, so fluxes must match across groups.
+        np.testing.assert_allclose(
+            accel.phi[:, 0], accel.phi[:, 1], rtol=1e-10
+        )

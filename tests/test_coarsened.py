@@ -1,0 +1,129 @@
+"""Tests for the coarsened graph (Sec. V-E, Theorem 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import ReproError
+from repro.core import SerialEngine
+from repro.framework import PatchSet
+from repro.mesh import cube_structured, disk_tri_mesh
+from repro.sweep import level_symmetric
+from repro.sweep.coarsened import (
+    CoarsenedSweepProgram,
+    build_coarsened,
+    coarsened_is_acyclic,
+)
+from tests.conftest import make_solver
+
+
+def _run(progs):
+    eng = SerialEngine()
+    for p in progs:
+        eng.add_program(p)
+    return eng.run()
+
+
+@pytest.fixture()
+def cube_cgs(cube8_patches):
+    s = make_solver(cube8_patches, grain=10)
+    return s, s.record_coarsened()
+
+
+class TestBuild:
+    def test_covers_all_vertices(self, cube_cgs):
+        s, cgs = cube_cgs
+        for (p, a), cg in cgs.items():
+            assert cg.n_vertices == s.topology.graphs[(p, a)].n_local
+            covered = np.concatenate(cg.clusters)
+            assert len(np.unique(covered)) == cg.n_vertices
+
+    def test_theorem1_acyclic(self, cube_cgs):
+        _, cgs = cube_cgs
+        assert coarsened_is_acyclic(cgs)
+
+    def test_coarsening_reduces_vertices(self, cube_cgs):
+        s, cgs = cube_cgs
+        ncv = sum(cg.n_cv for cg in cgs.values())
+        nv = sum(cg.n_vertices for cg in cgs.values())
+        assert ncv < nv / 2  # grain 10 -> ratio well above 2
+
+    def test_incomplete_recording_rejected(self, cube8_patches):
+        s = make_solver(cube8_patches, grain=10)
+        programs, _ = s.build_programs(compute=False, record_clusters=True)
+        # Do not run: clusters empty.
+        with pytest.raises(ReproError):
+            build_coarsened(s.topology, programs)
+
+    def test_grain_one_cg_equals_dag(self, cube8_patches):
+        """With grain 1 every cluster is a single vertex: CG == DAG."""
+        s = make_solver(cube8_patches, grain=1)
+        cgs = s.record_coarsened()
+        for (p, a), cg in cgs.items():
+            g = s.topology.graphs[(p, a)]
+            assert cg.n_cv == g.n_local
+            assert all(len(c) == 1 for c in cg.clusters)
+
+
+class TestCGExecution:
+    def test_numerics_identical_to_dag(self, cube_cgs):
+        s, cgs = cube_cgs
+        ref, _, _ = s.sweep_once(mode="fast")
+        progs, faces = s.build_coarsened_programs(cgs)
+        _run(progs)
+        phi, _ = s.accumulate(faces)
+        np.testing.assert_array_equal(phi, ref)
+
+    def test_unstructured_numerics(self, disk_patches):
+        s = make_solver(disk_patches, sn=2, grain=8)
+        cgs = s.record_coarsened()
+        assert coarsened_is_acyclic(cgs)
+        ref, _, _ = s.sweep_once(mode="fast")
+        progs, faces = s.build_coarsened_programs(cgs)
+        _run(progs)
+        phi, _ = s.accumulate(faces)
+        np.testing.assert_array_equal(phi, ref)
+
+    def test_bookkeeping_shrinks(self, cube_cgs):
+        """Total graph-op work (pops) drops by the mean cluster size."""
+        s, cgs = cube_cgs
+        dag_progs, _ = s.build_programs(compute=False)
+        _run(dag_progs)
+        dag_pops = sum(p.graph.n_local for p in dag_progs)
+
+        cg_progs, _ = s.build_coarsened_programs(cgs, compute=False)
+        _run(cg_progs)
+        cg_pops = sum(p.cg.n_cv for p in cg_progs)
+        assert cg_pops < dag_pops / 2
+
+    def test_workload_complete(self, cube_cgs):
+        s, cgs = cube_cgs
+        progs, _ = s.build_coarsened_programs(cgs, compute=False)
+        _run(progs)
+        assert all(p.remaining_workload() == 0 for p in progs)
+
+    def test_stream_bytes_preserved(self, cube_cgs):
+        """Coarsening saves bookkeeping, not bandwidth: total stream
+        bytes equal the DAG sweep's."""
+        s, cgs = cube_cgs
+        dag_progs, _ = s.build_programs(compute=False)
+        dag_stats = _run(dag_progs)
+        cg_progs, _ = s.build_coarsened_programs(cgs, compute=False)
+        cg_stats = _run(cg_progs)
+        assert cg_stats.stream_items == dag_stats.stream_items
+        assert cg_stats.streams <= dag_stats.streams
+
+
+@given(grain=st.integers(1, 40), seed=st.integers(0, 20))
+@settings(max_examples=15, deadline=None)
+def test_theorem1_property(grain, seed):
+    """Theorem 1 as a property: any grain, any decomposition seed,
+    the derived coarsened graph is acyclic."""
+    mesh = disk_tri_mesh(6)
+    pset = PatchSet.from_unstructured(
+        mesh, 20 + seed, nprocs=2, method="rcb"
+    )
+    s = make_solver(pset, sn=2, grain=grain)
+    cgs = s.record_coarsened()
+    assert coarsened_is_acyclic(cgs)

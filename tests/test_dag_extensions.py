@@ -1,0 +1,180 @@
+"""Tests for cycle breaking, topological levels and the vectorized kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import ReproError
+from repro.framework import PatchSet, build_boundary, build_interfaces
+from repro.mesh import cube_structured, disk_tri_mesh
+from repro.sweep import (
+    Material,
+    MaterialMap,
+    SnSolver,
+    check_acyclic,
+    directed_edges,
+    level_symmetric,
+)
+from repro.sweep.dag import break_cycles, topological_levels
+
+
+class TestBreakCycles:
+    def test_acyclic_untouched(self):
+        u = np.array([0, 1, 2])
+        v = np.array([1, 2, 3])
+        keep = break_cycles(4, u, v)
+        assert keep.all()
+
+    def test_simple_cycle_cut_once(self):
+        u = np.array([0, 1, 2])
+        v = np.array([1, 2, 0])
+        keep = break_cycles(3, u, v)
+        assert keep.sum() == 2
+        assert check_acyclic(3, u[keep], v[keep])
+
+    def test_two_disjoint_cycles(self):
+        u = np.array([0, 1, 2, 3])
+        v = np.array([1, 0, 3, 2])
+        keep = break_cycles(4, u, v)
+        assert keep.sum() == 2
+        assert check_acyclic(4, u[keep], v[keep])
+
+    def test_weights_prefer_light_edges(self):
+        # Cycle 0->1->2->0 where edge 2->0 is the lightest.
+        u = np.array([0, 1, 2])
+        v = np.array([1, 2, 0])
+        w = np.array([10.0, 10.0, 1.0])
+        keep = break_cycles(3, u, v, weight=w)
+        assert not keep[2]
+        assert keep[0] and keep[1]
+
+    def test_figure_eight(self):
+        # Two cycles sharing vertex 0.
+        u = np.array([0, 1, 0, 2])
+        v = np.array([1, 0, 2, 0])
+        keep = break_cycles(3, u, v)
+        assert check_acyclic(3, u[keep], v[keep])
+        assert keep.sum() >= 2
+
+
+@given(n=st.integers(2, 20), m=st.integers(1, 60), seed=st.integers(0, 500))
+@settings(max_examples=60, deadline=None)
+def test_break_cycles_always_yields_dag(n, m, seed):
+    rng = np.random.default_rng(seed)
+    u = rng.integers(0, n, m)
+    v = rng.integers(0, n, m)
+    mask = u != v  # no self loops
+    u, v = u[mask], v[mask]
+    if len(u) == 0:
+        return
+    keep = break_cycles(n, u, v)
+    assert check_acyclic(n, u[keep], v[keep])
+
+
+class TestTopologicalLevels:
+    def test_chain(self):
+        u = np.array([0, 1, 2])
+        v = np.array([1, 2, 3])
+        levels = topological_levels(4, u, v)
+        assert [l.tolist() for l in levels] == [[0], [1], [2], [3]]
+
+    def test_levels_are_independent(self, disk):
+        it = build_interfaces(disk)
+        d = np.array([0.6, 0.8, 0.0])
+        u, v = directed_edges(it, d)
+        levels = topological_levels(disk.num_cells, u, v)
+        assert sum(len(l) for l in levels) == disk.num_cells
+        edges = set(zip(u.tolist(), v.tolist()))
+        for level in levels:
+            s = set(level.tolist())
+            for a in s:
+                for b in s:
+                    assert (a, b) not in edges
+
+    def test_levels_respect_order(self, cube8):
+        it = build_interfaces(cube8)
+        u, v = directed_edges(it, np.array([1.0, 0, 0]))
+        levels = topological_levels(cube8.num_cells, u, v)
+        assert len(levels) == 8  # one level per x-plane
+        rank = {}
+        for i, level in enumerate(levels):
+            for c in level:
+                rank[int(c)] = i
+        for a, b in zip(u.tolist(), v.tolist()):
+            assert rank[a] < rank[b]
+
+    def test_cycle_raises(self):
+        u = np.array([0, 1])
+        v = np.array([1, 0])
+        with pytest.raises(ReproError):
+            topological_levels(2, u, v)
+
+
+class TestFastLevelMode:
+    @pytest.mark.parametrize("meshname,scheme", [
+        ("cube8", "dd"), ("cube8", "step"), ("disk", "step"),
+        ("warped", "step"),
+    ])
+    def test_matches_fast_mode(self, meshname, scheme, request):
+        mesh = request.getfixturevalue(meshname)
+        pset = PatchSet.single_patch(mesh)
+        mm = MaterialMap.uniform(
+            Material.isotropic(1.0, 0.4, groups=2), mesh.num_cells
+        )
+        s = SnSolver(
+            pset, level_symmetric(2), mm,
+            np.ones((mesh.num_cells, 2)), scheme=scheme,
+        )
+        pf, lf, _ = s.sweep_once(mode="fast")
+        pl, ll, _ = s.sweep_once(mode="fast-level")
+        np.testing.assert_allclose(pl, pf, rtol=1e-13, atol=1e-15)
+        np.testing.assert_allclose(ll, lf, rtol=1e-12)
+
+    def test_source_iteration_fast_level(self, cube8):
+        pset = PatchSet.single_patch(cube8)
+        mm = MaterialMap.uniform(Material.isotropic(1.0, 0.6), cube8.num_cells)
+        s = SnSolver(pset, level_symmetric(2), mm,
+                     np.ones((cube8.num_cells, 1)))
+        r1 = s.source_iteration(tol=1e-8, mode="fast")
+        r2 = s.source_iteration(tol=1e-8, mode="fast-level")
+        assert r1.iterations == r2.iterations
+        np.testing.assert_allclose(r2.phi, r1.phi, rtol=1e-10)
+
+    def test_dd_fixup_active_in_level_mode(self):
+        """The set-to-zero fixup must clamp in the vectorized path too."""
+        from repro.mesh import box_structured
+
+        mesh = box_structured((20, 4, 4), (20.0, 4.0, 4.0))
+        ids = (mesh.cell_centers()[:, 0] > 3.0).astype(np.int64)
+        mesh.materials = ids.reshape(mesh.shape)
+        mats = {0: Material.isotropic(5.0, 0.0), 1: Material.isotropic(0.01)}
+        q = np.zeros((mesh.num_cells, 1))
+        q[ids == 0] = 10.0
+        pset = PatchSet.single_patch(mesh)
+        s = SnSolver(pset, level_symmetric(4), MaterialMap(mats, ids), q,
+                     scheme="dd", fixup=True)
+        phi, _, _ = s.sweep_once(mode="fast-level")
+        assert phi.min() >= 0
+
+    def test_levels_cached(self, cube8):
+        pset = PatchSet.single_patch(cube8)
+        mm = MaterialMap.uniform(Material.isotropic(1.0), cube8.num_cells)
+        s = SnSolver(pset, level_symmetric(2), mm,
+                     np.ones((cube8.num_cells, 1)))
+        l1 = s.topo_levels(0)
+        l2 = s.topo_levels(0)
+        assert l1 is l2
+
+    def test_empty_level_call_is_noop(self, cube8):
+        pset = PatchSet.single_patch(cube8)
+        mm = MaterialMap.uniform(Material.isotropic(1.0), cube8.num_cells)
+        s = SnSolver(pset, level_symmetric(2), mm,
+                     np.ones((cube8.num_cells, 1)))
+        k = s.kernel(0)
+        pf = k.new_face_array(1)
+        pc = np.zeros((cube8.num_cells, 1))
+        k.solve_level(np.zeros(0, dtype=np.int64),
+                      s._angle_source_v(np.zeros((cube8.num_cells, 1))),
+                      s.sigma_t_v, pf, pc)
+        assert pc.sum() == 0

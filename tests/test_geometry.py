@@ -1,0 +1,125 @@
+"""Tests for the geometric primitives in repro.mesh.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import ReproError
+from repro.mesh import geometry as geo
+
+
+class TestTriangles:
+    def test_unit_right_triangle_area(self):
+        p0 = np.array([[0.0, 0.0]])
+        p1 = np.array([[1.0, 0.0]])
+        p2 = np.array([[0.0, 1.0]])
+        np.testing.assert_allclose(geo.triangle_areas(p0, p1, p2), [0.5])
+
+    def test_3d_triangle_area(self):
+        p0 = np.array([[0.0, 0.0, 0.0]])
+        p1 = np.array([[2.0, 0.0, 0.0]])
+        p2 = np.array([[0.0, 0.0, 3.0]])
+        np.testing.assert_allclose(geo.triangle_areas(p0, p1, p2), [3.0])
+
+    def test_face_normal_direction(self):
+        p0 = np.array([[0.0, 0.0, 0.0]])
+        p1 = np.array([[1.0, 0.0, 0.0]])
+        p2 = np.array([[0.0, 1.0, 0.0]])
+        n = geo.tri_face_normals(p0, p1, p2)
+        np.testing.assert_allclose(n, [[0.0, 0.0, 1.0]])
+
+    def test_degenerate_normal_raises(self):
+        p = np.array([[0.0, 0.0, 0.0]])
+        with pytest.raises(ReproError):
+            geo.tri_face_normals(p, p, p)
+
+
+class TestPolygons:
+    def test_square_area_and_centroid(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 2.0], [0.0, 2.0]])
+        cells = np.array([[0, 1, 2, 3]])
+        np.testing.assert_allclose(geo.polygon_areas_2d(pts, cells), [4.0])
+        np.testing.assert_allclose(
+            geo.polygon_centroids_2d(pts, cells), [[1.0, 1.0]]
+        )
+
+    def test_clockwise_negative_area(self):
+        pts = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 1.0], [1.0, 0.0]])
+        cells = np.array([[0, 1, 2, 3]])
+        assert geo.polygon_areas_2d(pts, cells)[0] < 0
+
+    def test_centroid_of_asymmetric_triangle(self):
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+        cells = np.array([[0, 1, 2]])
+        np.testing.assert_allclose(
+            geo.polygon_centroids_2d(pts, cells), [[1.0, 1.0]]
+        )
+
+
+class TestEdges:
+    def test_edge_normal_right_of_direction(self):
+        p0 = np.array([[0.0, 0.0]])
+        p1 = np.array([[0.0, 2.0]])  # pointing +y
+        n, L = geo.edge_normals_2d(p0, p1)
+        np.testing.assert_allclose(n, [[1.0, 0.0]])  # right of +y is +x
+        np.testing.assert_allclose(L, [2.0])
+
+    def test_zero_edge_raises(self):
+        p = np.array([[1.0, 1.0]])
+        with pytest.raises(ReproError):
+            geo.edge_normals_2d(p, p)
+
+
+class TestTetsAndHexes:
+    def test_unit_tet_volume(self):
+        p0 = np.array([[0.0, 0.0, 0.0]])
+        p1 = np.array([[1.0, 0.0, 0.0]])
+        p2 = np.array([[0.0, 1.0, 0.0]])
+        p3 = np.array([[0.0, 0.0, 1.0]])
+        np.testing.assert_allclose(geo.tet_volumes(p0, p1, p2, p3), [1.0 / 6])
+
+    def test_tet_volume_signed(self):
+        p0 = np.array([[0.0, 0.0, 0.0]])
+        p1 = np.array([[1.0, 0.0, 0.0]])
+        p2 = np.array([[0.0, 1.0, 0.0]])
+        p3 = np.array([[0.0, 0.0, -1.0]])
+        assert geo.tet_volumes(p0, p1, p2, p3)[0] < 0
+
+    def test_unit_hex_volume(self):
+        pts = np.array(
+            [
+                [0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0],
+                [0, 0, 1], [1, 0, 1], [1, 1, 1], [0, 1, 1],
+            ],
+            dtype=float,
+        )
+        cells = np.array([[0, 1, 2, 3, 4, 5, 6, 7]])
+        np.testing.assert_allclose(geo.hex_volumes(pts, cells), [1.0])
+
+    def test_quad_face_normal_area(self):
+        p = [
+            np.array([[0.0, 0.0, 0.0]]),
+            np.array([[2.0, 0.0, 0.0]]),
+            np.array([[2.0, 3.0, 0.0]]),
+            np.array([[0.0, 3.0, 0.0]]),
+        ]
+        n, a = geo.quad_face_normals_areas(*p)
+        np.testing.assert_allclose(np.abs(n), [[0.0, 0.0, 1.0]])
+        np.testing.assert_allclose(a, [6.0])
+
+
+@given(
+    scale=st.floats(0.1, 10.0),
+    rot=st.floats(0, 2 * np.pi),
+)
+@settings(max_examples=40, deadline=None)
+def test_triangle_area_invariant_under_rotation(scale, rot):
+    c, s = np.cos(rot), np.sin(rot)
+    R = np.array([[c, -s], [s, c]])
+    tri = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]) * scale
+    tri_r = tri @ R.T
+    a = geo.triangle_areas(tri[None, 0], tri[None, 1], tri[None, 2])
+    b = geo.triangle_areas(tri_r[None, 0], tri_r[None, 1], tri_r[None, 2])
+    np.testing.assert_allclose(a, b, rtol=1e-9)
+    np.testing.assert_allclose(a, 0.5 * scale**2, rtol=1e-9)

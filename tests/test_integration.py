@@ -1,0 +1,176 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic pipeline: generate mesh -> decompose ->
+build solver -> run under several execution backends -> check physics
+and scheduling invariants together.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BSPSweepRuntime,
+    DataDrivenRuntime,
+    JSNTS,
+    JSNTU,
+    Machine,
+    Material,
+    MaterialMap,
+    PatchSet,
+    SnSolver,
+    coarsened_is_acyclic,
+    cube_structured,
+    cube_tet_mesh,
+    level_symmetric,
+    reactor_mesh_2d,
+)
+from repro.core import SerialEngine
+
+
+MACHINE = Machine(cores_per_proc=4)
+
+
+class TestFourBackendsAgree:
+    """fast / serial-engine / DES / BSP must produce identical flux."""
+
+    def test_structured(self):
+        mesh = cube_structured(8, length=4.0)
+        pset = PatchSet.from_structured(mesh, (4, 4, 4), nprocs=4)
+        mm = MaterialMap.uniform(Material.isotropic(1.0, 0.4), mesh.num_cells)
+        solver = SnSolver(
+            pset, level_symmetric(2), mm, np.ones((mesh.num_cells, 1)),
+            grain=16,
+        )
+        ref, _, _ = solver.sweep_once(mode="fast")
+
+        phi_eng, _, _ = solver.sweep_once(mode="engine")
+        np.testing.assert_array_equal(phi_eng, ref)
+
+        progs, faces = solver.build_programs()
+        DataDrivenRuntime(16, machine=MACHINE).run(progs, pset.patch_proc)
+        phi_des, _ = solver.accumulate(faces)
+        np.testing.assert_array_equal(phi_des, ref)
+
+        progs, faces = solver.build_programs()
+        BSPSweepRuntime(16, machine=MACHINE).run(progs, pset.patch_proc)
+        phi_bsp, _ = solver.accumulate(faces)
+        np.testing.assert_array_equal(phi_bsp, ref)
+
+    def test_unstructured_multigroup(self):
+        mesh = reactor_mesh_2d(10)
+        pset = PatchSet.from_unstructured(mesh, 60, nprocs=2)
+        mm = MaterialMap.uniform(
+            Material.isotropic(1.0, 0.3, groups=2), mesh.num_cells
+        )
+        q = np.ones((mesh.num_cells, 2))
+        solver = SnSolver(pset, level_symmetric(2), mm, q, grain=8)
+        ref, _, _ = solver.sweep_once(mode="fast")
+        progs, faces = solver.build_programs()
+        DataDrivenRuntime(8, machine=MACHINE).run(progs, pset.patch_proc)
+        phi, _ = solver.accumulate(faces)
+        np.testing.assert_array_equal(phi, ref)
+
+
+class TestCGUnderDES:
+    def test_cg_des_full_equivalence(self):
+        mesh = cube_structured(8, length=4.0)
+        pset = PatchSet.from_structured(mesh, (4, 4, 4), nprocs=4)
+        mm = MaterialMap.uniform(Material.isotropic(1.0, 0.0), mesh.num_cells)
+        solver = SnSolver(
+            pset, level_symmetric(2), mm, np.ones((mesh.num_cells, 1)),
+            grain=10,
+        )
+        ref, _, _ = solver.sweep_once(mode="fast")
+        cgs = solver.record_coarsened()
+        assert coarsened_is_acyclic(cgs)
+        progs, faces = solver.build_coarsened_programs(cgs)
+        rep = DataDrivenRuntime(16, machine=MACHINE).run(
+            progs, pset.patch_proc
+        )
+        phi, _ = solver.accumulate(faces)
+        np.testing.assert_array_equal(phi, ref)
+        assert rep.vertices_solved == mesh.num_cells * 8
+
+
+class TestSameProblemTwoMeshFamilies:
+    """The same physical problem on a structured cube and on its
+    tetrahedralization must give comparable integral quantities -
+    the mesh-family abstraction must not change the physics class."""
+
+    def test_absorption_rate_agrees(self):
+        sigma, q0 = 1.0, 1.0
+        hexm = cube_structured(8, length=2.0)
+        ps_h = PatchSet.single_patch(hexm)
+        mm_h = MaterialMap.uniform(Material.isotropic(sigma, 0.0), hexm.num_cells)
+        s_h = SnSolver(
+            ps_h, level_symmetric(4), mm_h,
+            q0 * np.ones((hexm.num_cells, 1)), scheme="step",
+        )
+        r_h = s_h.source_iteration(tol=1e-10, max_iterations=3)
+
+        tetm = cube_tet_mesh((8, 8, 8), (2.0, 2.0, 2.0))
+        ps_t = PatchSet.single_patch(tetm)
+        mm_t = MaterialMap.uniform(Material.isotropic(sigma, 0.0), tetm.num_cells)
+        s_t = SnSolver(
+            ps_t, level_symmetric(4), mm_t,
+            q0 * np.ones((tetm.num_cells, 1)),
+        )
+        r_t = s_t.source_iteration(tol=1e-10, max_iterations=3)
+
+        absorb_h = float((r_h.phi[:, 0] * s_h.volumes).sum()) * sigma
+        absorb_t = float((r_t.phi[:, 0] * s_t.volumes).sum()) * sigma
+        assert absorb_h == pytest.approx(absorb_t, rel=0.12)
+        # Both conserve particles exactly.
+        assert s_h.balance_residual(r_h) < 1e-10
+        assert s_t.balance_residual(r_t) < 1e-10
+
+
+class TestAppsEndToEnd:
+    def test_jsnts_full_pipeline(self):
+        app = JSNTS.kobayashi(
+            12, total_cores=8, machine=MACHINE, patch_shape=(4, 4, 4),
+            grain=50,
+        )
+        res = app.solve(tol=1e-4, max_iterations=40)
+        assert res.converged
+        dag = app.sweep_report(8)
+        cg = app.sweep_report(8, coarsened=True)
+        assert cg.executions < dag.executions
+        assert dag.vertices_solved == cg.vertices_solved
+
+    def test_jsntu_strategies_same_vertex_count(self):
+        counts = set()
+        for strat in ("bfs", "slbd"):
+            app = JSNTU.reactor(
+                10, total_cores=8, machine=MACHINE, patch_size=60,
+                groups=1, strategy=strat,
+            )
+            rep = app.sweep_report(8)
+            counts.add(rep.vertices_solved)
+        assert len(counts) == 1  # identical work, different order
+
+    def test_solver_reuse_across_iterations(self):
+        """Topology / kernels built once must serve many source
+        iterations without rebuilding (the caching contract)."""
+        app = JSNTS.kobayashi(
+            10, total_cores=8, machine=MACHINE, patch_shape=(5, 5, 5)
+        )
+        s = app.solver
+        _ = s.topology
+        topo_id = id(s._topology)
+        res = s.source_iteration(tol=1e-4, max_iterations=10, mode="engine")
+        assert id(s._topology) == topo_id
+        assert len(res.engine_stats) == res.iterations
+
+
+class TestDeterminismAcrossRuns:
+    def test_full_pipeline_deterministic(self):
+        def run():
+            app = JSNTU.ball(
+                5, total_cores=8, machine=MACHINE, patch_size=100,
+                groups=1, seed=7,
+            )
+            rep = app.sweep_report(8)
+            return rep.makespan, rep.executions, rep.messages
+
+        assert run() == run()

@@ -1,0 +1,115 @@
+"""Tests for multigroup materials and material maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import ReproError
+from repro.sweep import Material, MaterialMap
+
+
+class TestMaterial:
+    def test_isotropic_factory(self):
+        m = Material.isotropic(2.0, 0.5, groups=3)
+        np.testing.assert_allclose(m.sigma_t, 2.0)
+        np.testing.assert_allclose(np.diag(m.sigma_s), 1.0)
+        np.testing.assert_allclose(m.sigma_a, 1.0)
+
+    def test_void(self):
+        v = Material.void(groups=2)
+        assert v.sigma_t.sum() == 0.0
+        assert v.num_groups == 2
+
+    def test_scatter_exceeding_total_rejected(self):
+        with pytest.raises(ReproError):
+            Material(np.array([1.0]), np.array([[1.5]]))
+
+    def test_negative_xs_rejected(self):
+        with pytest.raises(ReproError):
+            Material(np.array([-1.0]), np.array([[0.0]]))
+
+    def test_bad_scatter_shape(self):
+        with pytest.raises(ReproError):
+            Material(np.array([1.0, 1.0]), np.zeros((3, 3)))
+
+    def test_scatter_ratio_bounds(self):
+        with pytest.raises(ReproError):
+            Material.isotropic(1.0, 1.2)
+
+    def test_sigma_a_with_transfer(self):
+        m = Material(
+            np.array([2.0, 1.0]),
+            np.array([[0.5, 0.5], [0.0, 0.3]]),
+        )
+        np.testing.assert_allclose(m.sigma_a, [1.0, 0.7])
+
+
+class TestMaterialMap:
+    def test_uniform(self):
+        mm = MaterialMap.uniform(Material.isotropic(1.0, 0.5), 10)
+        assert mm.num_cells == 10
+        assert mm.sigma_t_cell.shape == (10, 1)
+
+    def test_heterogeneous_lookup(self):
+        mats = {
+            0: Material.isotropic(1.0, 0.0),
+            1: Material.isotropic(3.0, 0.5),
+        }
+        ids = np.array([0, 1, 1, 0])
+        mm = MaterialMap(mats, ids)
+        np.testing.assert_allclose(mm.sigma_t_cell[:, 0], [1.0, 3.0, 3.0, 1.0])
+
+    def test_undefined_id_rejected(self):
+        with pytest.raises(ReproError):
+            MaterialMap({0: Material.isotropic(1.0)}, np.array([0, 2]))
+
+    def test_mixed_group_counts_rejected(self):
+        with pytest.raises(ReproError):
+            MaterialMap(
+                {
+                    0: Material.isotropic(1.0, groups=1),
+                    1: Material.isotropic(1.0, groups=2),
+                },
+                np.array([0, 1]),
+            )
+
+    def test_scatter_source_within_group(self):
+        mm = MaterialMap.uniform(Material.isotropic(2.0, 0.5), 3)
+        phi = np.array([[1.0], [2.0], [3.0]])
+        np.testing.assert_allclose(mm.scatter_source(phi), phi * 1.0)
+
+    def test_scatter_source_transfer_matrix(self):
+        mat = Material(
+            np.array([2.0, 2.0]),
+            np.array([[0.5, 0.25], [0.0, 1.0]]),
+        )
+        mm = MaterialMap.uniform(mat, 2)
+        phi = np.array([[1.0, 1.0], [2.0, 0.0]])
+        s = mm.scatter_source(phi)
+        # S[c, g] = sum_g' phi[c, g'] * ss[g', g]
+        np.testing.assert_allclose(s[0], [0.5, 1.25])
+        np.testing.assert_allclose(s[1], [1.0, 0.5])
+
+    def test_phi_shape_checked(self):
+        mm = MaterialMap.uniform(Material.isotropic(1.0), 3)
+        with pytest.raises(ReproError):
+            mm.scatter_source(np.zeros((2, 1)))
+
+    def test_sigma_a_cell(self):
+        mm = MaterialMap.uniform(Material.isotropic(2.0, 0.5), 4)
+        np.testing.assert_allclose(mm.sigma_a_cell(), 1.0)
+
+
+@given(
+    sigma=st.floats(0.01, 10.0),
+    ratio=st.floats(0.0, 1.0),
+    groups=st.integers(1, 4),
+)
+@settings(max_examples=50, deadline=None)
+def test_material_invariants(sigma, ratio, groups):
+    m = Material.isotropic(sigma, ratio, groups=groups)
+    assert np.all(m.sigma_a >= -1e-12)
+    np.testing.assert_allclose(
+        m.sigma_s.sum(axis=1) + m.sigma_a, m.sigma_t, rtol=1e-12
+    )
