@@ -44,7 +44,18 @@ from .mesh import (
     reactor_mesh_2d,
     warped_quad_mesh,
 )
-from .runtime import TIANHE2, CostModel, DataDrivenRuntime, Machine, RunReport
+from .runtime import (
+    TIANHE2,
+    CostModel,
+    CrashFault,
+    DataDrivenRuntime,
+    FaultInjector,
+    FaultPlan,
+    Machine,
+    RecoveryConfig,
+    RunReport,
+    StragglerWindow,
+)
 from .sweep import (
     Material,
     MaterialMap,
@@ -90,6 +101,11 @@ __all__ = [
     "CostModel",
     "DataDrivenRuntime",
     "RunReport",
+    "CrashFault",
+    "StragglerWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "RecoveryConfig",
     "Quadrature",
     "level_symmetric",
     "product_quadrature",

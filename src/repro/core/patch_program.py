@@ -19,6 +19,7 @@ reactivates when a stream arrives.
 
 from __future__ import annotations
 
+import copy
 import enum
 from abc import ABC, abstractmethod
 from typing import Hashable
@@ -87,6 +88,45 @@ class PatchProgram(ABC):
     def priority(self) -> float:
         """Dynamic scheduling priority; larger runs earlier."""
         return 0.0
+
+    # -- fault-tolerance hooks ----------------------------------------------------
+    #
+    # A fault-tolerant runtime periodically snapshots each program's
+    # local context and, after a process crash, restores the snapshot
+    # on a surviving process and replays the streams delivered since.
+    # Replay may re-batch emissions differently than the lost
+    # execution, so exact recovery additionally requires *idempotent*
+    # input (duplicate items must be discarded); programs that provide
+    # it set ``resilient_input`` to True.
+
+    #: True when ``input`` discards duplicate payload items, making the
+    #: program safe to re-execute from a checkpoint after a crash.
+    resilient_input: bool = False
+
+    def checkpoint_shared(self) -> tuple[str, ...]:
+        """Names of attributes excluded from checkpoints: immutable
+        topology and resources shared with the host (graphs, solve
+        callbacks writing into global arrays)."""
+        return ()
+
+    def checkpoint(self):
+        """Deep snapshot of the mutable local context.
+
+        The default copies every instance attribute not named by
+        :meth:`checkpoint_shared`; override for a leaner snapshot.
+        """
+        shared = set(self.checkpoint_shared())
+        return copy.deepcopy(
+            {k: v for k, v in self.__dict__.items() if k not in shared}
+        )
+
+    def restore(self, snapshot) -> None:
+        """Restore local context from a :meth:`checkpoint` snapshot.
+
+        The snapshot itself is left untouched (it may be restored again
+        after a second failure).
+        """
+        self.__dict__.update(copy.deepcopy(snapshot))
 
     # -- cost-model hooks (all zero-cost by default) -------------------------------
     #

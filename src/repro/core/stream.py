@@ -37,6 +37,14 @@ class Stream:
     ``payload`` is opaque to the runtime; ``nbytes`` is the modeled
     wire size used by communication cost accounting, and ``items`` the
     logical item count used by pack/unpack accounting.
+
+    ``seq`` and ``epoch`` are stamped by a fault-tolerant runtime when
+    the stream crosses processes: ``(src, seq)`` is the message's
+    globally unique id (the key of ack/retransmit bookkeeping and of
+    receiver-side duplicate discard), and ``epoch`` is the execution
+    epoch of the emitting program (bumped each time the program is
+    re-executed on a new owner after a crash).  Both are None/0 on
+    reliable paths and do not affect stream semantics.
     """
 
     src: ProgramId
@@ -44,7 +52,16 @@ class Stream:
     payload: Any = None
     items: int = 1
     nbytes: int = 0
+    seq: int | None = None
+    epoch: int = 0
 
     def __post_init__(self):
         if self.items < 0 or self.nbytes < 0:
             raise ValueError("stream items/nbytes must be non-negative")
+
+    @property
+    def uid(self) -> tuple | None:
+        """Globally unique message id ``(src, seq)``, or None if unstamped."""
+        if self.seq is None:
+            return None
+        return (self.src, self.seq)

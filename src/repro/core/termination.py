@@ -27,19 +27,40 @@ __all__ = ["WorkloadTracker", "MisraMarkerRing"]
 
 
 class WorkloadTracker:
-    """Shared remaining-workload registry (per process or global)."""
+    """Shared remaining-workload registry (per process or global).
+
+    Commits are idempotent under re-execution: each key carries the
+    *execution epoch* of the committing run (bumped when a program is
+    re-assigned to a new owner after a crash), and a commit from a
+    superseded epoch is ignored.  This keeps the fast path correct when
+    a stale run's commit races a migrated program's fresh commits.
+    """
 
     def __init__(self):
         self._remaining: dict = {}
+        self._epoch: dict = {}
 
-    def commit(self, key, remaining: int) -> None:
-        """Commit the remaining workload of ``key`` (e.g. a program id)."""
+    def commit(self, key, remaining: int, epoch: int = 0) -> bool:
+        """Commit the remaining workload of ``key`` (e.g. a program id).
+
+        Returns True when applied, False when ignored as a stale-epoch
+        duplicate of a superseded execution.
+        """
         if remaining < 0:
             raise ReproError("negative workload")
+        last = self._epoch.get(key)
+        if last is not None and epoch < last:
+            return False
+        self._epoch[key] = epoch
         if remaining == 0:
             self._remaining.pop(key, None)
         else:
             self._remaining[key] = int(remaining)
+        return True
+
+    def epoch_of(self, key) -> int | None:
+        """Latest committed epoch of ``key`` (None before any commit)."""
+        return self._epoch.get(key)
 
     def total(self) -> int:
         return sum(self._remaining.values())

@@ -8,6 +8,13 @@ reports virtual makespan plus the Fig. 16 time breakdown.
 from .cluster import TIANHE2, Layout, Machine
 from .costmodel import CATEGORIES, CostModel
 from .engine_des import DataDrivenRuntime
+from .faults import (
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    RecoveryConfig,
+    StragglerWindow,
+)
 from .metrics import Breakdown, RunReport
 from .perfmodel import SweepModelPrediction, SweepPerformanceModel
 
@@ -20,6 +27,11 @@ __all__ = [
     "DataDrivenRuntime",
     "RunReport",
     "Breakdown",
+    "CrashFault",
+    "StragglerWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "RecoveryConfig",
     "SweepPerformanceModel",
     "SweepModelPrediction",
 ]

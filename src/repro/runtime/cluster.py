@@ -46,6 +46,7 @@ class Machine:
     latency_intra: float = 1.5e-6  # seconds, same-node message
     latency_inter: float = 6.0e-6  # seconds, cross-node message
     bandwidth: float = 5.0e9  # bytes/second effective per link
+    control_bytes: int = 32  # wire size of a control message (acks)
 
     def layout(self, total_cores: int, mode: str = "hybrid") -> Layout:
         """Process/worker layout for ``total_cores`` in the given mode."""
@@ -77,6 +78,11 @@ class Machine:
             else self.latency_inter
         )
         return lat + nbytes / self.bandwidth
+
+    def control_time(self, src: int, dst: int, layout: Layout) -> float:
+        """Wire time of one control message (ack, marker): latency +
+        a fixed tiny header, independent of application payloads."""
+        return self.message_time(src, dst, self.control_bytes, layout)
 
 
 #: The evaluation platform: Tianhe-2 nodes (2 x 12-core Ivy Bridge,

@@ -11,6 +11,7 @@ categories of the paper's Fig. 16 breakdown:
 ``unpack``     deserializing incoming remote streams
 ``sched``      master-thread program dispatch
 ``comm``       master-thread stream routing and message handling
+``recovery``   fault-tolerance machinery: checkpoints, failover installs
 ``idle``       core time with no work available
 
 Default constants are calibrated so that a JSNT-S-like run reproduces
@@ -25,7 +26,9 @@ from dataclasses import dataclass
 
 __all__ = ["CostModel", "CATEGORIES"]
 
-CATEGORIES = ("kernel", "graph_op", "pack", "unpack", "sched", "comm", "idle")
+CATEGORIES = (
+    "kernel", "graph_op", "pack", "unpack", "sched", "comm", "recovery", "idle"
+)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,171 @@
+"""Fault injection and recovery configuration for the DES cluster.
+
+The paper's runtime targets 76,800 cores, a scale where node failures,
+stragglers and lost messages are the norm rather than the exception.
+This module turns the DES from a benchmark harness into a robustness
+testbed: a :class:`FaultPlan` describes *what goes wrong* (fail-stop
+process crashes at virtual times, transient straggler windows, message
+drop/duplication probabilities), a :class:`FaultInjector` realizes the
+plan deterministically from a seed, and a :class:`RecoveryConfig`
+parameterizes the runtime's countermeasures (per-message acks with
+timeout/backoff retransmission, periodic lightweight checkpoints,
+crash detection and dynamic owner re-assignment).
+
+Everything is expressed in *virtual* seconds of the simulated cluster,
+and every random draw comes from one seeded generator consumed in
+deterministic event order - two runs with the same plan and seed are
+bit-identical, which is what makes fault scenarios regression-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import ReproError
+
+__all__ = [
+    "CrashFault",
+    "StragglerWindow",
+    "FaultPlan",
+    "FaultInjector",
+    "RecoveryConfig",
+]
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Fail-stop crash of one process at a virtual time.
+
+    The process stops executing, its in-flight receives are lost, and
+    its patches are re-assigned to survivors by the recovery protocol.
+    A crash scheduled after the run has quiesced is ignored (the job
+    finished before the fault).
+    """
+
+    proc: int
+    time: float
+
+    def __post_init__(self):
+        if self.proc < 0:
+            raise ReproError("crash proc must be non-negative")
+        if self.time < 0:
+            raise ReproError("crash time must be non-negative")
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """Transient slowdown of one process: every virtual-time cost booked
+    on its cores during [start, end) is multiplied by ``factor``."""
+
+    proc: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self):
+        if self.proc < 0:
+            raise ReproError("straggler proc must be non-negative")
+        if not (0 <= self.start < self.end):
+            raise ReproError("straggler window must satisfy 0 <= start < end")
+        if self.factor < 1.0:
+            raise ReproError("straggler factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded description of the faults of one run."""
+
+    crashes: tuple = ()
+    stragglers: tuple = ()
+    p_drop: float = 0.0  # per remote message (data and acks)
+    p_duplicate: float = 0.0  # per remote data message
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        if not (0.0 <= self.p_drop < 1.0):
+            raise ReproError("p_drop must be in [0, 1)")
+        if not (0.0 <= self.p_duplicate < 1.0):
+            raise ReproError("p_duplicate must be in [0, 1)")
+
+    def needs_recovery(self) -> bool:
+        """True when the plan can lose work or messages (stragglers
+        alone only delay; they need no recovery machinery)."""
+        return bool(self.crashes) or self.p_drop > 0 or self.p_duplicate > 0
+
+    def crashed_procs(self) -> set:
+        return {c.proc for c in self.crashes}
+
+
+class FaultInjector:
+    """Realizes a :class:`FaultPlan` with one seeded generator.
+
+    Draws are consumed in the runtime's (deterministic) event order, so
+    a fixed (plan, seed) pair injects the identical fault sequence on
+    every run.  The injector is stateless apart from the generator.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._windows: dict[int, list[StragglerWindow]] = {}
+        for w in plan.stragglers:
+            self._windows.setdefault(w.proc, []).append(w)
+
+    def slowdown(self, proc: int, now: float) -> float:
+        """Multiplicative cost factor on ``proc`` at virtual time ``now``."""
+        f = 1.0
+        for w in self._windows.get(proc, ()):
+            if w.start <= now < w.end:
+                f *= w.factor
+        return f
+
+    def message_fate(self) -> str:
+        """'deliver', 'drop' or 'duplicate' for one remote data message."""
+        p = self.plan
+        if p.p_drop == 0.0 and p.p_duplicate == 0.0:
+            return "deliver"  # no draw: a zero-rate injector is inert
+        u = self._rng.random()
+        if u < p.p_drop:
+            return "drop"
+        if u < p.p_drop + p.p_duplicate:
+            return "duplicate"
+        return "deliver"
+
+    def ack_dropped(self) -> bool:
+        """Whether one ack control message is lost in transit."""
+        if self.plan.p_drop == 0.0:
+            return False
+        return bool(self._rng.random() < self.plan.p_drop)
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Parameters of the runtime's fault-tolerance machinery.
+
+    All times are virtual seconds.  The virtual costs (``t_*``) are
+    booked under the ``recovery`` breakdown category, so the overhead
+    of resilience is visible in the Fig. 16-style accounting.
+    """
+
+    ack_timeout: float = 120e-6  # first retransmission timeout
+    backoff: float = 2.0  # timeout multiplier per retry
+    max_retries: int = 10  # per message; exceeded -> ReproError
+    checkpoint_interval: float = 200e-6  # per-process checkpoint period
+    detection_delay: float = 100e-6  # crash -> failover start
+    t_checkpoint_fixed: float = 2.0e-6  # master cost per checkpoint event
+    t_checkpoint_program: float = 0.5e-6  # + per program snapshotted
+    t_failover_program: float = 5.0e-6  # master cost to install a migrant
+
+    def __post_init__(self):
+        if self.ack_timeout <= 0 or self.checkpoint_interval <= 0:
+            raise ReproError("timeouts and intervals must be positive")
+        if self.backoff < 1.0:
+            raise ReproError("backoff must be >= 1")
+        if self.max_retries < 1:
+            raise ReproError("max_retries must be >= 1")
+        if self.detection_delay < 0:
+            raise ReproError("detection_delay must be non-negative")

@@ -66,6 +66,16 @@ class RunReport:
     termination_hops: int = 0
     termination_time: float = 0.0
 
+    # -- fault & recovery counters (all zero on reliable runs) ----------
+    drops: int = 0  # remote messages lost by fault injection
+    duplicates: int = 0  # remote messages duplicated in flight
+    retries: int = 0  # retransmissions after ack timeout
+    timeouts: int = 0  # ack-timer expiries on unacked messages
+    reexecutions: int = 0  # runs of programs in a post-failover epoch
+    checkpoints: int = 0  # program snapshots taken
+    crashes: int = 0  # processes lost (ignoring post-quiescence crashes)
+    failover_time: float = 0.0  # virtual time from crash to re-install
+
     @property
     def core_seconds(self) -> float:
         return self.makespan * self.total_cores
@@ -81,6 +91,24 @@ class RunReport:
 
     def comm_fraction(self) -> float:
         return self.breakdown.fractions()["comm"]
+
+    def recovery_fraction(self) -> float:
+        """Checkpoint + failover share of total core time."""
+        return self.breakdown.fractions()["recovery"]
+
+    def fault_summary(self) -> dict[str, float]:
+        """The resilience counters in one dict (benchmark reporting)."""
+        return {
+            "drops": self.drops,
+            "duplicates": self.duplicates,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "reexecutions": self.reexecutions,
+            "checkpoints": self.checkpoints,
+            "crashes": self.crashes,
+            "failover_time": self.failover_time,
+            "recovery_time": self.breakdown.by_category.get("recovery", 0.0),
+        }
 
     def avg_seconds_per_core(self) -> dict[str, float]:
         """Fig. 16's y-axis: average time per core, by category."""

@@ -214,9 +214,14 @@ class PatchAngleGraph:
     def adjacency_lists(self):
         """(local_targets, remote_targets) as Python lists per vertex.
 
-        ``remote_targets[v]`` is a list of ``(dst_patch, dst_local)``.
-        This is the form the sweep program's collect loop consumes; it
-        is cached on the graph because topology outlives any one sweep.
+        ``remote_targets[v]`` is a list of ``(dst_patch, dst_local,
+        edge_id)`` where ``edge_id`` is the edge's stable position in
+        this graph's remote CSR - unique per source program and
+        identical across re-executions, which is what lets a receiver
+        discard duplicate dependency notifications exactly (the
+        fault-tolerant runtime's idempotent-delivery contract).  This
+        is the form the sweep program's collect loop consumes; it is
+        cached on the graph because topology outlives any one sweep.
         """
         if self._adj_cache is None:
             local = [
@@ -225,12 +230,13 @@ class PatchAngleGraph:
             ]
             remote = []
             for i in range(self.n_local):
-                lo, hi = self.dr_indptr[i], self.dr_indptr[i + 1]
+                lo, hi = int(self.dr_indptr[i]), int(self.dr_indptr[i + 1])
                 remote.append(
                     list(
                         zip(
                             self.dr_patch[lo:hi].tolist(),
                             self.dr_local[lo:hi].tolist(),
+                            range(lo, hi),
                         )
                     )
                 )

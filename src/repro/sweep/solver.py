@@ -342,6 +342,7 @@ class SnSolver:
         compute: bool = True,
         record_clusters: bool = False,
         grain: int | None = None,
+        resilient: bool = False,
     ):
         """Instantiate one SweepPatchProgram per (patch, angle).
 
@@ -349,6 +350,10 @@ class SnSolver:
         the per-angle ``(psi_faces, psi_cell)`` pair written by the
         programs' solve callbacks (None entries when ``compute`` is
         False - scheduling-only runs used by the performance studies).
+
+        ``resilient`` builds programs with idempotent stream delivery
+        (edge-id dedup), required to run them under a fault plan with
+        process crashes - see :mod:`repro.runtime.faults`.
         """
         topo = self.topology
         ng = self.num_groups
@@ -376,6 +381,7 @@ class SnSolver:
                 dynamic_priority=dynamic,
                 bytes_per_item=8 * ng,
                 record_clusters=record_clusters,
+                resilient=resilient,
             )
             programs.append(prog)
         return programs, faces

@@ -40,6 +40,7 @@ class SweepPatchProgram(PatchProgram):
         dynamic_priority: bool = False,
         bytes_per_item: int = 8,
         record_clusters: bool = False,
+        resilient: bool = False,
     ):
         super().__init__(graph.patch, graph.angle)
         if grain <= 0:
@@ -53,6 +54,14 @@ class SweepPatchProgram(PatchProgram):
         self.bytes_per_item = bytes_per_item
         self.record_clusters = record_clusters
         self.clusters: list[list[int]] = []
+        # Resilient mode: remote payloads carry (dst_slot, edge_id)
+        # pairs and input() discards edges already applied, making
+        # delivery idempotent - required for crash recovery, where a
+        # replayed program may re-batch its emissions differently than
+        # the execution that was lost.  Edge ids are header metadata;
+        # nbytes still reflects the physical data volume.
+        self.resilient_input = resilient
+        self._applied: dict[int, set[int]] = {}  # src patch -> edge ids
 
         # Local context (Listing 1, part 1), created by init().
         self._counts: list[int] = []
@@ -78,17 +87,31 @@ class SweepPatchProgram(PatchProgram):
         self._solved = 0
         self._outstreams = []
         self.clusters = []
+        self._applied = {}
+        self._last = {"vertices": 0, "edges": 0, "remote_items": 0,
+                      "input_items": 0, "streams": 0}
 
     def input(self, stream: Stream) -> None:
         counts = self._counts
         prio = self._prio
         heap = self._heap
         n = 0
-        for v in stream.payload:
-            counts[v] -= 1
-            if counts[v] == 0:
-                heappush(heap, (prio[v], v))
-            n += 1
+        if self.resilient_input:
+            applied = self._applied.setdefault(stream.src.patch, set())
+            for v, e in stream.payload.tolist():
+                n += 1
+                if e in applied:
+                    continue  # duplicate delivery (retry or replay)
+                applied.add(e)
+                counts[v] -= 1
+                if counts[v] == 0:
+                    heappush(heap, (prio[v], v))
+        else:
+            for v in stream.payload:
+                counts[v] -= 1
+                if counts[v] == 0:
+                    heappush(heap, (prio[v], v))
+                n += 1
         self._last["input_items"] += n
 
     def compute(self) -> None:
@@ -106,6 +129,7 @@ class SweepPatchProgram(PatchProgram):
         out: dict[int, list[int]] = {}
         edges = 0
         remote_items = 0
+        resilient = self.resilient_input
         while heap and len(popped) < grain:
             _, v = heappop(heap)
             popped.append(v)
@@ -114,8 +138,11 @@ class SweepPatchProgram(PatchProgram):
                 edges += 1
                 if counts[w] == 0:
                     heappush(heap, (prio[w], w))
-            for dp, dl in remote_adj[v]:
-                out.setdefault(dp, []).append(dl)
+            for dp, dl, eid in remote_adj[v]:
+                if resilient:
+                    out.setdefault(dp, []).append((dl, eid))
+                else:
+                    out.setdefault(dp, []).append(dl)
                 edges += 1
                 remote_items += 1
 
@@ -153,6 +180,12 @@ class SweepPatchProgram(PatchProgram):
         return not self._heap
 
     # -- runtime hooks --------------------------------------------------------------
+
+    def checkpoint_shared(self) -> tuple[str, ...]:
+        # Immutable topology, the global cell-index map and the solve
+        # callback (which closes over host-owned flux arrays) are shared
+        # with the runtime and must not be deep-copied into snapshots.
+        return ("graph", "cells_global", "solve_fn")
 
     def remaining_workload(self) -> int:
         return self.graph.n_local - self._solved

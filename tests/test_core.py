@@ -313,3 +313,112 @@ def test_marker_always_terminates_once_quiet(n, events, seed):
     hops = ring.run_to_completion()
     assert ring.finished
     assert hops <= 2 * n + 1
+
+
+class TestWorkloadTrackerEpochs:
+    """Idempotent commits under re-execution (crash recovery)."""
+
+    def test_stale_epoch_commit_ignored(self):
+        t = WorkloadTracker()
+        assert t.commit("a", 7, epoch=1)  # migrated program's commit
+        assert not t.commit("a", 0, epoch=0)  # lost execution's late commit
+        assert t.total() == 7  # the stale zero did not win
+        assert not t.is_done()
+
+    def test_same_epoch_recommit_applied(self):
+        t = WorkloadTracker()
+        assert t.commit("a", 5, epoch=2)
+        assert t.commit("a", 3, epoch=2)  # re-delivered commit: last wins
+        assert t.total() == 3
+
+    def test_newer_epoch_overrides(self):
+        t = WorkloadTracker()
+        t.commit("a", 0, epoch=0)  # finished... on the crashed proc
+        assert t.is_done()
+        assert t.commit("a", 4, epoch=1)  # re-executed from checkpoint
+        assert not t.is_done()
+        t.commit("a", 0, epoch=1)
+        assert t.is_done()
+
+    def test_epoch_of(self):
+        t = WorkloadTracker()
+        assert t.epoch_of("a") is None
+        t.commit("a", 1, epoch=3)
+        assert t.epoch_of("a") == 3
+        t.commit("a", 1, epoch=2)  # ignored
+        assert t.epoch_of("a") == 3
+
+
+class TestMisraMarkerUnderFaults:
+    """The ring must stay sound when messages are duplicated, retried
+    or reordered - every duplicate delivery blackens the receiver, so
+    termination can only be delayed, never declared early."""
+
+    def test_duplicate_receive_after_whitening_forces_extra_round(self):
+        ring = MisraMarkerRing(2)
+        for p in range(2):
+            ring.on_idle(p)
+        ring.step()
+        ring.step()  # both whitened by now
+        ring.on_receive(1)  # late duplicate (retransmission) arrives
+        ring.on_idle(1)
+        hops_before = ring.hops
+        assert not ring.finished
+        ring.run_to_completion()
+        assert ring.finished
+        assert ring.hops > hops_before  # the dup cost at least one hop
+
+    def test_duplicates_never_terminate_early(self):
+        ring = MisraMarkerRing(3)
+        for p in range(3):
+            ring.on_idle(p)
+        # A retry storm: the same logical message delivered repeatedly
+        # to proc 2 while the marker circulates.
+        for _ in range(10):
+            ring.on_receive(2)
+            assert not ring.step()  # proc 2 is black: no clean circuit
+            ring.on_idle(2)
+        assert not ring.finished  # still black from the last duplicate
+        ring.run_to_completion()
+        assert ring.finished
+
+    def test_reordered_send_receive_pairs(self):
+        """Acks/data arriving out of order: receive reported before the
+        matching send event is observed locally."""
+        ring = MisraMarkerRing(2)
+        for p in range(2):
+            ring.on_idle(p)
+        ring.on_receive(1)  # arrival observed first
+        ring.on_send(0)  # ... then the send
+        for p in range(2):
+            ring.on_idle(p)
+        ring.run_to_completion()
+        assert ring.finished
+
+
+@given(n=st.integers(2, 8), msgs=st.integers(0, 20), seed=st.integers(0, 999))
+@settings(max_examples=40, deadline=None)
+def test_marker_sound_under_duplication_and_reordering(n, msgs, seed):
+    """Property: deliver every message 1-3 times in shuffled order with
+    marker steps interleaved; termination is reached once quiet and is
+    never declared while a delivery is still outstanding."""
+    rng = np.random.default_rng(seed)
+    ring = MisraMarkerRing(n)
+    deliveries = []
+    for _ in range(msgs):
+        src, dst = int(rng.integers(n)), int(rng.integers(n))
+        copies = int(rng.integers(1, 4))  # retries / injected duplicates
+        deliveries.extend([(src, dst)] * copies)
+    order = rng.permutation(len(deliveries)) if deliveries else []
+    for i in order:
+        src, dst = deliveries[int(i)]
+        ring.on_send(src)
+        ring.on_receive(dst)
+        ring.step()  # marker circulates between deliveries
+        ring.on_idle(dst)
+        ring.on_idle(src)
+    for p in range(n):
+        ring.on_idle(p)
+    hops = ring.run_to_completion()
+    assert ring.finished
+    assert hops <= 2 * n + 1

@@ -240,3 +240,49 @@ class TestScalingShapes:
             )
             times[grain] = rep.makespan
         assert times[32] < times[1]
+
+
+class TestPatchProcValidation:
+    """run() must reject malformed route tables outright, not fail
+    obscurely mid-simulation."""
+
+    def _runtime(self):
+        return DataDrivenRuntime(16, machine=Machine(cores_per_proc=4))
+
+    def test_negative_proc_id_rejected(self):
+        machine, pset, s = _des_setup()
+        progs, _ = s.build_programs(compute=False)
+        bad = pset.patch_proc.copy()
+        bad[0] = -1
+        with pytest.raises(ReproError, match="negative"):
+            DataDrivenRuntime(16, machine=machine).run(progs, bad)
+
+    def test_too_short_for_programs_rejected(self):
+        machine, pset, s = _des_setup()
+        progs, _ = s.build_programs(compute=False)
+        short = pset.patch_proc[:1].copy()  # program patches out of range
+        with pytest.raises(ReproError, match="outside"):
+            DataDrivenRuntime(16, machine=machine).run(progs, short)
+
+    def test_two_dimensional_rejected(self):
+        machine, pset, s = _des_setup()
+        progs, _ = s.build_programs(compute=False)
+        bad = np.zeros((len(pset.patch_proc), 2), dtype=np.int64)
+        with pytest.raises(ReproError, match="one-dimensional"):
+            DataDrivenRuntime(16, machine=machine).run(progs, bad)
+
+    def test_empty_rejected(self):
+        machine, pset, s = _des_setup()
+        progs, _ = s.build_programs(compute=False)
+        with pytest.raises(ReproError):
+            DataDrivenRuntime(16, machine=machine).run(
+                progs, np.zeros(0, dtype=np.int64)
+            )
+
+    def test_valid_table_accepted(self):
+        machine, pset, s = _des_setup()
+        progs, _ = s.build_programs(compute=False)
+        rep = DataDrivenRuntime(16, machine=machine).run(
+            progs, pset.patch_proc
+        )
+        assert rep.vertices_solved == s.topology.num_vertices
