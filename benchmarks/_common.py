@@ -13,7 +13,9 @@ socket, master core reserved).
 
 from __future__ import annotations
 
-import numpy as np
+import argparse
+import json
+import os
 
 from repro import JSNTS, JSNTU, Machine
 from repro.runtime import CostModel
@@ -95,6 +97,36 @@ def print_series(title: str, header: list[str], rows: list[list]) -> None:
             else:
                 cells.append(str(v).rjust(w))
         print("  ".join(cells))
+
+
+def bench_args(description: str, argv: list[str] | None = None) -> argparse.Namespace:
+    """CLI for running one benchmark module as a plain script.
+
+    ``pytest benchmarks/`` stays the bulk path; ``python benchmarks/
+    bench_xxx.py --trace`` runs one benchmark standalone and exports a
+    Chrome-trace JSON (``chrome://tracing`` / Perfetto) per DES run.
+    """
+    ap = argparse.ArgumentParser(description=description)
+    ap.add_argument(
+        "--trace",
+        nargs="?",
+        const="traces",
+        default=None,
+        metavar="DIR",
+        help="record structured event traces and write one "
+        "Chrome-trace JSON per run into DIR (default: ./traces)",
+    )
+    return ap.parse_args(argv)
+
+
+def write_chrome_trace(report, label: str, directory: str) -> str:
+    """Export ``report``'s event trace as ``DIR/<label>.trace.json``."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{label}.trace.json")
+    with open(path, "w") as fh:
+        json.dump(report.to_chrome_trace(), fh)
+    print(f"trace: {path} ({len(report.trace_events)} events)")
+    return path
 
 
 def efficiency(base_cores: int, base_time: float, cores: int, time: float) -> float:

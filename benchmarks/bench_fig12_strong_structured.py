@@ -11,7 +11,7 @@ monotone speedup with efficiency decaying into the 30-70% band at 16x.
 
 import pytest
 
-from _common import KOBA_LARGE, KOBA_MIDDLE, MACHINE, koba_app, print_series
+from _common import KOBA_LARGE, KOBA_MIDDLE, koba_app, print_series
 
 
 def _strong_scaling(n: int, cores_list: list[int], patch: int) -> list[list]:

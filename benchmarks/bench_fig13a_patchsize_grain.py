@@ -14,10 +14,9 @@ with no blow-up at large grains (unlike structured Fig. 9a).
 
 import pytest
 
-from repro import DataDrivenRuntime
 from repro.runtime import CostModel
 
-from _common import MACHINE, print_series, reactor_app
+from _common import print_series, reactor_app
 
 CORES = 24
 PATCH_SIZES = [50, 100, 250, 500, 1000, 2000]

@@ -11,10 +11,9 @@ small (well under the 2-3x separations of the structured Fig. 9b).
 
 import pytest
 
-from repro import DataDrivenRuntime
 from repro.runtime import CostModel
 
-from _common import MACHINE, print_series, reactor_app
+from _common import print_series, reactor_app
 
 STRATEGIES = ["bfs", "bfs+slbd", "slbd", "slbd+bfs"]
 CORES = [24, 48, 96, 192]

@@ -15,7 +15,6 @@ core multiples.
 import pytest
 
 from _common import ball_app, print_series
-from repro.runtime import CostModel
 
 
 def _strong(resolution: int, cores_list: list[int], patch_size: int):

@@ -23,18 +23,21 @@ import pytest
 
 from repro.runtime import CATEGORIES
 
-from _common import koba_app, print_series
+from _common import bench_args, koba_app, print_series, write_chrome_trace
 
 CORES = [24, 48, 96, 192]
 N = 20
 
 
-def run_fig16():
+def run_fig16(trace_dir: str | None = None):
     rows = []
     reports = []
     for cores in CORES:
         app = koba_app(N, cores, patch=5, grain=64)
-        rep = app.sweep_report(cores, coarsened=False)
+        rep = app.sweep_report(cores, coarsened=False,
+                               trace=trace_dir is not None)
+        if trace_dir is not None:
+            write_chrome_trace(rep, f"fig16-koba{N}-{cores}cores", trace_dir)
         per_core = rep.avg_seconds_per_core()
         rows.append(
             [cores]
@@ -45,15 +48,19 @@ def run_fig16():
     return rows, reports
 
 
-@pytest.mark.benchmark(group="fig16")
-def test_fig16_runtime_breakdown(benchmark):
-    rows, reports = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+def _print(rows):
     print_series(
         f"Fig. 16 - runtime breakdown, Kobayashi-{N}, one DAG sweep "
         "(avg ms per core; paper: overhead ~23%, idle 22-46%)",
         ["cores"] + list(CATEGORIES) + ["ovh_frac", "idle_frac"],
         rows,
     )
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_runtime_breakdown(benchmark):
+    rows, reports = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    _print(rows)
     idles = [rep.idle_fraction() for rep in reports]
     ovhs = [rep.overhead_fraction() for rep in reports]
     comms = [rep.comm_fraction() for rep in reports]
@@ -67,3 +74,10 @@ def test_fig16_runtime_breakdown(benchmark):
     # Kernel + idle + overhead + comm account for everything.
     f = reports[0].breakdown.fractions()
     assert abs(sum(f.values()) - 1.0) < 1e-9
+
+
+if __name__ == "__main__":
+    args = bench_args("Fig. 16 runtime breakdown (use --trace to export "
+                      "Chrome-trace JSON per run)")
+    rows, _ = run_fig16(trace_dir=args.trace)
+    _print(rows)

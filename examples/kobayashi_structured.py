@@ -8,7 +8,6 @@ coarsened-graph optimization on.
 Run:  python examples/kobayashi_structured.py
 """
 
-import numpy as np
 
 from repro import JSNTS, Machine
 from repro.sweep import product_quadrature

@@ -9,7 +9,6 @@ and compares priority-strategy pairs on the simulated runtime
 Run:  python examples/reactor_unstructured.py
 """
 
-import numpy as np
 
 from repro import JSNTU, Machine
 

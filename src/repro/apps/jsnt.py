@@ -14,7 +14,7 @@ study types the evaluation section runs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -58,13 +58,16 @@ class JSNTApp:
         compute: bool = False,
         grain: int | None = None,
         termination: str = "workload",
+        trace: bool = False,
     ) -> RunReport:
         """One full sweep under the DES runtime at ``total_cores``.
 
         The patch set must have been built for the matching process
         count (use :meth:`procs_for`).  With ``coarsened`` the sweep
         first records clusters, builds CG, and times the CG sweep -
-        the steady-state regime the paper reports.
+        the steady-state regime the paper reports.  With ``trace`` the
+        report carries a structured event trace (see
+        ``RunReport.to_chrome_trace``).
         """
         lay = self.machine.layout(total_cores, mode)
         if self.pset.num_procs != lay.nprocs:
@@ -87,6 +90,7 @@ class JSNTApp:
             cost=cost,
             mode=mode,
             termination=termination,
+            trace=trace,
         )
         return rt.run(programs, self.pset.patch_proc)
 

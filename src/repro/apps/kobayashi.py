@@ -27,7 +27,7 @@ from .._util import ReproError
 from ..framework.patch import PatchSet
 from ..mesh.structured import StructuredMesh
 from ..sweep.materials import Material, MaterialMap
-from ..sweep.quadrature import Quadrature, level_symmetric, product_quadrature
+from ..sweep.quadrature import Quadrature, level_symmetric
 from ..sweep.solver import SnSolver
 
 __all__ = [

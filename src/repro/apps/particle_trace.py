@@ -15,7 +15,7 @@ workload-commit fast path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -169,13 +169,11 @@ class ParticleTraceProgram(PatchProgram):
     def compute(self) -> None:
         ship: dict[int, list[Particle]] = {}
         crossings = 0
-        moved = 0
         while self._pending:
             p = self._pending.pop()
             before = p.crossings
             advance_in_cells(self.mesh, p, self._cells)
             crossings += p.crossings - before
-            moved += 1
             if not p.alive:
                 self.finished.append(p)
             else:

@@ -14,7 +14,7 @@ priority strategies of Sec. V-D take effect even in serial runs.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .._util import ReproError
 from .patch_program import PatchProgram, ProgramState

@@ -9,7 +9,7 @@ target program in its route table, locally or across processes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable
 
 __all__ = ["ProgramId", "Stream"]

@@ -22,7 +22,6 @@ import numpy as np
 
 from .._util import ReproError
 from .halo import HaloStats, halo_exchange
-from .patch import Patch, PatchSet
 from .patch_data import PatchField
 
 __all__ = [

@@ -15,7 +15,7 @@ is the point of the patch abstraction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,8 +1,16 @@
-"""Simulated-cluster data-driven runtime (systems S9-S10).
+"""Simulated-cluster data-driven runtime (systems S9-S10, S20).
 
 The stand-in for the paper's MPI+threads runtime on Tianhe-2: a
 discrete-event simulation that executes the real patch-programs and
 reports virtual makespan plus the Fig. 16 time breakdown.
+
+Layered substrate (each layer its own module; no layer imports one
+above it): :mod:`~repro.runtime.simulator` (DES core) <
+:mod:`~repro.runtime.router` (route table) <
+:mod:`~repro.runtime.transport` (reliable delivery) <
+:mod:`~repro.runtime.scheduler` (dispatch policies, worker pools) <
+:mod:`~repro.runtime.recovery` (checkpoints, failover) <
+:mod:`~repro.runtime.engine_des` (composition root).
 """
 
 from .cluster import TIANHE2, Layout, Machine
@@ -17,6 +25,10 @@ from .faults import (
 )
 from .metrics import Breakdown, RunReport
 from .perfmodel import SweepModelPrediction, SweepPerformanceModel
+from .router import Router
+from .scheduler import HybridPolicy, MpiOnlyPolicy, Scheduler, SchedulerPolicy
+from .simulator import Resource, Simulator, TraceEvent
+from .transport import Transport
 
 __all__ = [
     "Machine",
@@ -34,4 +46,13 @@ __all__ = [
     "RecoveryConfig",
     "SweepPerformanceModel",
     "SweepModelPrediction",
+    "Simulator",
+    "Resource",
+    "TraceEvent",
+    "Router",
+    "Transport",
+    "Scheduler",
+    "SchedulerPolicy",
+    "HybridPolicy",
+    "MpiOnlyPolicy",
 ]

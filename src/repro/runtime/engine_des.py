@@ -1,120 +1,71 @@
-"""Discrete-event-simulated data-driven runtime (Sec. IV).
+"""Discrete-event-simulated data-driven runtime (Sec. IV): the
+composition root over the layered simulator substrate.
 
 Executes patch-programs with the exact semantics of the serial engine,
 but on a simulated multicore cluster: each MPI process has a master
 thread (stream routing, program dispatch, termination) and worker
-threads (program execution), per Fig. 8.  Virtual time advances through
-an event heap; masters and workers are serial resources; messages
-between processes pay latency + size/bandwidth.
+threads (program execution), per Fig. 8.  Because the *real* algorithm
+runs, every schedule-level phenomenon of the paper emerges rather than
+being modeled; only the time axis is synthetic (see DESIGN.md).
+The machinery lives in five layers, composed here and each documented
+in its own module:
 
-Because the *real* algorithm runs (real counters, queues, priorities,
-streams), every schedule-level phenomenon of the paper - pipeline
-fill-in, priority-induced idling, clustering's communication deferral,
-dynamic load balance across workers - emerges rather than being
-modeled.  Only the time axis is synthetic; see DESIGN.md's
-substitution log.
+* :mod:`repro.runtime.simulator` - event heap, core timelines, virtual
+  clock, quiescence counter (the DES core, S10);
+* :mod:`repro.runtime.router`    - route table, owner map, failover
+  re-assignment (S9 routing plane);
+* :mod:`repro.runtime.transport` - wire times plus seq/ack/retransmit/
+  dedup reliable delivery with the fault-injection hook (S20);
+* :mod:`repro.runtime.scheduler` - per-process priority queues, worker
+  pools, and the ``hybrid`` vs ``mpi_only`` core layouts as policy
+  objects (S9 dispatch plane; see :mod:`repro.runtime.cluster`);
+* :mod:`repro.runtime.recovery`  - incremental checkpoints, delivery
+  logs, crash failover orchestration (S20; armed per
+  :mod:`repro.runtime.faults`).
 
-Runtime modes (see :mod:`repro.runtime.cluster`):
-
-* ``hybrid``   - JSweep: dedicated master core per process; streams are
-  routed while workers compute.
-* ``mpi_only`` - the manually-parallelized baselines: one rank per
-  core; routing, unpacking and dispatch compete with computation on
-  the same core, and there is no intra-process worker pool to absorb
-  load imbalance.
-
-Fault tolerance (see :mod:`repro.runtime.faults`): given a
-:class:`~repro.runtime.faults.FaultPlan`, the runtime injects process
-crashes, straggler windows and message drop/duplication, and recovers
-exactly:
-
-* every remote stream is stamped with a unique ``(src, seq)`` id,
-  acknowledged on arrival, and retransmitted with exponential backoff
-  until acked; receivers discard duplicate ids, so drops, duplicates
-  and retries are invisible to programs;
-* each process periodically snapshots its resident programs (local
-  context + unconsumed inbox + un-acked sends) and logs deliveries
-  since the snapshot; snapshots are incremental - a program untouched
-  since its last snapshot is skipped, so checkpoint cost follows
-  activity rather than residency;
-* on a crash, the dead process's patches are re-assigned round-robin
-  to survivors through the route table; each migrated program is
-  restored from its snapshot, its delivery log is replayed into its
-  inbox, its un-acked checkpointed sends are retransmitted, and its
-  execution epoch is bumped so events and workload commits of the lost
-  execution are recognized as stale.
-
-Replay may re-batch a program's emissions differently than the lost
-execution, so exact recovery additionally requires *idempotent* input
-(programs built with ``resilient_input``; sweep programs dedupe on
-remote-edge ids).  Since sweep kernels write each cell by assignment
-from fixed upwind values, re-executed vertices recompute bit-identical
-results: a recovered run matches the fault-free numerics exactly.
+:class:`DataDrivenRuntime` validates the run, wires the layers
+together, drives the master event loop (Alg. 1), and negotiates
+termination.  With ``trace=True`` every processed event is recorded on
+``RunReport.trace_events`` (exportable via ``to_chrome_trace``).
 """
 
 from __future__ import annotations
-
-import heapq
-from dataclasses import dataclass
 
 import numpy as np
 
 from .._util import ReproError
 from ..core.patch_program import PatchProgram, ProgramState
-from ..core.stream import ProgramId, Stream
 from ..core.termination import MisraMarkerRing, WorkloadTracker
 from .cluster import Machine, TIANHE2
 from .costmodel import CostModel
 from .faults import FaultInjector, FaultPlan, RecoveryConfig
 from .metrics import Breakdown, RunReport
+from .recovery import RecoveryManager
+from .router import Router
+from .scheduler import RunState, Scheduler, make_policy
+from .simulator import Simulator
+from .transport import Transport
 
 __all__ = ["DataDrivenRuntime"]
 
-#: Event kinds that represent actual forward progress of the run.  The
-#: runtime tracks how many are outstanding to recognize quiescence
-#: (crash/checkpoint events scheduled after the job finished are inert,
-#: and checkpointing stops rescheduling itself).
+#: Event kinds that represent actual forward progress of the run; the
+#: simulator counts how many are outstanding to recognize quiescence.
 _PROGRESS = frozenset(
     ("run_start", "run_end", "msg_arrive", "deliver", "failover", "requeue")
 )
 
 
-class _Resource:
-    """A serial server (one core's timeline)."""
-
-    __slots__ = ("free", "core")
-
-    def __init__(self, core: tuple):
-        self.free = 0.0
-        self.core = core
-
-    def book(self, now: float, duration: float) -> tuple[float, float]:
-        start = max(now, self.free)
-        end = start + duration
-        self.free = end
-        return start, end
-
-
-@dataclass
-class _Checkpoint:
-    """One program's recovery point."""
-
-    state: object  # PatchProgram.checkpoint() snapshot
-    inbox: list  # streams delivered but unconsumed at snapshot time
-    pending: dict  # uid -> Stream: this program's un-acked sends
-
-
-class _PendingSend:
-    """Ack/retransmit bookkeeping of one un-acked remote stream."""
-
-    __slots__ = ("stream", "src_pid", "retries", "timeout", "attempt")
-
-    def __init__(self, stream: Stream, src_pid: ProgramId, timeout: float):
-        self.stream = stream
-        self.src_pid = src_pid
-        self.retries = 0
-        self.timeout = timeout
-        self.attempt = 0  # bumped on every (re)arm; lazily cancels timers
+def _trace_fields(kind, data):
+    """(proc, core, program) of one event, for the structured trace."""
+    if kind in ("run_start", "run_end"):
+        return data[0], ("w", data[0], data[1]), str(data[2])
+    if kind == "msg_arrive":
+        return data[0], None, str(data[1].dst)
+    if kind in ("deliver", "requeue"):
+        return None, None, str(data[0])
+    if kind in ("crash", "failover", "ckpt"):
+        return data, None, None
+    return None, None, None  # ack, timer
 
 
 class DataDrivenRuntime:
@@ -129,6 +80,7 @@ class DataDrivenRuntime:
         termination: str = "workload",
         faults: FaultPlan | None = None,
         recovery: RecoveryConfig | None = None,
+        trace: bool = False,
     ):
         if termination not in ("workload", "consensus"):
             raise ReproError(f"unknown termination mode {termination!r}")
@@ -143,6 +95,7 @@ class DataDrivenRuntime:
         if recovery is None and faults is not None and faults.needs_recovery():
             recovery = RecoveryConfig()
         self.recovery = recovery
+        self.trace = trace
 
     # -- public API ---------------------------------------------------------------
 
@@ -158,486 +111,121 @@ class DataDrivenRuntime:
         patches the programs reference.
         """
         lay = self.layout
-        nprocs = lay.nprocs
-        if len(programs) == 0:
-            raise ReproError("no programs to run")
-        patch_proc = np.asarray(patch_proc)
-        if patch_proc.ndim != 1:
-            raise ReproError("patch_proc must be a one-dimensional array")
-        if patch_proc.size == 0:
-            raise ReproError("patch_proc is empty")
-        if int(patch_proc.min()) < 0:
-            raise ReproError(
-                f"patch_proc contains negative process id {int(patch_proc.min())}"
-            )
-        if int(patch_proc.max()) >= nprocs:
-            raise ReproError(
-                f"patch_proc references proc {int(np.max(patch_proc))} but the "
-                f"layout has only {nprocs} processes"
-            )
-        for prog in programs:
-            if not 0 <= prog.id.patch < patch_proc.size:
-                raise ReproError(
-                    f"program {prog.id!r} references a patch outside "
-                    f"patch_proc (length {patch_proc.size})"
-                )
-
-        plan = self.faults
-        rcfg = self.recovery
-        ft = rcfg is not None  # ack/retry + checkpoint/failover machinery on
-        inj = FaultInjector(plan) if plan is not None else None
+        router = Router(programs, patch_proc, lay.nprocs)
+        plan, rcfg = self.faults, self.recovery
         if plan is not None:
-            for w in plan.stragglers:
-                if w.proc >= nprocs:
-                    raise ReproError(
-                        f"straggler window targets proc {w.proc} but the "
-                        f"layout has only {nprocs} processes"
-                    )
-            if plan.crashes:
-                crashed = plan.crashed_procs()
-                if any(c >= nprocs for c in crashed):
-                    raise ReproError(
-                        f"crash targets proc {max(crashed)} but the layout "
-                        f"has only {nprocs} processes"
-                    )
-                if len(crashed) >= nprocs:
-                    raise ReproError(
-                        "fault plan crashes every process; no survivors"
-                    )
-                for prog in programs:
-                    if not getattr(prog, "resilient_input", False):
-                        raise ReproError(
-                            "crash recovery requires idempotent programs: "
-                            f"{prog.id!r} does not set resilient_input "
-                            "(build sweep programs with resilient=True)"
-                        )
+            plan.validate(lay.nprocs, programs)
+        inj = FaultInjector(plan) if plan is not None else None
+        ft = rcfg is not None  # ack/retry + checkpoint/failover machinery on
 
-        # --- per-run state ---
-        progs: dict[ProgramId, PatchProgram] = {}
-        proc_of: dict[ProgramId, int] = {}  # the route table
-        state: dict[ProgramId, ProgramState] = {}
-        inbox: dict[ProgramId, list[Stream]] = {}
-        inited: set[ProgramId] = set()
-        running: set[ProgramId] = set()
-        queued: set[ProgramId] = set()
-        epoch: dict[ProgramId, int] = {}  # execution epoch (bumped on failover)
-        for prog in programs:
-            if prog.id in progs:
-                raise ReproError(f"duplicate program {prog.id!r}")
-            progs[prog.id] = prog
-            proc_of[prog.id] = int(patch_proc[prog.id.patch])
-            state[prog.id] = ProgramState.ACTIVE
-            inbox[prog.id] = []
-            epoch[prog.id] = 0
-
-        # --- fault-tolerance state ---
-        patch_owner = patch_proc.astype(np.int64).copy()  # mutable route table
-        owned: dict[int, list[ProgramId]] = {p: [] for p in range(nprocs)}
-        for pid, p in proc_of.items():
-            owned[p].append(pid)
-        ckpt: dict[ProgramId, _Checkpoint | None] = {pid: None for pid in progs}
-        dlog: dict[ProgramId, list[Stream]] = {pid: [] for pid in progs}
-        dirty: set[ProgramId] = set()  # changed since last snapshot
-        out_seq: dict[ProgramId, int] = {}  # next seq per sending program
-        pending: dict[tuple, _PendingSend] = {}  # uid -> un-acked send
-        seen: set[tuple] = set()  # uids already delivered (dup discard)
-        tracker = WorkloadTracker()
-        dead: set[int] = set()
-        crash_time: dict[int, float] = {}
-
-        masters = [_Resource(("m", p)) for p in range(nprocs)]
-        workers: list[list[_Resource]] = []
-        for p in range(nprocs):
-            if self.mode == "mpi_only":
-                # Master and the single worker share the core.
-                workers.append([masters[p]])
-                masters[p].core = ("w", p, 0)
-            else:
-                workers.append(
-                    [_Resource(("w", p, w)) for w in range(lay.workers_per_proc)]
-                )
-        idle_workers: list[list[int]] = [
-            list(range(len(workers[p])))[::-1] for p in range(nprocs)
-        ]
-        pq: list[list] = [[] for _ in range(nprocs)]
-
+        # -- compose the layers ----------------------------------------------------
         bd = Breakdown()
         report = RunReport(makespan=0.0, breakdown=bd, total_cores=lay.total_cores)
-        events: list = []
-        seq = 0
-        live = 0  # outstanding progress events (quiescence detector)
+        sim = Simulator(
+            _PROGRESS,
+            trace_hook=report.trace_events.append if self.trace else None,
+            trace_fields=_trace_fields,
+        )
+        st = RunState()
+        for prog in programs:
+            st.add(prog)
+        tracker = WorkloadTracker()
+        slow = inj.slowdown if inj is not None else (lambda p, now: 1.0)
+        transport = Transport(
+            sim, router, self.machine, lay, report,
+            injector=inj, rcfg=rcfg if ft else None,
+        )
+        sched = Scheduler(
+            sim, router, make_policy(self.mode), lay, st,
+            self.cost, report, bd, slow, transport, tracker,
+        )
+        rec = (
+            RecoveryManager(sim, router, transport, sched, rcfg, report, bd,
+                            st, slow)
+            if ft else None
+        )
 
-        def push_event(t: float, kind: str, data) -> None:
-            nonlocal seq, live
-            seq += 1
-            if kind in _PROGRESS:
-                live += 1
-            heapq.heappush(events, (t, seq, kind, data))
-
-        def push_pq(pid: ProgramId) -> None:
-            nonlocal seq
-            if pid in queued or pid in running:
-                return
-            queued.add(pid)
-            seq += 1
-            heapq.heappush(
-                pq[proc_of[pid]], (-progs[pid].priority(), seq, pid)
-            )
-
-        def slow(p: int, now: float) -> float:
-            return inj.slowdown(p, now) if inj is not None else 1.0
-
-        def try_dispatch(p: int, now: float) -> None:
-            # Workers pull from the process's shared active queue
-            # themselves (Fig. 8); the pop cost is charged to the
-            # worker as part of the run (see run_start).  The master is
-            # NOT on this path - it only routes streams - which is
-            # precisely the design the paper credits for scalability.
-            if p in dead:
-                return
-            while idle_workers[p] and pq[p]:
-                _, _, pid = heapq.heappop(pq[p])
-                if proc_of[pid] != p:
-                    continue  # stale entry: the program migrated away
-                queued.discard(pid)
-                if state[pid] is not ProgramState.ACTIVE or pid in running:
-                    continue
-                w = idle_workers[p].pop()
-                running.add(pid)
-                push_event(now, "run_start", (p, w, pid, epoch[pid]))
-
-        def deliver(pid: ProgramId, s: Stream, now: float) -> None:
-            inbox[pid].append(s)
-            if ft:
-                # Delivery log: replayed into the inbox if the owner
-                # crashes and the program restarts from its snapshot.
-                dlog[pid].append(s)
-                dirty.add(pid)
-            if state[pid] is ProgramState.INACTIVE:
-                state[pid] = ProgramState.ACTIVE
-            if pid not in running:
-                push_pq(pid)
-                try_dispatch(proc_of[pid], now)
-
-        def transmit(ps: _PendingSend, now: float) -> None:
-            """Put one (re)transmission of an un-acked stream on the wire."""
-            s = ps.stream
-            src_p = proc_of[s.src]
-            dst_p = proc_of[s.dst]
-            wire = mach.message_time(src_p, dst_p, s.nbytes, lay)
-            fate = inj.message_fate() if inj is not None else "deliver"
-            if fate == "drop":
-                report.drops += 1
-                return
-            push_event(now + wire, "msg_arrive", (dst_p, s))
-            if fate == "duplicate":
-                report.duplicates += 1
-                push_event(now + 2 * wire, "msg_arrive", (dst_p, s))
-
-        # --- seed: every program starts active ---
-        for pid in progs:
-            push_pq(pid)
-        for p in range(nprocs):
-            try_dispatch(p, 0.0)
+        # -- seed: every program starts active -------------------------------------
+        for pid in st.progs:
+            sched.enqueue(pid)
+        for p in range(lay.nprocs):
+            sched.dispatch(p, 0.0)
         if plan is not None:
             for c in plan.crashes:
-                push_event(c.time, "crash", c.proc)
+                sim.push(c.time, "crash", c.proc)
         if ft:
-            for p in range(nprocs):
-                push_event(rcfg.checkpoint_interval, "ckpt", p)
+            rec.arm()
 
-        makespan = 0.0
+        # -- the master event loop (Alg. 1) ----------------------------------------
         cm = self.cost
-        mach = self.machine
+        while sim:
+            now, kind, data = sim.pop()
 
-        while events:
-            now, _, kind, data = heapq.heappop(events)
-            if kind in _PROGRESS:
-                live -= 1
-
-            # -- control-plane events: never advance the makespan --------
+            # Control-plane events never advance the makespan.
             if kind == "ack":
-                pending.pop(data, None)
+                transport.on_ack(data)
                 continue
-
             if kind == "timer":
-                uid, attempt = data
-                ps = pending.get(uid)
-                if ps is None or ps.attempt != attempt:
-                    continue  # acked or superseded: lazily cancelled
-                report.timeouts += 1
-                s = ps.stream
-                if proc_of[s.src] in dead:
-                    continue  # sender's owner crashed; failover re-arms
-                if proc_of[s.dst] in dead:
-                    # Destination is down: hold the message (without
-                    # burning retries) until failover re-routes it.
-                    ps.attempt += 1
-                    push_event(now + ps.timeout, "timer", (uid, ps.attempt))
-                    continue
-                if ps.retries >= rcfg.max_retries:
-                    raise ReproError(
-                        f"message {uid!r} undeliverable after "
-                        f"{rcfg.max_retries} retries"
-                    )
-                ps.retries += 1
-                ps.attempt += 1
-                report.retries += 1
-                transmit(ps, now)
-                ps.timeout *= rcfg.backoff
-                push_event(now + ps.timeout, "timer", (uid, ps.attempt))
+                transport.on_timer(data, now)
                 continue
 
-            # -- staleness filtering (only faults ever trigger these) ----
+            # Staleness filtering (only faults ever trigger these).
             if kind in ("run_start", "run_end"):
-                p, w, pid, ep = data[0], data[1], data[2], data[-1]
-                if p in dead:
-                    continue  # executed on a crashed process: lost
-                if ep != epoch[pid]:
-                    # Superseded execution on a live process (defensive;
-                    # reachable only through failover races): free the
-                    # worker, drop the run.
-                    idle_workers[p].append(w)
-                    try_dispatch(p, now)
+                if sched.stale_run(data, now):
                     continue
             elif kind == "msg_arrive":
-                if data[0] in dead:
+                if data[0] in router.dead:
                     continue  # receiver is down; the sender will retry
             elif kind == "requeue":
                 pid, ep = data
-                if ep != epoch[pid] or proc_of[pid] in dead:
+                if ep != st.epoch[pid] or router.proc_of[pid] in router.dead:
                     continue
-            elif kind == "crash":
-                if data in dead or (live == 0 and not pending):
-                    continue  # double fault on one proc / job already done
-            elif kind == "ckpt":
-                if data in dead or (live == 0 and not pending):
-                    continue  # checkpointing stops once the job is done
+            elif kind in ("crash", "ckpt"):
+                # Double fault on one proc, or the job already done.
+                if data in router.dead or rec.quiescent():
+                    continue
 
-            makespan = max(makespan, now)
+            sim.observe(now)
             report.events += 1
 
             if kind == "run_start":
-                p, w, pid, ep = data
-                prog = progs[pid]
-                sf = slow(p, now)
-                if ep > 0:
-                    report.reexecutions += 1
-                if pid not in inited:
-                    prog.init()
-                    inited.add(pid)
-                box = inbox[pid]
-                if box:
-                    for s in box:
-                        prog.input(s)
-                    box.clear()
-                prog.compute()
-                outputs: list[Stream] = []
-                while (s := prog.output()) is not None:
-                    outputs.append(s)
-                counters = prog.last_run_counters()
-                report.vertices_solved += counters.get("vertices", 0)
-                remote = [
-                    s for s in outputs if proc_of[s.dst] != p
-                ]
-                cost = cm.run_cost(
-                    counters,
-                    remote_streams=len(remote),
-                    remote_items=sum(s.items for s in remote),
-                )
-                duration = sum(cost.values())
-                duration += cm.t_sched  # queue pop / dispatch, on the worker
-                wres = workers[p][w]
-                _, end = wres.book(now, duration * sf)
-                bd.add(wres.core, "kernel", cost["kernel"] * sf)
-                bd.add(wres.core, "graph_op", (cost["graph_op"] + cost["fixed"]) * sf)
-                bd.add(wres.core, "pack", cost["pack"] * sf)
-                bd.add(wres.core, "sched", cm.t_sched * sf)
-                report.executions += 1
-                push_event(end, "run_end", (p, w, pid, outputs, ep))
-
+                sched.execute(data, now)
             elif kind == "run_end":
-                p, w, pid, outputs, ep = data
-                prog = progs[pid]
-                for s in outputs:
-                    report.stream_items += s.items
-                    dst_p = proc_of[s.dst]
-                    if dst_p == p:
-                        # Local routing through the master thread.
-                        dur = cm.t_route * slow(p, now)
-                        _, end = masters[p].book(now, dur)
-                        bd.add(masters[p].core, "comm", dur)
-                        report.local_streams += 1
-                        push_event(end, "deliver", (s.dst, s))
-                    else:
-                        report.messages += 1
-                        report.message_bytes += s.nbytes
-                        if ft:
-                            # Stamp a unique message id and track the
-                            # send until the receiver acknowledges it.
-                            s.seq = out_seq.get(s.src, 0)
-                            out_seq[s.src] = s.seq + 1
-                            s.epoch = ep
-                            ps = _PendingSend(s, pid, rcfg.ack_timeout)
-                            pending[s.uid] = ps
-                            transmit(ps, now)
-                            push_event(now + ps.timeout, "timer", (s.uid, 0))
-                        else:
-                            wire = mach.message_time(p, dst_p, s.nbytes, lay)
-                            push_event(now + wire, "msg_arrive", (dst_p, s))
-                running.discard(pid)
-                if ft:
-                    dirty.add(pid)
-                rem = prog.remaining_workload()
-                if rem is not None:
-                    # Workload-commit fast path; epoch-keyed so a stale
-                    # execution cannot overwrite a migrated program's
-                    # fresher commit.
-                    tracker.commit(pid, rem, epoch=ep)
-                if prog.vote_to_halt() and not inbox[pid]:
-                    state[pid] = ProgramState.INACTIVE
-                else:
-                    state[pid] = ProgramState.ACTIVE
-                    push_pq(pid)
-                idle_workers[p].append(w)
-                try_dispatch(p, now)
-
+                sched.complete(data, now)
             elif kind == "msg_arrive":
                 p, s = data
-                uid = s.uid
-                if uid is not None:
-                    # Ack on arrival (cheap control message to the
-                    # sender's current owner), then discard duplicates:
-                    # retransmissions and injected copies re-ack but are
-                    # invisible to the program.
-                    if inj is None or not inj.ack_dropped():
-                        ack_t = mach.control_time(p, proc_of[s.src], lay)
-                        push_event(now + ack_t, "ack", uid)
-                    if uid in seen:
-                        continue
-                    seen.add(uid)
+                if not transport.receive(s, p, now):
+                    continue  # duplicate: re-acked above, else invisible
                 dur = cm.unpack_cost(1, s.items) * slow(p, now)
-                _, end = masters[p].book(now, dur)
-                bd.add(masters[p].core, "unpack", dur)
-                push_event(end, "deliver", (s.dst, s))
-
+                _, end = sched.masters[p].book(now, dur)
+                bd.add(sched.masters[p].core, "unpack", dur)
+                sim.push(end, "deliver", (s.dst, s))
             elif kind == "deliver":
                 pid, s = data
-                deliver(pid, s, now)
-
+                st.inbox[pid].append(s)
+                if ft:
+                    rec.log_delivery(pid, s)
+                if st.state[pid] is ProgramState.INACTIVE:
+                    st.state[pid] = ProgramState.ACTIVE
+                if pid not in sched.running:
+                    sched.enqueue(pid)
+                    sched.dispatch(router.proc_of[pid], now)
             elif kind == "crash":
-                proc = data
-                dead.add(proc)
-                report.crashes += 1
-                crash_time[proc] = now
-                if len(dead) >= nprocs:
-                    raise ReproError("all processes crashed; no survivors")
-                # Workers of the dead process stop mid-run (their
-                # run_end events are now stale); detection is modeled
-                # as a fixed delay before survivors take over.
-                push_event(now + rcfg.detection_delay, "failover", proc)
-
+                rec.on_crash(data, now)
             elif kind == "failover":
-                proc = data
-                alive = [q for q in range(nprocs) if q not in dead]
-                moved = sorted(owned[proc])
-                owned[proc] = []
-                moved_set = set(moved)
-                # Re-assign the dead owner's patches round-robin over
-                # the survivors, through the route table.
-                for i, patch in enumerate(sorted({pid.patch for pid in moved})):
-                    patch_owner[patch] = alive[i % len(alive)]
-                install_end = now
-                for pid in moved:
-                    new_p = int(patch_owner[pid.patch])
-                    proc_of[pid] = new_p
-                    owned[new_p].append(pid)
-                    epoch[pid] += 1
-                    running.discard(pid)
-                    queued.discard(pid)
-                    prog = progs[pid]
-                    ck = ckpt[pid]
-                    if ck is None:
-                        prog.init()  # never checkpointed: restart fresh
-                    else:
-                        prog.restore(ck.state)
-                    inited.add(pid)
-                    # Replay: checkpointed unconsumed inbox + everything
-                    # delivered since the snapshot.  The log is NOT
-                    # cleared - it belongs to the snapshot, and this
-                    # formula must stay valid for a second failover.
-                    base = list(ck.inbox) if ck is not None else []
-                    inbox[pid] = base + list(dlog[pid])
-                    state[pid] = ProgramState.ACTIVE
-                    dur = rcfg.t_failover_program * slow(new_p, now)
-                    _, end = masters[new_p].book(now, dur)
-                    bd.add(masters[new_p].core, "recovery", dur)
-                    push_event(end, "requeue", (pid, epoch[pid]))
-                    install_end = max(install_end, end)
-                # Un-acked sends of the migrated programs: snapshot-time
-                # sends are retransmitted verbatim (same uid, so a late
-                # original copy is discarded by the receiver); sends
-                # made after the snapshot are dropped - the replayed
-                # execution regenerates them under fresh uids, and
-                # receivers dedupe their content at edge granularity.
-                for uid in list(pending):
-                    ps = pending[uid]
-                    if ps.src_pid not in moved_set:
-                        continue
-                    ck = ckpt[ps.src_pid]
-                    if ck is None or uid not in ck.pending:
-                        del pending[uid]
-                    else:
-                        ps.retries = 0
-                        ps.timeout = rcfg.ack_timeout
-                        ps.attempt += 1
-                        transmit(ps, now)
-                        push_event(now + ps.timeout, "timer", (uid, ps.attempt))
-                report.failover_time += install_end - crash_time[proc]
-
+                rec.on_failover(data, now)
             elif kind == "requeue":
-                pid, ep = data
-                push_pq(pid)
-                try_dispatch(proc_of[pid], now)
-
+                pid, _ = data
+                sched.enqueue(pid)
+                sched.dispatch(router.proc_of[pid], now)
             elif kind == "ckpt":
-                p = data
-                # Incremental: only snapshot programs that ran or
-                # received streams since their last snapshot - a quiet
-                # program's existing recovery point is still exact, so
-                # checkpoint cost tracks activity, not residency.
-                own = [
-                    pid for pid in owned[p]
-                    if pid in dirty and pid not in running and pid in inited
-                ]
-                if own:
-                    dur = (
-                        rcfg.t_checkpoint_fixed
-                        + len(own) * rcfg.t_checkpoint_program
-                    ) * slow(p, now)
-                    _, end = masters[p].book(now, dur)
-                    bd.add(masters[p].core, "recovery", dur)
-                    makespan = max(makespan, end)
-                    for pid in own:
-                        ck_pend = {
-                            uid: ps.stream
-                            for uid, ps in pending.items()
-                            if ps.src_pid == pid
-                        }
-                        ckpt[pid] = _Checkpoint(
-                            progs[pid].checkpoint(), list(inbox[pid]), ck_pend
-                        )
-                        dlog[pid] = []
-                        dirty.discard(pid)
-                        report.checkpoints += 1
-                push_event(now + rcfg.checkpoint_interval, "ckpt", p)
-
+                rec.on_ckpt(data, now)
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown event kind {kind!r}")
 
-        # --- post-run checks and termination negotiation ---
-        for pid, prog in progs.items():
-            if state[pid] is not ProgramState.INACTIVE:
+        # -- post-run checks and termination negotiation ---------------------------
+        for pid, prog in st.progs.items():
+            if st.state[pid] is not ProgramState.INACTIVE:
                 raise ReproError(f"{pid!r} still active at quiescence")
             rem = prog.remaining_workload()
             if rem is not None and rem != 0:
@@ -647,18 +235,17 @@ class DataDrivenRuntime:
                 f"workload tracker not drained: {tracker.pending_keys()!r}"
             )
 
+        makespan = sim.makespan
         if self.termination == "consensus":
-            alive_n = nprocs - len(dead)
+            alive_n = lay.nprocs - len(router.dead)
             ring = MisraMarkerRing(alive_n)
             for p in range(alive_n):
                 ring.on_idle(p)
             hops = ring.run_to_completion()
             report.termination_hops = hops
-            report.termination_time = hops * mach.latency_inter
+            report.termination_time = hops * self.machine.latency_inter
             makespan += report.termination_time
 
         report.makespan = makespan
-        cores = sorted({r.core for p in range(nprocs) for r in workers[p]}
-                       | {masters[p].core for p in range(nprocs)})
-        bd.finalize_idle(makespan, list(cores))
+        bd.finalize_idle(makespan, sched.cores())
         return report

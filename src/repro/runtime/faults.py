@@ -19,7 +19,7 @@ bit-identical, which is what makes fault scenarios regression-testable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -98,6 +98,33 @@ class FaultPlan:
 
     def crashed_procs(self) -> set:
         return {c.proc for c in self.crashes}
+
+    def validate(self, nprocs: int, programs) -> None:
+        """Reject plans inconsistent with the layout or program set."""
+        for w in self.stragglers:
+            if w.proc >= nprocs:
+                raise ReproError(
+                    f"straggler window targets proc {w.proc} but the "
+                    f"layout has only {nprocs} processes"
+                )
+        if self.crashes:
+            crashed = self.crashed_procs()
+            if any(c >= nprocs for c in crashed):
+                raise ReproError(
+                    f"crash targets proc {max(crashed)} but the layout "
+                    f"has only {nprocs} processes"
+                )
+            if len(crashed) >= nprocs:
+                raise ReproError(
+                    "fault plan crashes every process; no survivors"
+                )
+            for prog in programs:
+                if not getattr(prog, "resilient_input", False):
+                    raise ReproError(
+                        "crash recovery requires idempotent programs: "
+                        f"{prog.id!r} does not set resilient_input "
+                        "(build sweep programs with resilient=True)"
+                    )
 
 
 class FaultInjector:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from .costmodel import CATEGORIES
 
@@ -65,6 +64,10 @@ class RunReport:
     events: int = 0
     termination_hops: int = 0
     termination_time: float = 0.0
+
+    #: Structured event trace (populated when the runtime is built with
+    #: ``trace=True``): one TraceEvent per processed simulator event.
+    trace_events: list = field(default_factory=list)
 
     # -- fault & recovery counters (all zero on reliable runs) ----------
     drops: int = 0  # remote messages lost by fault injection
@@ -123,3 +126,32 @@ class RunReport:
         for c in CATEGORIES:
             parts.append(f"  {c:>9}: {rows[c]:.4f}s ({self.breakdown.fractions()[c] * 100:5.1f}%)")
         return "\n".join(parts)
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome-trace-format view of :attr:`trace_events`.
+
+        Loadable in ``chrome://tracing`` / Perfetto.  Program runs
+        become begin/end duration slices on their worker-core track
+        (``run_start`` fires at dispatch, so a slice includes any wait
+        for the booked core; a crash can leave a dangling begin, which
+        viewers extend to the end of the trace).  All other events are
+        thread-scoped instants.  Timestamps are virtual microseconds.
+        """
+        evs = []
+        for te in self.trace_events:
+            tid = "/".join(str(c) for c in te.core) if te.core else "events"
+            ev = {
+                "name": te.program if te.kind in ("run_start", "run_end")
+                and te.program else te.kind,
+                "ph": {"run_start": "B", "run_end": "E"}.get(te.kind, "i"),
+                "ts": te.time * 1e6,
+                "pid": te.proc if te.proc is not None else 0,
+                "tid": tid,
+            }
+            if ev["ph"] == "i":
+                ev["s"] = "t"
+                ev["args"] = {"kind": te.kind}
+                if te.program is not None:
+                    ev["args"]["program"] = te.program
+            evs.append(ev)
+        return {"traceEvents": evs, "displayTimeUnit": "ms"}

@@ -24,7 +24,6 @@ import networkx as nx
 import numpy as np
 
 from .._util import ReproError
-from ..framework.patch import PatchSet
 from ..sweep.dag import SweepTopology
 from .cluster import Machine, TIANHE2
 from .costmodel import CostModel

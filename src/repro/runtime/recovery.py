@@ -1,0 +1,184 @@
+"""Checkpointing, delivery logs and failover orchestration (S20).
+
+The top resilience layer of the runtime stack.  Each process
+periodically snapshots its resident programs (local context +
+unconsumed inbox + un-acked sends); snapshots are *incremental* - a
+program untouched since its last snapshot is skipped, so checkpoint
+cost follows activity rather than residency.  A delivery log records
+streams delivered after a program's snapshot; it is the snapshot's
+replay suffix and is only cleared when a fresh snapshot supersedes it.
+
+On a crash, the dead process's patches are re-assigned to survivors
+through the router; each migrated program is restored from its
+snapshot, its delivery log replayed into its inbox, its checkpointed
+un-acked sends retransmitted verbatim through the transport, and its
+execution epoch bumped so events and workload commits of the lost
+execution are recognized as stale.
+
+Replay may re-batch a program's emissions differently than the lost
+execution, so exact recovery additionally requires *idempotent* input
+(programs built with ``resilient_input``; sweep programs dedupe on
+remote-edge ids).  Since sweep kernels write each cell by assignment
+from fixed upwind values, re-executed vertices recompute bit-identical
+results: a recovered run matches the fault-free numerics exactly.
+
+Sits above every other runtime layer: it drives the router's owner
+re-assignment, the transport's send re-arming, and the scheduler's
+queue/run bookkeeping, and books its virtual costs on the master
+timelines under the ``recovery`` breakdown category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._util import ReproError
+from ..core.patch_program import ProgramState
+from ..core.stream import ProgramId, Stream
+from .faults import RecoveryConfig
+from .metrics import Breakdown, RunReport
+from .router import Router
+from .scheduler import RunState, Scheduler
+from .simulator import Simulator
+from .transport import Transport
+
+__all__ = ["Checkpoint", "RecoveryManager"]
+
+
+@dataclass
+class Checkpoint:
+    """One program's recovery point."""
+
+    state: object  # PatchProgram.checkpoint() snapshot
+    inbox: list  # streams delivered but unconsumed at snapshot time
+    pending: dict  # uid -> Stream: this program's un-acked sends
+
+
+class RecoveryManager:
+    """Incremental checkpoints + crash failover over the lower layers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        transport: Transport,
+        scheduler: Scheduler,
+        rcfg: RecoveryConfig,
+        report: RunReport,
+        bd: Breakdown,
+        st: RunState,
+        slow,
+    ):
+        self.sim = sim
+        self.router = router
+        self.transport = transport
+        self.scheduler = scheduler
+        self.rcfg = rcfg
+        self.report = report
+        self.bd = bd
+        self.st = st
+        self.slow = slow
+        self.ckpt: dict[ProgramId, Checkpoint | None] = {
+            pid: None for pid in st.progs
+        }
+        self.dlog: dict[ProgramId, list[Stream]] = {pid: [] for pid in st.progs}
+        self.dirty: set[ProgramId] = set()  # changed since last snapshot
+        self.crash_time: dict[int, float] = {}
+        scheduler.recovery = self  # completed runs mark themselves dirty
+
+    def arm(self) -> None:
+        """Schedule the first per-process checkpoint round."""
+        for p in range(self.router.nprocs):
+            self.sim.push(self.rcfg.checkpoint_interval, "ckpt", p)
+
+    # -- bookkeeping hooks ---------------------------------------------------------
+
+    def mark_dirty(self, pid: ProgramId) -> None:
+        self.dirty.add(pid)
+
+    def log_delivery(self, pid: ProgramId, s: Stream) -> None:
+        """Record a delivery for replay if the owner crashes later."""
+        self.dlog[pid].append(s)
+        self.dirty.add(pid)
+
+    def quiescent(self) -> bool:
+        """True once the job is done: no outstanding progress events
+        and no un-acked sends (crash/checkpoint events are then inert)."""
+        return self.sim.live == 0 and not self.transport.pending
+
+    # -- event handlers ------------------------------------------------------------
+
+    def on_crash(self, proc: int, now: float) -> None:
+        self.router.mark_dead(proc)
+        self.report.crashes += 1
+        self.crash_time[proc] = now
+        if len(self.router.dead) >= self.router.nprocs:
+            raise ReproError("all processes crashed; no survivors")
+        # Workers of the dead process stop mid-run (their run_end
+        # events are now stale); detection is modeled as a fixed delay
+        # before survivors take over.
+        self.sim.push(now + self.rcfg.detection_delay, "failover", proc)
+
+    def on_failover(self, proc: int, now: float) -> None:
+        st = self.st
+        moved = self.router.reassign(proc)
+        moved_set = set(moved)
+        install_end = now
+        for pid in moved:
+            new_p = self.router.proc_of[pid]
+            st.epoch[pid] += 1
+            self.scheduler.drop(pid)
+            prog = st.progs[pid]
+            ck = self.ckpt[pid]
+            if ck is None:
+                prog.init()  # never checkpointed: restart fresh
+            else:
+                prog.restore(ck.state)
+            st.inited.add(pid)
+            # Replay: checkpointed unconsumed inbox + everything
+            # delivered since the snapshot.  The log is NOT cleared -
+            # it belongs to the snapshot, and this formula must stay
+            # valid for a second failover.
+            base = list(ck.inbox) if ck is not None else []
+            st.inbox[pid] = base + list(self.dlog[pid])
+            st.state[pid] = ProgramState.ACTIVE
+            dur = self.rcfg.t_failover_program * self.slow(new_p, now)
+            master = self.scheduler.masters[new_p]
+            _, end = master.book(now, dur)
+            self.bd.add(master.core, "recovery", dur)
+            self.sim.push(end, "requeue", (pid, st.epoch[pid]))
+            install_end = max(install_end, end)
+        self.transport.rearm_after_failover(moved_set, self.ckpt, now)
+        self.report.failover_time += install_end - self.crash_time[proc]
+
+    def on_ckpt(self, p: int, now: float) -> None:
+        """One process's periodic incremental checkpoint round."""
+        # Incremental: only snapshot programs that ran or received
+        # streams since their last snapshot - a quiet program's
+        # existing recovery point is still exact, so checkpoint cost
+        # tracks activity, not residency.
+        own = [
+            pid for pid in self.router.owned[p]
+            if pid in self.dirty
+            and pid not in self.scheduler.running
+            and pid in self.st.inited
+        ]
+        if own:
+            dur = (
+                self.rcfg.t_checkpoint_fixed
+                + len(own) * self.rcfg.t_checkpoint_program
+            ) * self.slow(p, now)
+            master = self.scheduler.masters[p]
+            _, end = master.book(now, dur)
+            self.bd.add(master.core, "recovery", dur)
+            self.sim.observe(end)
+            for pid in own:
+                self.ckpt[pid] = Checkpoint(
+                    self.st.progs[pid].checkpoint(),
+                    list(self.st.inbox[pid]),
+                    self.transport.pending_of(pid),
+                )
+                self.dlog[pid] = []
+                self.dirty.discard(pid)
+                self.report.checkpoints += 1
+        self.sim.push(now + self.rcfg.checkpoint_interval, "ckpt", p)

@@ -1,0 +1,99 @@
+"""Route table and owner map (S9 routing plane, paper Sec. IV-B).
+
+Streams are self-describing and therefore *routable*: the runtime
+resolves any stream's destination program to its owning process
+through the route table kept here.  The router owns
+
+* ``proc_of``   - program id -> current owning process (the route table
+  proper; consulted on every stream emission and queue pop),
+* ``patch_owner`` - patch -> process (the mutable patch-level owner
+  map behind it),
+* ``owned``     - process -> resident program ids,
+* ``dead``      - the set of crashed processes,
+
+and implements the dynamic owner re-assignment of the fault-tolerance
+extension (S20): on failover, a dead process's patches are re-assigned
+round-robin over the survivors and every resident program's route is
+updated, so in-flight and future streams chase the migrated programs.
+
+Construction validates the user-supplied ``patch_proc`` table outright
+(shape, range, program coverage, duplicates) so malformed route tables
+fail fast rather than obscurely mid-simulation.
+
+This layer sits directly above :mod:`repro.runtime.simulator` and
+knows nothing about transport, scheduling or recovery policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ReproError
+from ..core.stream import ProgramId
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Program/patch owner map with crash-driven re-assignment."""
+
+    def __init__(self, programs, patch_proc, nprocs: int):
+        if len(programs) == 0:
+            raise ReproError("no programs to run")
+        patch_proc = np.asarray(patch_proc)
+        if patch_proc.ndim != 1:
+            raise ReproError("patch_proc must be a one-dimensional array")
+        if patch_proc.size == 0:
+            raise ReproError("patch_proc is empty")
+        if int(patch_proc.min()) < 0:
+            raise ReproError(
+                f"patch_proc contains negative process id {int(patch_proc.min())}"
+            )
+        if int(patch_proc.max()) >= nprocs:
+            raise ReproError(
+                f"patch_proc references proc {int(np.max(patch_proc))} but the "
+                f"layout has only {nprocs} processes"
+            )
+        for prog in programs:
+            if not 0 <= prog.id.patch < patch_proc.size:
+                raise ReproError(
+                    f"program {prog.id!r} references a patch outside "
+                    f"patch_proc (length {patch_proc.size})"
+                )
+        self.nprocs = nprocs
+        self.proc_of: dict[ProgramId, int] = {}  # the route table
+        for prog in programs:
+            if prog.id in self.proc_of:
+                raise ReproError(f"duplicate program {prog.id!r}")
+            self.proc_of[prog.id] = int(patch_proc[prog.id.patch])
+        self.patch_owner = patch_proc.astype(np.int64).copy()
+        self.owned: dict[int, list[ProgramId]] = {p: [] for p in range(nprocs)}
+        for pid, p in self.proc_of.items():
+            self.owned[p].append(pid)
+        self.dead: set[int] = set()
+
+    def alive(self) -> list[int]:
+        return [q for q in range(self.nprocs) if q not in self.dead]
+
+    def mark_dead(self, proc: int) -> None:
+        self.dead.add(proc)
+
+    def reassign(self, proc: int) -> list[ProgramId]:
+        """Migrate a dead process's programs to survivors.
+
+        Re-assigns the dead owner's patches round-robin over the
+        survivors through the patch owner map, updates the route table
+        and residency lists, and returns the migrated program ids in
+        deterministic (sorted) order.  Restoring the migrated programs
+        is the recovery layer's job, not the router's.
+        """
+        alive = self.alive()
+        moved = sorted(self.owned[proc])
+        self.owned[proc] = []
+        for i, patch in enumerate(sorted({pid.patch for pid in moved})):
+            self.patch_owner[patch] = alive[i % len(alive)]
+        for pid in moved:
+            new_p = int(self.patch_owner[pid.patch])
+            self.proc_of[pid] = new_p
+            self.owned[new_p].append(pid)
+        return moved

@@ -1,0 +1,294 @@
+"""Program scheduling and execution (S9 dispatch plane, paper Fig. 8).
+
+Per-process shared priority queues, worker pools, and program
+execution.  Workers pull from the process's shared active queue
+themselves; the master thread is NOT on this path - it only routes
+streams - which is precisely the design the paper credits for
+scalability.
+
+Core layout is owned by *policy objects* rather than mode branches:
+
+* :class:`HybridPolicy`   - JSweep: a dedicated master core per
+  process plus a worker pool, so streams are routed while workers
+  compute and intra-process imbalance is absorbed by the pool.
+* :class:`MpiOnlyPolicy`  - the manually-parallelized baselines
+  (JASMIN/JAUMIN/PSD-b style): one rank per core; the master duties
+  and the single worker *share one core's timeline*, so routing,
+  unpacking and dispatch compete with computation, and there is no
+  intra-process pool to absorb load imbalance.
+
+A policy builds the master/worker :class:`~repro.runtime.simulator.
+Resource` timelines outright - ``MpiOnlyPolicy`` returns the same
+shared resource as both master and sole worker, labeled as the worker
+core, so no resource aliasing is needed anywhere downstream.
+
+Sits above the simulator (events, resources, shared tie-break
+sequence), the router (owner lookups, crashed-process checks) and the
+transport (remote emissions of completed runs).  The recovery layer,
+when armed, is attached afterwards via :attr:`Scheduler.recovery` so
+completed runs are marked dirty for incremental checkpointing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..core.patch_program import PatchProgram, ProgramState
+from ..core.stream import ProgramId, Stream
+from ..core.termination import WorkloadTracker
+from .._util import ReproError
+from .cluster import Layout
+from .costmodel import CostModel
+from .metrics import Breakdown, RunReport
+from .router import Router
+from .simulator import Resource, Simulator
+from .transport import Transport
+
+__all__ = [
+    "RunState",
+    "SchedulerPolicy",
+    "HybridPolicy",
+    "MpiOnlyPolicy",
+    "make_policy",
+    "Scheduler",
+]
+
+
+@dataclass
+class RunState:
+    """Shared per-run program-execution state (Alg. 1's bookkeeping)."""
+
+    progs: dict[ProgramId, PatchProgram] = field(default_factory=dict)
+    state: dict[ProgramId, ProgramState] = field(default_factory=dict)
+    inbox: dict[ProgramId, list[Stream]] = field(default_factory=dict)
+    inited: set[ProgramId] = field(default_factory=set)
+    epoch: dict[ProgramId, int] = field(default_factory=dict)
+
+    def add(self, prog: PatchProgram) -> None:
+        self.progs[prog.id] = prog
+        self.state[prog.id] = ProgramState.ACTIVE
+        self.inbox[prog.id] = []
+        self.epoch[prog.id] = 0  # execution epoch (bumped on failover)
+
+
+class SchedulerPolicy:
+    """Core-layout policy: how masters and workers map onto cores."""
+
+    mode: str
+
+    def build_resources(
+        self, nprocs: int, layout: Layout
+    ) -> tuple[list[Resource], list[list[Resource]]]:
+        """Return ``(masters, workers)`` resource timelines per process."""
+        raise NotImplementedError
+
+
+class HybridPolicy(SchedulerPolicy):
+    """Dedicated master core + worker pool per process (JSweep)."""
+
+    mode = "hybrid"
+
+    def build_resources(self, nprocs, layout):
+        masters = [Resource(("m", p)) for p in range(nprocs)]
+        workers = [
+            [Resource(("w", p, w)) for w in range(layout.workers_per_proc)]
+            for p in range(nprocs)
+        ]
+        return masters, workers
+
+
+class MpiOnlyPolicy(SchedulerPolicy):
+    """One rank per core: master duties and the worker share the core."""
+
+    mode = "mpi_only"
+
+    def build_resources(self, nprocs, layout):
+        shared = [Resource(("w", p, 0)) for p in range(nprocs)]
+        return shared, [[r] for r in shared]
+
+
+def make_policy(mode: str) -> SchedulerPolicy:
+    if mode == "hybrid":
+        return HybridPolicy()
+    if mode == "mpi_only":
+        return MpiOnlyPolicy()
+    raise ReproError(f"unknown runtime mode {mode!r}")
+
+
+class Scheduler:
+    """Shared-queue dispatch and worker-side program execution."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        policy: SchedulerPolicy,
+        layout: Layout,
+        st: RunState,
+        cm: CostModel,
+        report: RunReport,
+        bd: Breakdown,
+        slow,
+        transport: Transport,
+        tracker: WorkloadTracker,
+    ):
+        self.sim = sim
+        self.router = router
+        self.policy = policy
+        self.st = st
+        self.cm = cm
+        self.report = report
+        self.bd = bd
+        self.slow = slow
+        self.transport = transport
+        self.tracker = tracker
+        self.recovery = None  # attached by the recovery layer when armed
+        nprocs = router.nprocs
+        self.masters, self.workers = policy.build_resources(nprocs, layout)
+        self.idle_workers: list[list[int]] = [
+            list(range(len(self.workers[p])))[::-1] for p in range(nprocs)
+        ]
+        self.pq: list[list] = [[] for _ in range(nprocs)]
+        self.queued: set[ProgramId] = set()
+        self.running: set[ProgramId] = set()
+
+    # -- queueing and dispatch -----------------------------------------------------
+
+    def enqueue(self, pid: ProgramId) -> None:
+        """Push a program onto its owner's shared priority queue."""
+        if pid in self.queued or pid in self.running:
+            return
+        self.queued.add(pid)
+        seq = self.sim.next_seq()
+        heapq.heappush(
+            self.pq[self.router.proc_of[pid]],
+            (-self.st.progs[pid].priority(), seq, pid),
+        )
+
+    def dispatch(self, p: int, now: float) -> None:
+        """Hand queued programs to idle workers of process ``p``.
+
+        Workers pull from the shared active queue themselves (Fig. 8);
+        the pop cost is charged to the worker as part of the run.
+        """
+        if p in self.router.dead:
+            return
+        while self.idle_workers[p] and self.pq[p]:
+            _, _, pid = heapq.heappop(self.pq[p])
+            if self.router.proc_of[pid] != p:
+                continue  # stale entry: the program migrated away
+            self.queued.discard(pid)
+            if self.st.state[pid] is not ProgramState.ACTIVE or pid in self.running:
+                continue
+            w = self.idle_workers[p].pop()
+            self.running.add(pid)
+            self.sim.push(now, "run_start", (p, w, pid, self.st.epoch[pid]))
+
+    def release(self, p: int, w: int, now: float) -> None:
+        """Return worker ``w`` to the idle pool and re-dispatch."""
+        self.idle_workers[p].append(w)
+        self.dispatch(p, now)
+
+    def drop(self, pid: ProgramId) -> None:
+        """Forget a migrating program's queue/run residue (failover)."""
+        self.running.discard(pid)
+        self.queued.discard(pid)
+
+    def stale_run(self, data, now: float) -> bool:
+        """Filter superseded run events (only faults ever trigger this)."""
+        p, w, pid, ep = data[0], data[1], data[2], data[-1]
+        if p in self.router.dead:
+            return True  # executed on a crashed process: lost
+        if ep != self.st.epoch[pid]:
+            # Superseded execution on a live process (defensive;
+            # reachable only through failover races): free the worker,
+            # drop the run.
+            self.release(p, w, now)
+            return True
+        return False
+
+    # -- worker-side execution (Alg. 1 inner loop) ---------------------------------
+
+    def execute(self, data, now: float) -> None:
+        """Run one program on its assigned worker; books virtual time."""
+        p, w, pid, ep = data
+        st = self.st
+        prog = st.progs[pid]
+        sf = self.slow(p, now)
+        if ep > 0:
+            self.report.reexecutions += 1
+        if pid not in st.inited:
+            prog.init()
+            st.inited.add(pid)
+        box = st.inbox[pid]
+        if box:
+            for s in box:
+                prog.input(s)
+            box.clear()
+        prog.compute()
+        outputs: list[Stream] = []
+        while (s := prog.output()) is not None:
+            outputs.append(s)
+        counters = prog.last_run_counters()
+        self.report.vertices_solved += counters.get("vertices", 0)
+        remote = [s for s in outputs if self.router.proc_of[s.dst] != p]
+        cost = self.cm.run_cost(
+            counters,
+            remote_streams=len(remote),
+            remote_items=sum(s.items for s in remote),
+        )
+        duration = sum(cost.values())
+        duration += self.cm.t_sched  # queue pop / dispatch, on the worker
+        wres = self.workers[p][w]
+        _, end = wres.book(now, duration * sf)
+        self.bd.add(wres.core, "kernel", cost["kernel"] * sf)
+        self.bd.add(wres.core, "graph_op", (cost["graph_op"] + cost["fixed"]) * sf)
+        self.bd.add(wres.core, "pack", cost["pack"] * sf)
+        self.bd.add(wres.core, "sched", self.cm.t_sched * sf)
+        self.report.executions += 1
+        self.sim.push(end, "run_end", (p, w, pid, outputs, ep))
+
+    def complete(self, data, now: float) -> None:
+        """Finish one run: route emissions, commit workload, requeue."""
+        p, w, pid, outputs, ep = data
+        st = self.st
+        prog = st.progs[pid]
+        for s in outputs:
+            self.report.stream_items += s.items
+            dst_p = self.router.proc_of[s.dst]
+            if dst_p == p:
+                # Local routing through the master thread.
+                dur = self.cm.t_route * self.slow(p, now)
+                _, end = self.masters[p].book(now, dur)
+                self.bd.add(self.masters[p].core, "comm", dur)
+                self.report.local_streams += 1
+                self.sim.push(end, "deliver", (s.dst, s))
+            else:
+                self.transport.send(s, pid, ep, now, p, dst_p)
+        self.running.discard(pid)
+        if self.recovery is not None:
+            self.recovery.mark_dirty(pid)
+        rem = prog.remaining_workload()
+        if rem is not None:
+            # Workload-commit fast path; epoch-keyed so a stale
+            # execution cannot overwrite a migrated program's fresher
+            # commit.
+            self.tracker.commit(pid, rem, epoch=ep)
+        if prog.vote_to_halt() and not st.inbox[pid]:
+            st.state[pid] = ProgramState.INACTIVE
+        else:
+            st.state[pid] = ProgramState.ACTIVE
+            self.enqueue(pid)
+        self.release(p, w, now)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def cores(self) -> list[tuple]:
+        """Every core timeline of the layout (masters may share with
+        workers under ``mpi_only``; the set dedupes)."""
+        nprocs = self.router.nprocs
+        return sorted(
+            {r.core for p in range(nprocs) for r in self.workers[p]}
+            | {self.masters[p].core for p in range(nprocs)}
+        )

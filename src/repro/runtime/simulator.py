@@ -1,0 +1,120 @@
+"""Discrete-event simulator core (S10): the substitute for Tianhe-2.
+
+The bottom layer of the runtime stack (paper Sec. IV / Fig. 8's
+"virtual machine"): an event heap ordered by ``(virtual time, push
+sequence)``, serial :class:`Resource` timelines (one per simulated
+core), the virtual clock, and the quiescence counter that recognizes
+when no forward-progress event is outstanding.  Everything above -
+transport, routing, scheduling, recovery, and the runtimes themselves
+(data-driven, BSP, KBA) - runs on this one substrate, so every runtime
+variant shares a single cost model and time axis, as the paper's
+Table I caveat requests.
+
+This layer knows nothing about patch-programs, streams, processes or
+faults: event *kinds* are opaque strings and event *data* is opaque to
+the heap.  The one sequence counter is shared between the event heap
+and any external priority queues (via :meth:`Simulator.next_seq`), so
+tie-breaking is globally deterministic across all queues of a run.
+
+The optional trace hook fires once per popped event with a structured
+:class:`TraceEvent`; the ``trace_fields`` callable (supplied by the
+layer that defines the event vocabulary) extracts the proc/core/
+program fields from each event's opaque data.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["Resource", "Simulator", "TraceEvent"]
+
+
+class Resource:
+    """A serial server (one core's timeline)."""
+
+    __slots__ = ("free", "core")
+
+    def __init__(self, core: tuple):
+        self.free = 0.0
+        self.core = core
+
+    def book(self, now: float, duration: float) -> tuple[float, float]:
+        start = max(now, self.free)
+        end = start + duration
+        self.free = end
+        return start, end
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record: what the event loop processed."""
+
+    time: float
+    kind: str
+    proc: int | None
+    core: tuple | None
+    program: str | None
+
+
+class Simulator:
+    """Event heap + virtual clock + quiescence counter.
+
+    ``progress_kinds`` names the event kinds that represent actual
+    forward progress of a run; :attr:`live` counts how many of them are
+    outstanding, which lets higher layers recognize quiescence (e.g.
+    checkpoint/crash events scheduled after a job finished are inert).
+    """
+
+    __slots__ = ("_events", "_seq", "live", "makespan", "_progress",
+                 "trace_hook", "trace_fields")
+
+    def __init__(
+        self,
+        progress_kinds: frozenset = frozenset(),
+        trace_hook: Callable[[TraceEvent], None] | None = None,
+        trace_fields: Callable[[str, Any], tuple] | None = None,
+    ):
+        self._events: list = []
+        self._seq = 0
+        self.live = 0  # outstanding progress events (quiescence detector)
+        self.makespan = 0.0
+        self._progress = frozenset(progress_kinds)
+        self.trace_hook = trace_hook
+        self.trace_fields = trace_fields
+
+    def next_seq(self) -> int:
+        """Next tie-break sequence number, shared with external queues."""
+        self._seq += 1
+        return self._seq
+
+    def push(self, t: float, kind: str, data: Any) -> None:
+        """Schedule one event at virtual time ``t``."""
+        self._seq += 1
+        if kind in self._progress:
+            self.live += 1
+        heapq.heappush(self._events, (t, self._seq, kind, data))
+
+    def pop(self) -> tuple[float, str, Any]:
+        """Pop the earliest event; fires the trace hook when armed."""
+        t, _, kind, data = heapq.heappop(self._events)
+        if kind in self._progress:
+            self.live -= 1
+        if self.trace_hook is not None:
+            proc = core = program = None
+            if self.trace_fields is not None:
+                proc, core, program = self.trace_fields(kind, data)
+            self.trace_hook(TraceEvent(t, kind, proc, core, program))
+        return t, kind, data
+
+    def observe(self, t: float) -> None:
+        """Advance the virtual clock's high-water mark (the makespan)."""
+        if t > self.makespan:
+            self.makespan = t
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

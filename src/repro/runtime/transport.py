@@ -1,0 +1,203 @@
+"""Message transport: wire times and reliable delivery (S20).
+
+The message plane between simulated processes.  On reliable-delivery
+runs (a :class:`~repro.runtime.faults.RecoveryConfig` is armed) every
+remote stream is stamped with a unique ``(src program, seq)`` id,
+acknowledged on arrival, and retransmitted with exponential backoff
+until acked; receivers discard already-seen ids, so drops, duplicates
+and retries are invisible to programs.  Without a recovery config the
+transport degenerates to plain wire time (latency + size/bandwidth) on
+a lossless network.
+
+The fault-injection hook lives on this layer's send path: each
+(re)transmission asks the :class:`~repro.runtime.faults.FaultInjector`
+for the message's fate (deliver / drop / duplicate), and each arrival
+ack may itself be dropped.
+
+Sits above :mod:`repro.runtime.simulator` (events, timers) and
+:mod:`repro.runtime.router` (current owner of source and destination
+programs; crashed-process checks).  It knows nothing about scheduling
+or checkpoint policy - failover hands it the checkpointed un-acked
+sends to re-arm, as data.
+"""
+
+from __future__ import annotations
+
+from .._util import ReproError
+from ..core.stream import ProgramId, Stream
+from .cluster import Layout, Machine
+from .faults import FaultInjector, RecoveryConfig
+from .metrics import RunReport
+from .router import Router
+from .simulator import Simulator
+
+__all__ = ["PendingSend", "Transport"]
+
+
+class PendingSend:
+    """Ack/retransmit bookkeeping of one un-acked remote stream."""
+
+    __slots__ = ("stream", "src_pid", "retries", "timeout", "attempt")
+
+    def __init__(self, stream: Stream, src_pid: ProgramId, timeout: float):
+        self.stream = stream
+        self.src_pid = src_pid
+        self.retries = 0
+        self.timeout = timeout
+        self.attempt = 0  # bumped on every (re)arm; lazily cancels timers
+
+
+class Transport:
+    """Inter-process message plane, optionally with reliable delivery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        machine: Machine,
+        layout: Layout,
+        report: RunReport,
+        injector: FaultInjector | None = None,
+        rcfg: RecoveryConfig | None = None,
+    ):
+        self.sim = sim
+        self.router = router
+        self.machine = machine
+        self.layout = layout
+        self.report = report
+        self.inj = injector
+        self.rcfg = rcfg
+        self.out_seq: dict[ProgramId, int] = {}  # next seq per sending program
+        self.pending: dict[tuple, PendingSend] = {}  # uid -> un-acked send
+        self.seen: set[tuple] = set()  # uids already delivered (dup discard)
+
+    @property
+    def reliable(self) -> bool:
+        return self.rcfg is not None
+
+    # -- send path ----------------------------------------------------------------
+
+    def send(self, s: Stream, src_pid: ProgramId, ep: int, now: float,
+             src_proc: int, dst_proc: int) -> None:
+        """Put one remote stream on the wire (tracked until acked when
+        reliable delivery is armed)."""
+        self.report.messages += 1
+        self.report.message_bytes += s.nbytes
+        if self.rcfg is None:
+            wire = self.machine.message_time(
+                src_proc, dst_proc, s.nbytes, self.layout
+            )
+            self.sim.push(now + wire, "msg_arrive", (dst_proc, s))
+            return
+        # Stamp a unique message id and track the send until the
+        # receiver acknowledges it.
+        s.seq = self.out_seq.get(s.src, 0)
+        self.out_seq[s.src] = s.seq + 1
+        s.epoch = ep
+        ps = PendingSend(s, src_pid, self.rcfg.ack_timeout)
+        self.pending[s.uid] = ps
+        self.transmit(ps, now)
+        self.sim.push(now + ps.timeout, "timer", (s.uid, 0))
+
+    def transmit(self, ps: PendingSend, now: float) -> None:
+        """Put one (re)transmission of an un-acked stream on the wire."""
+        s = ps.stream
+        src_p = self.router.proc_of[s.src]
+        dst_p = self.router.proc_of[s.dst]
+        wire = self.machine.message_time(src_p, dst_p, s.nbytes, self.layout)
+        fate = self.inj.message_fate() if self.inj is not None else "deliver"
+        if fate == "drop":
+            self.report.drops += 1
+            return
+        self.sim.push(now + wire, "msg_arrive", (dst_p, s))
+        if fate == "duplicate":
+            self.report.duplicates += 1
+            self.sim.push(now + 2 * wire, "msg_arrive", (dst_p, s))
+
+    # -- control-plane events ------------------------------------------------------
+
+    def on_ack(self, uid: tuple) -> None:
+        self.pending.pop(uid, None)
+
+    def on_timer(self, data: tuple, now: float) -> None:
+        """Ack-timeout expiry: retransmit with backoff, or hold/skip."""
+        uid, attempt = data
+        ps = self.pending.get(uid)
+        if ps is None or ps.attempt != attempt:
+            return  # acked or superseded: lazily cancelled
+        self.report.timeouts += 1
+        s = ps.stream
+        if self.router.proc_of[s.src] in self.router.dead:
+            return  # sender's owner crashed; failover re-arms
+        if self.router.proc_of[s.dst] in self.router.dead:
+            # Destination is down: hold the message (without burning
+            # retries) until failover re-routes it.
+            ps.attempt += 1
+            self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+            return
+        if ps.retries >= self.rcfg.max_retries:
+            raise ReproError(
+                f"message {uid!r} undeliverable after "
+                f"{self.rcfg.max_retries} retries"
+            )
+        ps.retries += 1
+        ps.attempt += 1
+        self.report.retries += 1
+        self.transmit(ps, now)
+        ps.timeout *= self.rcfg.backoff
+        self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+
+    # -- receive path --------------------------------------------------------------
+
+    def receive(self, s: Stream, proc: int, now: float) -> bool:
+        """Ack an arriving stream; False when it is a duplicate.
+
+        Acks on arrival (a cheap control message to the sender's
+        current owner), then discards duplicates: retransmissions and
+        injected copies re-ack but are invisible to the program.
+        """
+        uid = s.uid
+        if uid is None:
+            return True
+        if self.inj is None or not self.inj.ack_dropped():
+            ack_t = self.machine.control_time(
+                proc, self.router.proc_of[s.src], self.layout
+            )
+            self.sim.push(now + ack_t, "ack", uid)
+        if uid in self.seen:
+            return False
+        self.seen.add(uid)
+        return True
+
+    # -- checkpoint/failover support -----------------------------------------------
+
+    def pending_of(self, pid: ProgramId) -> dict[tuple, Stream]:
+        """This program's un-acked sends (snapshotted into checkpoints)."""
+        return {
+            uid: ps.stream
+            for uid, ps in self.pending.items()
+            if ps.src_pid == pid
+        }
+
+    def rearm_after_failover(self, moved: set, ckpt: dict, now: float) -> None:
+        """Re-arm the migrated programs' un-acked sends.
+
+        Snapshot-time sends are retransmitted verbatim (same uid, so a
+        late original copy is discarded by the receiver); sends made
+        after the snapshot are dropped - the replayed execution
+        regenerates them under fresh uids, and receivers dedupe their
+        content at edge granularity.
+        """
+        for uid in list(self.pending):
+            ps = self.pending[uid]
+            if ps.src_pid not in moved:
+                continue
+            ck = ckpt[ps.src_pid]
+            if ck is None or uid not in ck.pending:
+                del self.pending[uid]
+            else:
+                ps.retries = 0
+                ps.timeout = self.rcfg.ack_timeout
+                ps.attempt += 1
+                self.transmit(ps, now)
+                self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))

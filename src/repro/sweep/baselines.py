@@ -4,9 +4,7 @@
   for regular structured meshes (the Denovo/Sweep3D approach the paper
   compares against in Table I).  The 3-D mesh is decomposed into a 2-D
   columnar Px x Py process grid; blocks of k-planes pipeline through
-  the processor array for every angle.  Simulated with the same
-  latency/bandwidth machine model as the data-driven runtime, so
-  Table I's efficiency comparison is apples-to-apples.
+  the processor array for every angle.
 
 * :class:`BSPSweepRuntime` - sweeping inside the BSP component model
   (Sec. II-D's motivation): every super-step each patch computes all
@@ -14,20 +12,27 @@
   deliver the produced face data.  The number of super-steps equals the
   patch-graph critical path, and every step pays barrier plus
   max-process compute time - the inefficiency that motivates JSweep.
+
+Both baselines run on the shared DES substrate
+(:mod:`repro.runtime.simulator`) with the same latency/bandwidth
+machine model and cost model as the data-driven runtime - events on
+one heap type, busy time on the same :class:`~repro.runtime.simulator.
+Resource` timelines - so Table I's efficiency comparison is
+apples-to-apples, as the paper's own caveat requests.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 import numpy as np
 
 from .._util import ReproError
-from ..core.patch_program import PatchProgram, ProgramState
+from ..core.patch_program import PatchProgram
 from ..core.stream import Stream
 from ..runtime.cluster import Machine, TIANHE2
 from ..runtime.costmodel import CostModel
+from ..runtime.simulator import Resource, Simulator
 
 __all__ = ["KBASchedule", "KBAResult", "BSPSweepRuntime", "BSPSweepResult"]
 
@@ -111,11 +116,12 @@ class KBASchedule:
         num_tasks = 0
         stages = 0
         for phase in phases:
-            # Event simulation of one phase: tasks (i, j, k, a) for each
-            # direction of the phase's octants.
-            ready: list = []
-            seq = 0
-            proc_free = np.zeros(px * py)
+            # Event simulation of one phase on the shared DES core:
+            # tasks (i, j, k, a) for each direction of the phase's
+            # octants, one fresh event heap and set of process
+            # timelines per phase (phases run in sequence).
+            sim = Simulator()
+            procs_res = [Resource(("kba", p)) for p in range(px * py)]
             remaining = {}
             finish = 0.0
             for sx, sy in phase:
@@ -135,24 +141,19 @@ class KBASchedule:
                                     deps += 1  # angle pipelining in-order
                                 remaining[key] = deps
                                 if deps == 0:
-                                    seq += 1
-                                    heapq.heappush(ready, (0.0, seq, key))
+                                    sim.push(0.0, "task", key)
             num_tasks += len(remaining)
 
             def release(key, t):
-                nonlocal seq
                 remaining[key] -= 1
                 if remaining[key] == 0:
-                    seq += 1
-                    heapq.heappush(ready, (t, seq, key))
+                    sim.push(t, "task", key)
 
-            while ready:
-                t_ready, _, key = heapq.heappop(ready)
+            while sim:
+                t_ready, _, key = sim.pop()
                 sx, sy, a, i, j, k = key
                 p = proc(i, j)
-                start = max(t_ready, proc_free[p])
-                end = start + t_block
-                proc_free[p] = end
+                start, end = procs_res[p].book(t_ready, t_block)
                 finish = max(finish, end)
                 ni = i + (1 if sx > 0 else -1)
                 if 0 <= ni < px:
@@ -247,7 +248,16 @@ class BSPSweepRuntime:
         steps = 0
         barrier = np.log2(max(2, nprocs)) * self.machine.latency_inter
 
-        while active:
+        # Super-steps run as events on the shared DES core: each step's
+        # end time schedules the next, and per-process compute is booked
+        # on a per-process timeline (master+workers fused, as BSP has no
+        # dispatch concurrency to model).
+        sim = Simulator()
+        procs_res = [Resource(("bsp", p)) for p in range(nprocs)]
+        if active:
+            sim.push(0.0, "superstep", None)
+        while sim:
+            now, _, _ = sim.pop()
             steps += 1
             proc_time = np.zeros(nprocs)
             send_bytes = np.zeros(nprocs)
@@ -303,7 +313,11 @@ class BSPSweepRuntime:
                 np.maximum(send_bytes, recv_bytes).max() / self.machine.bandwidth
                 + (self.machine.latency_inter if msgs else 0.0)
             )
-            time_total += step_compute + barrier + comm
+            for p in range(nprocs):
+                procs_res[p].book(now, float(per_proc[p]))
+            end = now + (step_compute + barrier + comm)
+            sim.observe(end)
+            time_total = end
             compute_total += step_compute
             barrier_total += barrier
             comm_total += comm
@@ -311,6 +325,8 @@ class BSPSweepRuntime:
                 (step_compute - per_proc).sum() * lay.workers_per_proc
             )
             active = next_active
+            if active:
+                sim.push(end, "superstep", None)
 
         # Final verification: every program must have completed its work.
         for pid, prog in progs.items():

@@ -19,7 +19,7 @@ overlap, which the engine's run-atomicity forbids.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Sequence
 

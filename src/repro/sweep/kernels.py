@@ -19,7 +19,6 @@ interior interface plus a slot per boundary face.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -8,7 +8,7 @@ vectorized per-cell arrays the solver consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

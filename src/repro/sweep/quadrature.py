@@ -19,7 +19,6 @@ flux is ``phi = sum_a w_a psi_a``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import permutations
 
 import numpy as np
 

@@ -1,10 +1,9 @@
 """Tests for Lyusternik-accelerated source iteration."""
 
 import numpy as np
-import pytest
 
 from repro.framework import PatchSet
-from repro.mesh import cube_structured, disk_tri_mesh
+from repro.mesh import cube_structured
 from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
 
 

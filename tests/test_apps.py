@@ -15,7 +15,6 @@ from repro.apps import (
     trace_particles,
 )
 from repro.apps.kobayashi import MAT_SHIELD, MAT_SOURCE, MAT_VOID
-from repro.core import SerialEngine
 from repro.framework import PatchSet
 from repro.mesh import disk_tri_mesh
 from repro.runtime import Machine

@@ -6,7 +6,7 @@ import pytest
 from repro._util import ReproError
 from repro.framework import PatchSet
 from repro.mesh import cube_structured
-from repro.runtime import CostModel, DataDrivenRuntime, Machine
+from repro.runtime import DataDrivenRuntime, Machine
 from repro.sweep.baselines import BSPSweepRuntime, KBASchedule
 from tests.conftest import make_solver
 

@@ -8,13 +8,8 @@ from hypothesis import strategies as st
 from repro._util import ReproError
 from repro.core import SerialEngine
 from repro.framework import PatchSet
-from repro.mesh import cube_structured, disk_tri_mesh
-from repro.sweep import level_symmetric
-from repro.sweep.coarsened import (
-    CoarsenedSweepProgram,
-    build_coarsened,
-    coarsened_is_acyclic,
-)
+from repro.mesh import disk_tri_mesh
+from repro.sweep.coarsened import build_coarsened, coarsened_is_acyclic
 from tests.conftest import make_solver
 
 

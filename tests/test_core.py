@@ -154,7 +154,7 @@ class TestSerialEngine:
         eng.add_program(a)
         eng.add_program(b)
         # Force b to halt before a's stream arrives by executing b first.
-        b_prio = b.priority  # default 0; a also 0 -> insertion order a, b
+        # both priorities default to 0 -> insertion order is a, then b
         stats = eng.run()
         assert stats.executions >= 2
 

@@ -6,12 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.framework import PatchSet, build_interfaces
-from repro.mesh import (
-    ball_tet_mesh,
-    cube_structured,
-    disk_tri_mesh,
-    warped_quad_mesh,
-)
+from repro.mesh import cube_structured, disk_tri_mesh
 from repro.sweep import (
     SweepTopology,
     check_acyclic,

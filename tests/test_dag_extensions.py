@@ -6,8 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro._util import ReproError
-from repro.framework import PatchSet, build_boundary, build_interfaces
-from repro.mesh import cube_structured, disk_tri_mesh
+from repro.framework import PatchSet, build_interfaces
 from repro.sweep import (
     Material,
     MaterialMap,

@@ -7,7 +7,6 @@ the recovery machinery armed stays within the checkpoint overhead
 budget of the fault-free makespan.
 """
 
-import numpy as np
 import pytest
 from numpy.testing import assert_array_equal
 
@@ -401,3 +400,69 @@ class TestFaultTolerantRun:
             DataDrivenRuntime(CORES, machine=machine, faults=plan).run(
                 progs, pset.patch_proc
             )
+
+
+class TestMpiOnlyFaultParity:
+    """Scheduler-policy parity: the ``mpi_only`` layout (master and the
+    single worker fused on one core per rank) survives the same fault
+    plans as ``hybrid`` with bitwise-identical flux."""
+
+    MPI_CORES = 4  # one rank per core; 4 procs, matching _setup()
+
+    def test_crash_and_drops_bitwise_identical_numerics(self):
+        """Mirror of the hybrid headline test under mpi_only."""
+        ref = _reference_phi()
+        machine, pset, s = _setup()
+        plan = FaultPlan(
+            crashes=(CrashFault(proc=1, time=150e-6),),
+            p_drop=0.05, p_duplicate=0.05, seed=7,
+        )
+        progs, faces = s.build_programs(resilient=True)
+        rep = DataDrivenRuntime(
+            self.MPI_CORES, machine=machine, mode="mpi_only", faults=plan
+        ).run(progs, pset.patch_proc)
+        phi, _ = s.accumulate(faces)
+        assert_array_equal(phi, ref)
+        assert rep.crashes == 1
+        assert rep.reexecutions > 0
+        assert rep.failover_time > 0
+        assert rep.checkpoints > 0
+        assert rep.breakdown.by_category["recovery"] > 0
+
+    def test_drops_and_duplicates_without_crash(self):
+        ref = _reference_phi()
+        machine, pset, s = _setup()
+        plan = FaultPlan(p_drop=0.1, p_duplicate=0.05, seed=3)
+        progs, faces = s.build_programs()  # resilient NOT required
+        rep = DataDrivenRuntime(
+            self.MPI_CORES, machine=machine, mode="mpi_only", faults=plan
+        ).run(progs, pset.patch_proc)
+        phi, _ = s.accumulate(faces)
+        assert_array_equal(phi, ref)
+        assert rep.drops > 0
+        assert rep.retries > 0
+        assert rep.reexecutions == 0
+
+    def test_faulty_mpi_only_run_deterministic(self):
+        """Same plan + seed => identical report under mpi_only."""
+        reports = []
+        for _ in range(2):
+            machine, pset, s = _setup()
+            plan = FaultPlan(
+                crashes=(CrashFault(1, 150e-6),),
+                p_drop=0.05, p_duplicate=0.05, seed=7,
+            )
+            progs, _ = s.build_programs(resilient=True)
+            reports.append(
+                DataDrivenRuntime(
+                    self.MPI_CORES, machine=machine, mode="mpi_only",
+                    faults=plan,
+                ).run(progs, pset.patch_proc)
+            )
+        a, b = reports
+        for f in ("makespan", "events", "executions", "drops", "duplicates",
+                  "retries", "timeouts", "reexecutions", "checkpoints",
+                  "crashes", "failover_time", "vertices_solved", "messages",
+                  "message_bytes", "local_streams", "stream_items"):
+            assert getattr(a, f) == getattr(b, f), f
+        assert a.breakdown.by_category == b.breakdown.by_category

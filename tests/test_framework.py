@@ -18,7 +18,7 @@ from repro.framework import (
     halo_exchange,
     patch_adjacency,
 )
-from repro.mesh import cube_structured, disk_tri_mesh, reactor_mesh_2d
+from repro.mesh import cube_structured
 
 
 class TestPatchSet:

@@ -1,0 +1,187 @@
+"""Golden determinism fixtures for the runtime substrate.
+
+The layered runtime refactor (simulator / transport / router /
+scheduler / recovery) must be behavior-preserving **to the bit**: event
+ordering, virtual-time makespans, breakdown categories, fault counters
+and flux must be identical to the pre-refactor monolith.  This module
+pins a small scenario matrix — {structured, unstructured} x
+{hybrid, mpi_only} x {fault-free, faulty} — plus the BSP and KBA
+baselines, and asserts every run's fingerprint against
+``tests/golden_fingerprints.json``.
+
+The fingerprints were recorded on the pre-refactor monolithic
+``DataDrivenRuntime.run`` and the pre-refactor ad-hoc baseline
+substrate; they must survive any future refactor of the runtime
+layers.  Floats are stored as ``float.hex()`` (exact), flux as a
+SHA-256 over the raw array bytes (bitwise).
+
+Regenerate (only when *intentionally* changing runtime semantics)::
+
+    PYTHONPATH=src:. python tests/test_golden_fixtures.py --regen
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.framework import PatchSet
+from repro.mesh import cube_structured, disk_tri_mesh
+from repro.runtime import CrashFault, DataDrivenRuntime, FaultPlan, Machine
+from repro.sweep.baselines import BSPSweepRuntime, KBASchedule
+from tests.conftest import make_solver
+
+GOLDEN_PATH = Path(__file__).parent / "golden_fingerprints.json"
+
+#: scenario name -> (mesh kind, runtime mode, faults on)
+RUNTIME_SCENARIOS = {
+    f"{kind}-{mode}-{'faulty' if faulty else 'clean'}": (kind, mode, faulty)
+    for kind in ("structured", "unstructured")
+    for mode in ("hybrid", "mpi_only")
+    for faulty in (False, True)
+}
+
+
+def _machine():
+    return Machine(cores_per_proc=4)
+
+
+def _solver(kind, nprocs):
+    if kind == "structured":
+        mesh = cube_structured(8, length=4.0)
+        pset = PatchSet.from_structured(mesh, (4, 4, 4), nprocs=nprocs)
+        return pset, make_solver(pset, grain=16)
+    mesh = disk_tri_mesh(8)
+    pset = PatchSet.from_unstructured(mesh, 20, nprocs=nprocs)
+    return pset, make_solver(pset, sn=4, grain=16)
+
+
+def _fault_plan():
+    return FaultPlan(
+        crashes=(CrashFault(proc=1, time=150e-6),),
+        p_drop=0.05,
+        p_duplicate=0.05,
+        seed=7,
+    )
+
+
+def _flux_hash(phi) -> str:
+    return hashlib.sha256(np.ascontiguousarray(phi).tobytes()).hexdigest()
+
+
+def run_runtime_scenario(kind: str, mode: str, faulty: bool):
+    machine = _machine()
+    cores = 16 if mode == "hybrid" else 8
+    nprocs = machine.layout(cores, mode).nprocs
+    pset, s = _solver(kind, nprocs)
+    plan = _fault_plan() if faulty else None
+    progs, faces = s.build_programs(resilient=faulty)
+    rep = DataDrivenRuntime(cores, machine=machine, mode=mode, faults=plan).run(
+        progs, pset.patch_proc
+    )
+    phi, _ = s.accumulate(faces)
+    return rep, phi
+
+
+def runtime_fingerprint(rep, phi) -> dict:
+    fp = {
+        "makespan": rep.makespan.hex(),
+        "failover_time": rep.failover_time.hex(),
+        "breakdown": {
+            c: v.hex() for c, v in sorted(rep.breakdown.by_category.items())
+        },
+        "flux": _flux_hash(phi),
+    }
+    for f in (
+        "events", "executions", "messages", "message_bytes", "local_streams",
+        "stream_items", "vertices_solved", "drops", "duplicates", "retries",
+        "timeouts", "reexecutions", "checkpoints", "crashes",
+    ):
+        fp[f] = getattr(rep, f)
+    return fp
+
+
+def run_bsp_scenario(kind: str):
+    machine = _machine()
+    nprocs = machine.layout(16, "hybrid").nprocs
+    pset, s = _solver(kind, nprocs)
+    progs, faces = s.build_programs()
+    res = BSPSweepRuntime(16, machine=machine).run(progs, pset.patch_proc)
+    phi, _ = s.accumulate(faces)
+    return res, phi
+
+
+def bsp_fingerprint(res, phi) -> dict:
+    return {
+        "time": res.time.hex(),
+        "compute_time": res.compute_time.hex(),
+        "barrier_time": res.barrier_time.hex(),
+        "comm_time": res.comm_time.hex(),
+        "idle_core_seconds": res.idle_core_seconds.hex(),
+        "supersteps": res.supersteps,
+        "executions": res.executions,
+        "flux": _flux_hash(phi),
+    }
+
+
+def run_kba_scenario():
+    return KBASchedule(
+        (24, 24, 24), px=4, py=4, k_blocks=6, machine=_machine()
+    ).simulate(num_angles=24)
+
+
+def kba_fingerprint(res) -> dict:
+    return {
+        "time": res.time.hex(),
+        "serial_time": res.serial_time.hex(),
+        "num_tasks": res.num_tasks,
+        "stages": res.stages,
+    }
+
+
+def compute_all_fingerprints() -> dict:
+    out = {}
+    for name, (kind, mode, faulty) in RUNTIME_SCENARIOS.items():
+        out[name] = runtime_fingerprint(*run_runtime_scenario(kind, mode, faulty))
+    for kind in ("structured", "unstructured"):
+        out[f"bsp-{kind}"] = bsp_fingerprint(*run_bsp_scenario(kind))
+    out["kba-structured"] = kba_fingerprint(run_kba_scenario())
+    return out
+
+
+def _golden() -> dict:
+    if not GOLDEN_PATH.exists():  # pragma: no cover - setup error
+        pytest.fail(
+            f"golden fixture file missing: {GOLDEN_PATH} "
+            "(regenerate with `python tests/test_golden_fixtures.py --regen`)"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(RUNTIME_SCENARIOS))
+def test_runtime_scenario_matches_golden(name):
+    kind, mode, faulty = RUNTIME_SCENARIOS[name]
+    fp = runtime_fingerprint(*run_runtime_scenario(kind, mode, faulty))
+    assert fp == _golden()[name]
+
+
+@pytest.mark.parametrize("kind", ["structured", "unstructured"])
+def test_bsp_scenario_matches_golden(kind):
+    fp = bsp_fingerprint(*run_bsp_scenario(kind))
+    assert fp == _golden()[f"bsp-{kind}"]
+
+
+def test_kba_scenario_matches_golden():
+    fp = kba_fingerprint(run_kba_scenario())
+    assert fp == _golden()["kba-structured"]
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("pass --regen to overwrite the golden fixture file")
+    GOLDEN_PATH.write_text(json.dumps(compute_all_fingerprints(), indent=1))
+    print(f"wrote {GOLDEN_PATH}")

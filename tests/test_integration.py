@@ -24,7 +24,6 @@ from repro import (
     level_symmetric,
     reactor_mesh_2d,
 )
-from repro.core import SerialEngine
 
 
 MACHINE = Machine(cores_per_proc=4)

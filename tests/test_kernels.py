@@ -5,7 +5,7 @@ import pytest
 
 from repro._util import ReproError
 from repro.framework import PatchSet, build_boundary, build_interfaces
-from repro.mesh import box_structured, cube_structured, disk_tri_mesh
+from repro.mesh import box_structured, cube_structured
 from repro.sweep import (
     AngleKernel,
     Material,
@@ -140,7 +140,6 @@ class TestKernelStructure:
         bt = build_boundary(cube8)
         d = np.array([1.0, 1.0, 1.0]) / np.sqrt(3)
         k = AngleKernel(cube8, it, bt, d, scheme="dd")
-        n = cube8.num_cells
         assert np.all(np.diff(k.in_indptr) == 3)  # 3 axes active
         assert np.all(np.diff(k.out_indptr) == 3)
         assert k.out_pair is not None
@@ -160,11 +159,7 @@ class TestKernelStructure:
         k = AngleKernel(cube8, it, bt, d, scheme="step")
         pf = k.new_face_array(1)
         k.apply_boundary(pf, 0.0)
-        src = np.ones((cube8.num_cells, 1)) * cube8.cell_volume
-        sig = np.ones((cube8.num_cells, 1)) * cube8.cell_volume
-        pc = np.zeros((cube8.num_cells, 1))
-        order = np.arange(cube8.num_cells)  # need topological: use solver
-        # use solver topo order instead
+        # a full sweep needs topological order: use the solver
         from repro.framework import PatchSet
         from repro.sweep import SnSolver, MaterialMap, Material, Quadrature
         ps = PatchSet.single_patch(cube8)

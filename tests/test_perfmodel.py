@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.framework import PatchSet
-from repro.mesh import cube_structured, disk_tri_mesh
+from repro.mesh import cube_structured
 from repro.runtime import (
     DataDrivenRuntime,
     Machine,

@@ -10,7 +10,7 @@ import pytest
 
 from repro._util import ReproError
 from repro.framework import PatchSet
-from repro.mesh import box_structured, cube_structured, disk_tri_mesh
+from repro.mesh import box_structured, cube_structured
 from repro.sweep import (
     Material,
     MaterialMap,

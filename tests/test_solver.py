@@ -5,7 +5,6 @@ import pytest
 
 from repro._util import ReproError
 from repro.framework import PatchSet
-from repro.mesh import cube_structured, disk_tri_mesh, warped_quad_mesh
 from repro.sweep import (
     Material,
     MaterialMap,

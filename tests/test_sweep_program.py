@@ -1,9 +1,8 @@
 """Tests for SweepPatchProgram (Listing 1) executed on the serial engine."""
 
-import numpy as np
 import pytest
 
-from repro.core import SerialEngine, ProgramState
+from repro.core import SerialEngine
 from repro.framework import PatchSet
 from repro.mesh import cube_structured, disk_tri_mesh
 from repro.sweep import SweepTopology, apply_priorities, level_symmetric

@@ -4,11 +4,8 @@ import numpy as np
 import pytest
 
 from repro._util import ReproError, as_float_array, as_int_array, check, prod
-from repro.framework import PatchSet
-from repro.mesh import cube_structured, disk_tri_mesh
 from repro.runtime import CATEGORIES, Breakdown, CostModel, RunReport
 from repro.sweep import SweepTopology, level_symmetric
-from repro.sweep.dag import SweepTopology as _ST
 
 
 class TestUtil:
@@ -93,7 +90,6 @@ class TestOnCyclePolicy:
         import repro.sweep.dag as dagmod
 
         real = dagmod.directed_edges
-        mesh = disk_patches.mesh
 
         def sabotaged(interfaces, direction, tol=1e-12):
             u, v = real(interfaces, direction, tol)
