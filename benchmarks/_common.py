@@ -99,12 +99,19 @@ def print_series(title: str, header: list[str], rows: list[list]) -> None:
         print("  ".join(cells))
 
 
-def bench_args(description: str, argv: list[str] | None = None) -> argparse.Namespace:
+def bench_args(
+    description: str,
+    argv: list[str] | None = None,
+    extra=None,
+) -> argparse.Namespace:
     """CLI for running one benchmark module as a plain script.
 
     ``pytest benchmarks/`` stays the bulk path; ``python benchmarks/
     bench_xxx.py --trace`` runs one benchmark standalone and exports a
     Chrome-trace JSON (``chrome://tracing`` / Perfetto) per DES run.
+    ``--smoke`` selects the benchmark's CI-sized configuration.
+    ``extra``, when given, is called with the parser to add
+    benchmark-specific options before parsing.
     """
     ap = argparse.ArgumentParser(description=description)
     ap.add_argument(
@@ -116,6 +123,13 @@ def bench_args(description: str, argv: list[str] | None = None) -> argparse.Name
         help="record structured event traces and write one "
         "Chrome-trace JSON per run into DIR (default: ./traces)",
     )
+    ap.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the scaled-down CI smoke configuration",
+    )
+    if extra is not None:
+        extra(ap)
     return ap.parse_args(argv)
 
 

@@ -20,9 +20,9 @@ bounded makespan penalty.
 Run standalone (used by CI as a smoke test)::
 
     PYTHONPATH=src python benchmarks/bench_fault_resilience.py --smoke
-"""
 
-import sys
+``--trace DIR`` additionally exports one Chrome-trace JSON per DES run.
+"""
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro import DataDrivenRuntime, PatchSet, cube_structured
 from repro.runtime import CrashFault, FaultPlan, RecoveryConfig
 from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
 
-from _common import MACHINE, print_series
+from _common import MACHINE, bench_args, print_series, write_chrome_trace
 
 DROP_RATES = [0.0, 0.02, 0.05, 0.10]
 
@@ -46,20 +46,26 @@ def _build(cores: int, n: int):
     return pset, solver
 
 
-def _run(cores: int, n: int, plan=None, recovery=None, resilient=False):
+def _run(cores: int, n: int, plan=None, recovery=None, resilient=False,
+         trace_dir=None, label=""):
     pset, solver = _build(cores, n)
     progs, _ = solver.build_programs(compute=False, resilient=resilient)
     rt = DataDrivenRuntime(
-        cores, machine=MACHINE, faults=plan, recovery=recovery
+        cores, machine=MACHINE, faults=plan, recovery=recovery,
+        trace=trace_dir is not None,
     )
-    return rt.run(progs, pset.patch_proc)
+    rep = rt.run(progs, pset.patch_proc)
+    if trace_dir is not None:
+        write_chrome_trace(rep, f"fault-resilience-{label}", trace_dir)
+    return rep
 
 
-def run_fault_resilience(cores: int = 48, n: int = 16):
-    base = _run(cores, n)
+def run_fault_resilience(cores: int = 48, n: int = 16, trace_dir=None):
+    base = _run(cores, n, trace_dir=trace_dir, label="plain")
 
     # -- zero-fault tax: recovery machinery armed, nothing injected ----
-    armed = _run(cores, n, plan=FaultPlan(seed=1), recovery=RecoveryConfig())
+    armed = _run(cores, n, plan=FaultPlan(seed=1), recovery=RecoveryConfig(),
+                 trace_dir=trace_dir, label="armed")
     overhead_rows = [
         ["plain", base.makespan * 1e3, 0.0, 0, 0.0],
         [
@@ -75,7 +81,8 @@ def run_fault_resilience(cores: int = 48, n: int = 16):
     curve_rows = []
     for p in DROP_RATES:
         plan = FaultPlan(p_drop=p, p_duplicate=p / 2.0, seed=42)
-        rep = _run(cores, n, plan=plan)
+        rep = _run(cores, n, plan=plan, trace_dir=trace_dir,
+                   label=f"drop{p:g}")
         curve_rows.append([
             p,
             rep.makespan * 1e3,
@@ -90,7 +97,8 @@ def run_fault_resilience(cores: int = 48, n: int = 16):
         crashes=(CrashFault(proc=1, time=base.makespan * 0.3),),
         p_drop=0.02, p_duplicate=0.01, seed=7,
     )
-    crash = _run(cores, n, plan=plan, resilient=True)
+    crash = _run(cores, n, plan=plan, resilient=True,
+                 trace_dir=trace_dir, label="crash")
     crash_rows = [[
         crash.makespan * 1e3,
         crash.makespan / base.makespan,
@@ -149,9 +157,16 @@ if pytest is not None:
 
 
 if __name__ == "__main__":
-    smoke = "--smoke" in sys.argv
-    rows = run_fault_resilience(cores=24, n=12) if smoke \
-        else run_fault_resilience()
+    args = bench_args(
+        "Fault-resilience benchmark: checkpoint overhead, drop-rate "
+        "degradation curve, crash failover (--smoke for the CI-sized "
+        "run, --trace to export Chrome-trace JSON per run)"
+    )
+    rows = (
+        run_fault_resilience(cores=24, n=12, trace_dir=args.trace)
+        if args.smoke
+        else run_fault_resilience(trace_dir=args.trace)
+    )
     report(*rows)
     check(*rows)
     print("\nfault-resilience benchmark: OK")

@@ -51,9 +51,12 @@ from .runtime import (
     DataDrivenRuntime,
     FaultInjector,
     FaultPlan,
+    LinkPartition,
     Machine,
     RecoveryConfig,
     RunReport,
+    StallError,
+    StallReport,
     StragglerWindow,
 )
 from .sweep import (
@@ -103,9 +106,12 @@ __all__ = [
     "RunReport",
     "CrashFault",
     "StragglerWindow",
+    "LinkPartition",
     "FaultPlan",
     "FaultInjector",
     "RecoveryConfig",
+    "StallReport",
+    "StallError",
     "Quadrature",
     "level_symmetric",
     "product_quadrature",

@@ -1,0 +1,354 @@
+"""Chaos campaigns: seeded random fault-space search for the runtime.
+
+PR 1's fault tests replay a handful of hand-written plans; that proves
+the recovery machinery works on the scenarios someone thought of.  The
+scale the paper targets (76,800 cores) is adversarial in ways nobody
+enumerates by hand - a partition healing mid-failover, a corrupted
+duplicate racing a checkpoint, two cascading crashes bracketing a
+straggler window.  This module searches that space mechanically:
+generate N seeded random :class:`~repro.runtime.faults.FaultPlan`\\ s
+mixing *every* fault type (crashes with cascades, stragglers, timed
+link partitions, drop / duplicate / corrupt), run each over the
+{structured, unstructured} x {hybrid, mpi_only} scenario matrix with
+the invariant sanitizer armed, and hold every run to the strongest
+available oracle: **bitwise-identical flux** to the fault-free
+reference plus watchdog-clean termination.
+
+Seed-reproducibility contract: the plan for campaign cell ``(seed,
+nprocs)`` is a pure function of those two integers -
+``random_fault_plan(seed, nprocs, space)`` derives everything from
+``np.random.default_rng((seed, nprocs))``, and the plan's own injector
+seed is drawn from the same generator.  A failing seed therefore
+replays exactly, on any machine, from its number alone.
+
+Generated plans always leave at least one survivor: explicit crashes
+and cascade caps are drawn against a shared death budget of
+``nprocs - 1``, so a campaign never trips the total-loss guard.
+Partition windows are drawn well below the watchdog horizon and the
+retry budget, so every generated plan is recoverable by construction -
+an unrecoverable plan (e.g. a never-healing partition) is a *test* of
+the watchdog, not a campaign member.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ._util import ReproError
+from .framework import PatchSet
+from .mesh import cube_structured, disk_tri_mesh
+from .runtime import (
+    CrashFault,
+    DataDrivenRuntime,
+    FaultPlan,
+    LinkPartition,
+    Machine,
+    StallError,
+    StragglerWindow,
+)
+from .sweep import Material, MaterialMap, SnSolver, level_symmetric
+
+__all__ = [
+    "ChaosSpace",
+    "CaseResult",
+    "CampaignResult",
+    "random_fault_plan",
+    "build_scenario",
+    "run_case",
+    "run_campaign",
+]
+
+#: The campaign's scenario matrix (mirrors the golden-fixture matrix).
+KINDS = ("structured", "unstructured")
+MODES = ("hybrid", "mpi_only")
+
+
+@dataclass(frozen=True)
+class ChaosSpace:
+    """The sampled fault space: which fault classes, how hard.
+
+    ``intensity`` in (0, 1] scales every rate and count; ``horizon`` is
+    the virtual-time window faults land in (roughly the expected
+    makespan of the scenario).  Individual fault classes can be toggled
+    to bisect a failing campaign.
+    """
+
+    intensity: float = 0.5
+    horizon: float = 1e-3  # virtual seconds
+    crashes: bool = True
+    cascades: bool = True
+    stragglers: bool = True
+    partitions: bool = True
+    drop: bool = True
+    duplicate: bool = True
+    corrupt: bool = True
+
+    def __post_init__(self):
+        if not (0.0 < self.intensity <= 1.0):
+            raise ReproError("chaos intensity must be in (0, 1]")
+        if self.horizon <= 0:
+            raise ReproError("chaos horizon must be positive")
+
+
+def random_fault_plan(
+    seed: int, nprocs: int, space: ChaosSpace = ChaosSpace()
+) -> FaultPlan:
+    """One seeded random plan: a pure function of ``(seed, nprocs)``.
+
+    Deaths (explicit crashes plus cascade caps) are drawn against a
+    shared budget of ``nprocs - 1``, guaranteeing survivors; partition
+    heal windows stay a couple of retry backoffs long, far below the
+    watchdog horizon, so every generated plan is recoverable.
+    """
+    rng = np.random.default_rng((seed, nprocs))
+    hz = space.horizon
+    i = space.intensity
+
+    budget = nprocs - 1  # max total deaths: always leave a survivor
+    crashes: list[CrashFault] = []
+    n_crashes = (
+        int(rng.binomial(min(2, budget), 0.7 * i)) if space.crashes else 0
+    )
+    victims = (
+        rng.choice(nprocs, size=n_crashes, replace=False)
+        if n_crashes else np.empty(0, dtype=int)
+    )
+    budget -= n_crashes
+    for p in victims:
+        t = float(rng.uniform(0.1, 0.8)) * hz
+        cascade, window, cmax = 0.0, 0.0, 0
+        if space.cascades and budget > 0 and rng.random() < 0.5 * i:
+            cmax = int(rng.integers(1, budget + 1))
+            budget -= cmax
+            cascade = float(rng.uniform(0.2, 0.8))
+            window = float(rng.uniform(0.05, 0.2)) * hz
+        crashes.append(
+            CrashFault(int(p), t, cascade=cascade,
+                       cascade_window=window, cascade_max=cmax)
+        )
+
+    stragglers: list[StragglerWindow] = []
+    if space.stragglers:
+        for _ in range(int(rng.binomial(3, 0.5 * i))):
+            p = int(rng.integers(0, nprocs))
+            start = float(rng.uniform(0.0, 0.7)) * hz
+            length = float(rng.uniform(0.1, 0.5)) * hz
+            factor = float(rng.uniform(1.5, 4.0))
+            stragglers.append(StragglerWindow(p, start, start + length, factor))
+
+    partitions: list[LinkPartition] = []
+    if space.partitions and nprocs >= 2:
+        for _ in range(int(rng.binomial(2, 0.6 * i))):
+            src, dst = (int(q) for q in rng.choice(nprocs, 2, replace=False))
+            start = float(rng.uniform(0.0, 0.6)) * hz
+            length = float(rng.uniform(0.05, 0.35)) * hz
+            partitions.append(LinkPartition(src, dst, start, start + length))
+
+    p_drop = float(rng.uniform(0.0, 0.08)) * i if space.drop else 0.0
+    p_dup = float(rng.uniform(0.0, 0.08)) * i if space.duplicate else 0.0
+    p_cor = float(rng.uniform(0.0, 0.08)) * i if space.corrupt else 0.0
+
+    return FaultPlan(
+        crashes=tuple(crashes),
+        stragglers=tuple(stragglers),
+        partitions=tuple(partitions),
+        p_drop=p_drop,
+        p_duplicate=p_dup,
+        p_corrupt=p_cor,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+# -- scenario construction (mirrors the golden-fixture matrix) ------------------
+
+
+def _make_solver(pset: PatchSet, sn: int, grain: int) -> SnSolver:
+    mesh = pset.mesh
+    mm = MaterialMap.uniform(
+        Material.isotropic(1.0, 0.5), mesh.num_cells
+    )
+    q = np.ones((mesh.num_cells, 1))
+    return SnSolver(pset, level_symmetric(sn), mm, q, grain=grain)
+
+
+def build_scenario(kind: str, mode: str, size: int = 8):
+    """(machine, cores, pset, solver) of one campaign cell.
+
+    Tiny meshes on the 4-core machine model: the point is interleaving
+    coverage, not scale, and a campaign runs hundreds of these.
+    """
+    machine = Machine(cores_per_proc=4)
+    cores = 16 if mode == "hybrid" else 8
+    nprocs = machine.layout(cores, mode).nprocs
+    if kind == "structured":
+        mesh = cube_structured(size, length=4.0)
+        pset = PatchSet.from_structured(mesh, (4, 4, 4), nprocs=nprocs)
+        solver = _make_solver(pset, sn=2, grain=16)
+    elif kind == "unstructured":
+        mesh = disk_tri_mesh(size)
+        pset = PatchSet.from_unstructured(mesh, 20, nprocs=nprocs)
+        solver = _make_solver(pset, sn=4, grain=16)
+    else:
+        raise ReproError(f"unknown chaos scenario kind {kind!r}")
+    return machine, cores, pset, solver
+
+
+# -- campaign execution ---------------------------------------------------------
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (kind, mode, seed) campaign cell."""
+
+    kind: str
+    mode: str
+    seed: int
+    ok: bool  # completed AND bitwise-exact
+    exact: bool  # flux bitwise-identical to the fault-free reference
+    stalled: bool  # watchdog raised a StallReport
+    error: str = ""  # non-stall failure (sanitizer, undeliverable, ...)
+    makespan: float = 0.0
+    faults: dict = field(default_factory=dict)  # RunReport.fault_summary()
+    plan: dict = field(default_factory=dict)  # plan size per fault class
+
+
+def _plan_shape(plan: FaultPlan) -> dict:
+    return {
+        "crashes": len(plan.crashes),
+        "cascade_max": sum(c.cascade_max for c in plan.crashes),
+        "stragglers": len(plan.stragglers),
+        "partitions": len(plan.partitions),
+        "p_drop": plan.p_drop,
+        "p_duplicate": plan.p_duplicate,
+        "p_corrupt": plan.p_corrupt,
+    }
+
+
+def run_case(
+    kind: str,
+    mode: str,
+    seed: int,
+    space: ChaosSpace = ChaosSpace(),
+    size: int = 8,
+    sanitize: bool = True,
+    _scenario=None,
+    _reference=None,
+) -> CaseResult:
+    """Run one campaign cell against the bitwise-exactness oracle.
+
+    ``_scenario``/``_reference`` let :func:`run_campaign` reuse the
+    built scenario and fault-free reference flux across seeds.
+    """
+    machine, cores, pset, solver = (
+        _scenario if _scenario is not None else build_scenario(kind, mode, size)
+    )
+    if _reference is None:
+        _reference, _, _ = solver.sweep_once(mode="fast")
+    nprocs = machine.layout(cores, mode).nprocs
+    plan = random_fault_plan(seed, nprocs, space)
+    res = CaseResult(kind=kind, mode=mode, seed=seed, ok=False, exact=False,
+                     stalled=False, plan=_plan_shape(plan))
+    progs, faces = solver.build_programs(resilient=True)
+    rt = DataDrivenRuntime(
+        cores, machine=machine, mode=mode, faults=plan, sanitize=sanitize
+    )
+    try:
+        rep = rt.run(progs, pset.patch_proc)
+    except StallError as e:
+        res.stalled = True
+        res.error = str(e)
+        return res
+    except ReproError as e:
+        res.error = str(e)
+        return res
+    phi, _ = solver.accumulate(faces)
+    res.exact = bool(
+        phi.shape == _reference.shape
+        and phi.tobytes() == np.ascontiguousarray(_reference).tobytes()
+    )
+    res.ok = res.exact
+    res.makespan = rep.makespan
+    res.faults = rep.fault_summary()
+    return res
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate of one chaos campaign."""
+
+    space: ChaosSpace
+    cases: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.cases)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.cases if c.ok)
+
+    @property
+    def stalls(self) -> int:
+        return sum(1 for c in self.cases if c.stalled)
+
+    def failures(self) -> list[CaseResult]:
+        return [c for c in self.cases if not c.ok]
+
+    def summary(self) -> dict:
+        """The per-campaign JSON summary (benchmarks write this out)."""
+        agg: dict[str, float] = {}
+        for c in self.cases:
+            for k, v in c.faults.items():
+                agg[k] = agg.get(k, 0) + v
+        return {
+            "space": asdict(self.space),
+            "total": self.total,
+            "passed": self.passed,
+            "exact": sum(1 for c in self.cases if c.exact),
+            "stalls": self.stalls,
+            "errors": [
+                {"kind": c.kind, "mode": c.mode, "seed": c.seed,
+                 "stalled": c.stalled, "error": c.error}
+                for c in self.failures()
+            ],
+            "fault_totals": agg,
+            "cases": [asdict(c) for c in self.cases],
+        }
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.summary(), fh, indent=1)
+
+
+def run_campaign(
+    seeds,
+    kinds=KINDS,
+    modes=MODES,
+    space: ChaosSpace = ChaosSpace(),
+    size: int = 8,
+    sanitize: bool = True,
+    progress=None,
+) -> CampaignResult:
+    """Run the full (kind, mode, seed) matrix; never raises on a case.
+
+    Scenario meshes and fault-free references are built once per
+    (kind, mode) cell and shared across seeds.  ``progress``, when
+    given, is called with each finished :class:`CaseResult`.
+    """
+    out = CampaignResult(space=space)
+    for kind in kinds:
+        for mode in modes:
+            scenario = build_scenario(kind, mode, size)
+            reference, _, _ = scenario[3].sweep_once(mode="fast")
+            for seed in seeds:
+                case = run_case(
+                    kind, mode, int(seed), space, size, sanitize,
+                    _scenario=scenario, _reference=reference,
+                )
+                out.cases.append(case)
+                if progress is not None:
+                    progress(case)
+    return out

@@ -45,6 +45,11 @@ class Stream:
     epoch of the emitting program (bumped each time the program is
     re-executed on a new owner after a crash).  Both are None/0 on
     reliable paths and do not affect stream semantics.
+
+    ``checksum`` is an end-to-end payload integrity code (CRC32),
+    stamped at send time on reliable paths; receivers recompute it and
+    NACK on mismatch, turning silent in-flight corruption into a fast
+    retransmit.  ``None`` means integrity checking is off.
     """
 
     src: ProgramId
@@ -54,6 +59,7 @@ class Stream:
     nbytes: int = 0
     seq: int | None = None
     epoch: int = 0
+    checksum: int | None = None
 
     def __post_init__(self):
         if self.items < 0 or self.nbytes < 0:

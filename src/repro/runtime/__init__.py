@@ -20,15 +20,24 @@ from .faults import (
     CrashFault,
     FaultInjector,
     FaultPlan,
+    LinkPartition,
     RecoveryConfig,
     StragglerWindow,
 )
 from .metrics import Breakdown, RunReport
 from .perfmodel import SweepModelPrediction, SweepPerformanceModel
 from .router import Router
+from .sanitizer import InvariantSanitizer, SanitizerError
 from .scheduler import HybridPolicy, MpiOnlyPolicy, Scheduler, SchedulerPolicy
-from .simulator import Resource, Simulator, TraceEvent
-from .transport import Transport
+from .simulator import (
+    Resource,
+    Simulator,
+    StallError,
+    StallReport,
+    TraceEvent,
+    WaitEdge,
+)
+from .transport import Transport, stream_checksum
 
 __all__ = [
     "Machine",
@@ -41,6 +50,7 @@ __all__ = [
     "Breakdown",
     "CrashFault",
     "StragglerWindow",
+    "LinkPartition",
     "FaultPlan",
     "FaultInjector",
     "RecoveryConfig",
@@ -49,8 +59,14 @@ __all__ = [
     "Simulator",
     "Resource",
     "TraceEvent",
+    "WaitEdge",
+    "StallReport",
+    "StallError",
+    "InvariantSanitizer",
+    "SanitizerError",
     "Router",
     "Transport",
+    "stream_checksum",
     "Scheduler",
     "SchedulerPolicy",
     "HybridPolicy",

@@ -39,9 +39,10 @@ from ..core.termination import MisraMarkerRing, WorkloadTracker
 from .cluster import Machine, TIANHE2
 from .costmodel import CostModel
 from .faults import FaultInjector, FaultPlan, RecoveryConfig
-from .metrics import Breakdown, RunReport
+from .metrics import Breakdown, RunReport, trace_fields
 from .recovery import RecoveryManager
 from .router import Router
+from .sanitizer import InvariantSanitizer
 from .scheduler import RunState, Scheduler, make_policy
 from .simulator import Simulator
 from .transport import Transport
@@ -53,19 +54,6 @@ __all__ = ["DataDrivenRuntime"]
 _PROGRESS = frozenset(
     ("run_start", "run_end", "msg_arrive", "deliver", "failover", "requeue")
 )
-
-
-def _trace_fields(kind, data):
-    """(proc, core, program) of one event, for the structured trace."""
-    if kind in ("run_start", "run_end"):
-        return data[0], ("w", data[0], data[1]), str(data[2])
-    if kind == "msg_arrive":
-        return data[0], None, str(data[1].dst)
-    if kind in ("deliver", "requeue"):
-        return None, None, str(data[0])
-    if kind in ("crash", "failover", "ckpt"):
-        return data, None, None
-    return None, None, None  # ack, timer
 
 
 class DataDrivenRuntime:
@@ -81,6 +69,7 @@ class DataDrivenRuntime:
         faults: FaultPlan | None = None,
         recovery: RecoveryConfig | None = None,
         trace: bool = False,
+        sanitize: bool = False,
     ):
         if termination not in ("workload", "consensus"):
             raise ReproError(f"unknown termination mode {termination!r}")
@@ -96,8 +85,7 @@ class DataDrivenRuntime:
             recovery = RecoveryConfig()
         self.recovery = recovery
         self.trace = trace
-
-    # -- public API ---------------------------------------------------------------
+        self.sanitize = sanitize  # live invariant checks (chaos harness)
 
     def run(
         self,
@@ -124,32 +112,36 @@ class DataDrivenRuntime:
         sim = Simulator(
             _PROGRESS,
             trace_hook=report.trace_events.append if self.trace else None,
-            trace_fields=_trace_fields,
+            trace_fields=trace_fields,
         )
         st = RunState()
         for prog in programs:
             st.add(prog)
         tracker = WorkloadTracker()
         slow = inj.slowdown if inj is not None else (lambda p, now: 1.0)
+        san = InvariantSanitizer(router) if self.sanitize else None
         transport = Transport(
             sim, router, self.machine, lay, report,
-            injector=inj, rcfg=rcfg if ft else None,
+            injector=inj, rcfg=rcfg if ft else None, sanitizer=san,
         )
         sched = Scheduler(
             sim, router, make_policy(self.mode), lay, st,
             self.cost, report, bd, slow, transport, tracker,
+            sanitizer=san,
         )
-        rec = (
-            RecoveryManager(sim, router, transport, sched, rcfg, report, bd,
-                            st, slow)
-            if ft else None
-        )
+        rec = RecoveryManager(
+            sim, router, transport, sched, rcfg, report, bd, st, slow,
+            sanitizer=san,
+        ) if ft else None
+        if ft and rcfg.watchdog_horizon > 0:
+            sim.arm_watchdog(rcfg.watchdog_horizon, transport.stall_snapshot)
 
         # -- seed: every program starts active -------------------------------------
         for pid in st.progs:
             sched.enqueue(pid)
         for p in range(lay.nprocs):
             sched.dispatch(p, 0.0)
+        cascaded: set[int] = set()  # procs whose crash was cascade-induced
         if plan is not None:
             for c in plan.crashes:
                 sim.push(c.time, "crash", c.proc)
@@ -164,6 +156,9 @@ class DataDrivenRuntime:
             # Control-plane events never advance the makespan.
             if kind == "ack":
                 transport.on_ack(data)
+                continue
+            if kind == "nack":
+                transport.on_nack(data, now)
                 continue
             if kind == "timer":
                 transport.on_timer(data, now)
@@ -212,6 +207,16 @@ class DataDrivenRuntime:
                     sched.dispatch(router.proc_of[pid], now)
             elif kind == "crash":
                 rec.on_crash(data, now)
+                if data in cascaded:
+                    report.cascade_crashes += 1
+                if inj is not None:
+                    # Correlated failure: a seeded subset of survivors
+                    # follows a plan crash within its cascade window.
+                    alive = [q for q in range(lay.nprocs)
+                             if q not in router.dead]
+                    for q, t_q in inj.cascade_after(data, alive, now):
+                        cascaded.add(q)
+                        sim.push(t_q, "crash", q)
             elif kind == "failover":
                 rec.on_failover(data, now)
             elif kind == "requeue":
@@ -234,6 +239,9 @@ class DataDrivenRuntime:
             raise ReproError(
                 f"workload tracker not drained: {tracker.pending_keys()!r}"
             )
+        if san is not None:
+            san.check_final(st.progs)
+            report.sanitizer_checks = san.checks
 
         makespan = sim.makespan
         if self.termination == "consensus":

@@ -4,12 +4,15 @@ The paper's runtime targets 76,800 cores, a scale where node failures,
 stragglers and lost messages are the norm rather than the exception.
 This module turns the DES from a benchmark harness into a robustness
 testbed: a :class:`FaultPlan` describes *what goes wrong* (fail-stop
-process crashes at virtual times, transient straggler windows, message
-drop/duplication probabilities), a :class:`FaultInjector` realizes the
-plan deterministically from a seed, and a :class:`RecoveryConfig`
+process crashes at virtual times - optionally cascading to a seeded
+subset of surviving neighbours - transient straggler windows, timed
+directed network partitions, message drop/duplication/corruption
+probabilities), a :class:`FaultInjector` realizes the plan
+deterministically from a seed, and a :class:`RecoveryConfig`
 parameterizes the runtime's countermeasures (per-message acks with
-timeout/backoff retransmission, periodic lightweight checkpoints,
-crash detection and dynamic owner re-assignment).
+timeout/backoff retransmission, per-stream checksums with NACK-driven
+retransmit, periodic lightweight checkpoints, crash detection and
+dynamic owner re-assignment, and the no-progress liveness watchdog).
 
 Everything is expressed in *virtual* seconds of the simulated cluster,
 and every random draw comes from one seeded generator consumed in
@@ -19,6 +22,7 @@ bit-identical, which is what makes fault scenarios regression-testable.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +32,7 @@ from .._util import ReproError
 __all__ = [
     "CrashFault",
     "StragglerWindow",
+    "LinkPartition",
     "FaultPlan",
     "FaultInjector",
     "RecoveryConfig",
@@ -42,22 +47,46 @@ class CrashFault:
     its patches are re-assigned to survivors by the recovery protocol.
     A crash scheduled after the run has quiesced is ignored (the job
     finished before the fault).
+
+    A crash can *cascade* (correlated failure: a rack power event, a
+    shared-switch loss): each surviving process independently follows
+    the victim with probability ``cascade``, at a seeded time within
+    ``cascade_window`` of the original crash, up to ``cascade_max``
+    followers.  Cascaded crashes do not themselves cascade further.
     """
 
     proc: int
     time: float
+    cascade: float = 0.0  # per-survivor follow probability
+    cascade_window: float = 0.0  # followers crash within (time, time + window]
+    cascade_max: int = 0  # hard cap on followers (bounds total loss)
 
     def __post_init__(self):
         if self.proc < 0:
             raise ReproError("crash proc must be non-negative")
         if self.time < 0:
             raise ReproError("crash time must be non-negative")
+        if not (0.0 <= self.cascade <= 1.0):
+            raise ReproError("cascade probability must be in [0, 1]")
+        if self.cascade > 0 and self.cascade_window <= 0:
+            raise ReproError(
+                "a cascading crash needs a positive cascade_window"
+            )
+        if self.cascade_max < 0:
+            raise ReproError("cascade_max must be non-negative")
+
+    def cascades(self) -> bool:
+        return self.cascade > 0 and self.cascade_max > 0
 
 
 @dataclass(frozen=True)
 class StragglerWindow:
     """Transient slowdown of one process: every virtual-time cost booked
-    on its cores during [start, end) is multiplied by ``factor``."""
+    on its cores during [start, end) is multiplied by ``factor``.
+
+    Overlapping windows on one process *multiply* (two independent
+    slowdowns compound), pinned down by ``FaultInjector.slowdown`` tests.
+    """
 
     proc: int
     start: float
@@ -74,30 +103,92 @@ class StragglerWindow:
 
 
 @dataclass(frozen=True)
+class LinkPartition:
+    """Timed directed network partition of one process-pair link.
+
+    Every message (data, ack or nack) put on the ``src -> dst`` wire
+    during [start, end) is silently black-holed: the sender gets no
+    failure signal and recovers only through ack-timeout retransmission
+    once the partition heals.  ``end`` may be ``math.inf`` for a
+    partition that never heals (the canonical unrecoverable-stall
+    scenario caught by the liveness watchdog).  Cut both directions by
+    listing both ``(src, dst)`` and ``(dst, src)``.
+    """
+
+    src: int
+    dst: int
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.src < 0 or self.dst < 0:
+            raise ReproError("partition procs must be non-negative")
+        if self.src == self.dst:
+            raise ReproError("partition must cut a link between two "
+                             "distinct processes")
+        if not (0 <= self.start < self.end):
+            raise ReproError("partition window must satisfy 0 <= start < end")
+
+    @property
+    def heals(self) -> bool:
+        return math.isfinite(self.end)
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A deterministic, seeded description of the faults of one run."""
 
     crashes: tuple = ()
     stragglers: tuple = ()
+    partitions: tuple = ()
     p_drop: float = 0.0  # per remote message (data and acks)
     p_duplicate: float = 0.0  # per remote data message
+    p_corrupt: float = 0.0  # per remote data message (in-flight bit flip)
     seed: int = 0
 
     def __post_init__(self):
         object.__setattr__(self, "crashes", tuple(self.crashes))
         object.__setattr__(self, "stragglers", tuple(self.stragglers))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
         if not (0.0 <= self.p_drop < 1.0):
             raise ReproError("p_drop must be in [0, 1)")
         if not (0.0 <= self.p_duplicate < 1.0):
             raise ReproError("p_duplicate must be in [0, 1)")
+        if not (0.0 <= self.p_corrupt < 1.0):
+            raise ReproError("p_corrupt must be in [0, 1)")
+        if self.p_drop + self.p_duplicate + self.p_corrupt >= 1.0:
+            raise ReproError(
+                "p_drop + p_duplicate + p_corrupt must stay below 1"
+            )
+        seen: set[int] = set()
+        for c in self.crashes:
+            if c.proc in seen:
+                raise ReproError(
+                    f"fault plan crashes proc {c.proc} twice; a fail-stop "
+                    "process dies at most once - merge the duplicates"
+                )
+            seen.add(c.proc)
 
     def needs_recovery(self) -> bool:
         """True when the plan can lose work or messages (stragglers
         alone only delay; they need no recovery machinery)."""
-        return bool(self.crashes) or self.p_drop > 0 or self.p_duplicate > 0
+        return (
+            bool(self.crashes)
+            or bool(self.partitions)
+            or self.p_drop > 0
+            or self.p_duplicate > 0
+            or self.p_corrupt > 0
+        )
 
     def crashed_procs(self) -> set:
         return {c.proc for c in self.crashes}
+
+    def max_casualties(self) -> int:
+        """Upper bound on processes the plan can kill (crashes plus
+        cascade caps); the dynamic cascade draws never exceed it."""
+        return len(self.crashes) + sum(
+            c.cascade_max for c in self.crashes if c.cascades()
+        )
 
     def validate(self, nprocs: int, programs) -> None:
         """Reject plans inconsistent with the layout or program set."""
@@ -105,6 +196,12 @@ class FaultPlan:
             if w.proc >= nprocs:
                 raise ReproError(
                     f"straggler window targets proc {w.proc} but the "
+                    f"layout has only {nprocs} processes"
+                )
+        for cut in self.partitions:
+            if cut.src >= nprocs or cut.dst >= nprocs:
+                raise ReproError(
+                    f"partition cuts link {cut.src}->{cut.dst} but the "
                     f"layout has only {nprocs} processes"
                 )
         if self.crashes:
@@ -116,7 +213,8 @@ class FaultPlan:
                 )
             if len(crashed) >= nprocs:
                 raise ReproError(
-                    "fault plan crashes every process; no survivors"
+                    "fault plan crashes every process; total loss is "
+                    "unrecoverable (no survivors to fail over to)"
                 )
             for prog in programs:
                 if not getattr(prog, "resilient_input", False):
@@ -141,32 +239,101 @@ class FaultInjector:
         self._windows: dict[int, list[StragglerWindow]] = {}
         for w in plan.stragglers:
             self._windows.setdefault(w.proc, []).append(w)
+        self._cuts: dict[tuple[int, int], list[LinkPartition]] = {}
+        for cut in plan.partitions:
+            self._cuts.setdefault((cut.src, cut.dst), []).append(cut)
 
     def slowdown(self, proc: int, now: float) -> float:
-        """Multiplicative cost factor on ``proc`` at virtual time ``now``."""
+        """Multiplicative cost factor on ``proc`` at virtual time ``now``.
+
+        Overlapping windows multiply (each window is an independent
+        slowdown source); a window is half-open: active on [start, end).
+        """
         f = 1.0
         for w in self._windows.get(proc, ()):
             if w.start <= now < w.end:
                 f *= w.factor
         return f
 
+    def link_cut(self, src: int, dst: int, now: float) -> bool:
+        """Whether the directed ``src -> dst`` link is partitioned now."""
+        for cut in self._cuts.get((src, dst), ()):
+            if cut.start <= now < cut.end:
+                return True
+        return False
+
+    def cut_window(self, src: int, dst: int, now: float) -> LinkPartition | None:
+        """The active partition window on ``src -> dst``, if any (used
+        by the stall watchdog to name lost edges)."""
+        for cut in self._cuts.get((src, dst), ()):
+            if cut.start <= now < cut.end:
+                return cut
+        return None
+
     def message_fate(self) -> str:
-        """'deliver', 'drop' or 'duplicate' for one remote data message."""
+        """'deliver', 'drop', 'duplicate' or 'corrupt' for one remote
+        data message."""
         p = self.plan
-        if p.p_drop == 0.0 and p.p_duplicate == 0.0:
+        if p.p_drop == 0.0 and p.p_duplicate == 0.0 and p.p_corrupt == 0.0:
             return "deliver"  # no draw: a zero-rate injector is inert
         u = self._rng.random()
         if u < p.p_drop:
             return "drop"
         if u < p.p_drop + p.p_duplicate:
             return "duplicate"
+        if u < p.p_drop + p.p_duplicate + p.p_corrupt:
+            return "corrupt"
         return "deliver"
+
+    def corrupt_position(self, nbytes: int) -> tuple[int, int]:
+        """Seeded (byte index, bit index) of one in-flight bit flip."""
+        byte = int(self._rng.integers(0, max(1, nbytes)))
+        bit = int(self._rng.integers(0, 8))
+        return byte, bit
 
     def ack_dropped(self) -> bool:
         """Whether one ack control message is lost in transit."""
         if self.plan.p_drop == 0.0:
             return False
         return bool(self._rng.random() < self.plan.p_drop)
+
+    def cascade_after(
+        self, proc: int, alive: list, now: float
+    ) -> list[tuple[int, float]]:
+        """Cascade followers of the crash of ``proc``.
+
+        Looks up the plan's fault for ``proc`` and delegates to
+        :meth:`cascade_victims`; a crash with no plan entry (a cascaded
+        crash) or a non-cascading entry follows nobody and consumes no
+        randomness.
+        """
+        for c in self.plan.crashes:
+            if c.proc == proc:
+                return self.cascade_victims(c, alive, now)
+        return []
+
+    def cascade_victims(
+        self, fault: CrashFault, alive: list, now: float
+    ) -> list[tuple[int, float]]:
+        """Seeded followers of a cascading crash: ``(proc, time)`` pairs.
+
+        Draws one follow decision per survivor in deterministic (sorted)
+        order, capped at ``cascade_max`` victims; each victim crashes at
+        a seeded time within ``(now, now + cascade_window]``.  Cascaded
+        crashes never cascade further (they carry no fault object).
+        """
+        if not fault.cascades():
+            return []
+        victims: list[tuple[int, float]] = []
+        for q in sorted(alive):
+            if q == fault.proc:
+                continue
+            if len(victims) >= fault.cascade_max:
+                break
+            if self._rng.random() < fault.cascade:
+                delay = self._rng.random() * fault.cascade_window
+                victims.append((q, now + delay))
+        return victims
 
 
 @dataclass(frozen=True)
@@ -176,6 +343,13 @@ class RecoveryConfig:
     All times are virtual seconds.  The virtual costs (``t_*``) are
     booked under the ``recovery`` breakdown category, so the overhead
     of resilience is visible in the Fig. 16-style accounting.
+
+    ``watchdog_horizon`` arms the liveness watchdog: if retransmit
+    timers are still circulating but no progress event has been
+    processed for this many virtual seconds, the run raises a
+    structured :class:`~repro.runtime.simulator.StallError` naming the
+    blocked dependencies instead of spinning.  Must comfortably exceed
+    any expected partition-heal window; 0 disables the watchdog.
     """
 
     ack_timeout: float = 120e-6  # first retransmission timeout
@@ -186,6 +360,7 @@ class RecoveryConfig:
     t_checkpoint_fixed: float = 2.0e-6  # master cost per checkpoint event
     t_checkpoint_program: float = 0.5e-6  # + per program snapshotted
     t_failover_program: float = 5.0e-6  # master cost to install a migrant
+    watchdog_horizon: float = 20e-3  # no-progress stall horizon; 0 = off
 
     def __post_init__(self):
         if self.ack_timeout <= 0 or self.checkpoint_interval <= 0:
@@ -196,3 +371,5 @@ class RecoveryConfig:
             raise ReproError("max_retries must be >= 1")
         if self.detection_delay < 0:
             raise ReproError("detection_delay must be non-negative")
+        if self.watchdog_horizon < 0:
+            raise ReproError("watchdog_horizon must be non-negative")

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from .costmodel import CATEGORIES
 
-__all__ = ["Breakdown", "RunReport"]
+__all__ = ["Breakdown", "RunReport", "trace_fields"]
 
 
 class Breakdown:
@@ -78,6 +78,11 @@ class RunReport:
     checkpoints: int = 0  # program snapshots taken
     crashes: int = 0  # processes lost (ignoring post-quiescence crashes)
     failover_time: float = 0.0  # virtual time from crash to re-install
+    partition_drops: int = 0  # messages black-holed by a link partition
+    corruptions: int = 0  # payloads bit-flipped in flight
+    nacks: int = 0  # checksum-mismatch rejections (fast retransmit)
+    cascade_crashes: int = 0  # crashes induced by a cascading CrashFault
+    sanitizer_checks: int = 0  # invariant assertions evaluated (sanitize=True)
 
     @property
     def core_seconds(self) -> float:
@@ -110,6 +115,10 @@ class RunReport:
             "checkpoints": self.checkpoints,
             "crashes": self.crashes,
             "failover_time": self.failover_time,
+            "partition_drops": self.partition_drops,
+            "corruptions": self.corruptions,
+            "nacks": self.nacks,
+            "cascade_crashes": self.cascade_crashes,
             "recovery_time": self.breakdown.by_category.get("recovery", 0.0),
         }
 
@@ -155,3 +164,17 @@ class RunReport:
                     ev["args"]["program"] = te.program
             evs.append(ev)
         return {"traceEvents": evs, "displayTimeUnit": "ms"}
+
+
+def trace_fields(kind, data):
+    """(proc, core, program) of one runtime event, for the structured
+    trace (the engine passes this to the simulator's trace hook)."""
+    if kind in ("run_start", "run_end"):
+        return data[0], ("w", data[0], data[1]), str(data[2])
+    if kind == "msg_arrive":
+        return data[0], None, str(data[1].dst)
+    if kind in ("deliver", "requeue"):
+        return None, None, str(data[0])
+    if kind in ("crash", "failover", "ckpt"):
+        return data, None, None
+    return None, None, None  # ack, nack, timer

@@ -68,6 +68,7 @@ class RecoveryManager:
         bd: Breakdown,
         st: RunState,
         slow,
+        sanitizer=None,
     ):
         self.sim = sim
         self.router = router
@@ -78,6 +79,7 @@ class RecoveryManager:
         self.bd = bd
         self.st = st
         self.slow = slow
+        self.san = sanitizer
         self.ckpt: dict[ProgramId, Checkpoint | None] = {
             pid: None for pid in st.progs
         }
@@ -142,9 +144,13 @@ class RecoveryManager:
             base = list(ck.inbox) if ck is not None else []
             st.inbox[pid] = base + list(self.dlog[pid])
             st.state[pid] = ProgramState.ACTIVE
+            if self.san is not None:
+                self.san.on_failover(pid, st.inbox[pid])
             dur = self.rcfg.t_failover_program * self.slow(new_p, now)
             master = self.scheduler.masters[new_p]
-            _, end = master.book(now, dur)
+            start, end = master.book(now, dur)
+            if self.san is not None:
+                self.san.on_booking(master.core, start, end)
             self.bd.add(master.core, "recovery", dur)
             self.sim.push(end, "requeue", (pid, st.epoch[pid]))
             install_end = max(install_end, end)
@@ -169,7 +175,9 @@ class RecoveryManager:
                 + len(own) * self.rcfg.t_checkpoint_program
             ) * self.slow(p, now)
             master = self.scheduler.masters[p]
-            _, end = master.book(now, dur)
+            start, end = master.book(now, dur)
+            if self.san is not None:
+                self.san.on_booking(master.core, start, end)
             self.bd.add(master.core, "recovery", dur)
             self.sim.observe(end)
             for pid in own:

@@ -132,6 +132,7 @@ class Scheduler:
         slow,
         transport: Transport,
         tracker: WorkloadTracker,
+        sanitizer=None,
     ):
         self.sim = sim
         self.router = router
@@ -143,6 +144,7 @@ class Scheduler:
         self.slow = slow
         self.transport = transport
         self.tracker = tracker
+        self.san = sanitizer
         self.recovery = None  # attached by the recovery layer when armed
         nprocs = router.nprocs
         self.masters, self.workers = policy.build_resources(nprocs, layout)
@@ -241,7 +243,9 @@ class Scheduler:
         duration = sum(cost.values())
         duration += self.cm.t_sched  # queue pop / dispatch, on the worker
         wres = self.workers[p][w]
-        _, end = wres.book(now, duration * sf)
+        start, end = wres.book(now, duration * sf)
+        if self.san is not None:
+            self.san.on_booking(wres.core, start, end)
         self.bd.add(wres.core, "kernel", cost["kernel"] * sf)
         self.bd.add(wres.core, "graph_op", (cost["graph_op"] + cost["fixed"]) * sf)
         self.bd.add(wres.core, "pack", cost["pack"] * sf)
@@ -260,7 +264,9 @@ class Scheduler:
             if dst_p == p:
                 # Local routing through the master thread.
                 dur = self.cm.t_route * self.slow(p, now)
-                _, end = self.masters[p].book(now, dur)
+                start, end = self.masters[p].book(now, dur)
+                if self.san is not None:
+                    self.san.on_booking(self.masters[p].core, start, end)
                 self.bd.add(self.masters[p].core, "comm", dur)
                 self.report.local_streams += 1
                 self.sim.push(end, "deliver", (s.dst, s))
@@ -274,6 +280,8 @@ class Scheduler:
             # Workload-commit fast path; epoch-keyed so a stale
             # execution cannot overwrite a migrated program's fresher
             # commit.
+            if self.san is not None:
+                self.san.on_commit(pid, rem, ep)
             self.tracker.commit(pid, rem, epoch=ep)
         if prog.vote_to_halt() and not st.inbox[pid]:
             st.state[pid] = ProgramState.INACTIVE

@@ -28,7 +28,16 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, Callable
 
-__all__ = ["Resource", "Simulator", "TraceEvent"]
+from .._util import ReproError
+
+__all__ = [
+    "Resource",
+    "Simulator",
+    "TraceEvent",
+    "WaitEdge",
+    "StallReport",
+    "StallError",
+]
 
 
 class Resource:
@@ -58,6 +67,69 @@ class TraceEvent:
     program: str | None
 
 
+@dataclass(frozen=True)
+class WaitEdge:
+    """One blocked dependency in a stall's wait-for graph: ``waiter``
+    cannot make progress until ``holder`` supplies the named stream."""
+
+    waiter: str  # destination program id (who is starved)
+    holder: str  # source program id (who owes the stream)
+    src_proc: int
+    dst_proc: int
+    retries: int
+    reason: str  # e.g. "link 0->1 partitioned (never heals)"
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """Structured diagnosis of a no-progress stall.
+
+    Produced by the liveness watchdog when retransmit timers keep
+    circulating but nothing useful has committed for a full horizon:
+    the wait-for graph snapshot names who is blocked on whom and why,
+    plus any dependency cycle found in it.
+    """
+
+    now: float  # virtual time of detection
+    last_progress: float  # virtual time of the last progress event
+    horizon: float  # configured no-progress horizon
+    pending_events: int  # events still on the heap at detection
+    waiting: tuple[WaitEdge, ...] = ()
+    lost: tuple[WaitEdge, ...] = ()  # edges that can never be satisfied
+    cycle: tuple[str, ...] = ()  # program ids forming a wait cycle
+
+    def describe(self) -> str:
+        lines = [
+            f"no progress for {self.now - self.last_progress:.6f}s of "
+            f"virtual time (horizon {self.horizon:.6f}s) at t="
+            f"{self.now:.6f}s with {self.pending_events} pending events"
+        ]
+        for e in self.lost:
+            lines.append(
+                f"  LOST  {e.waiter} <- {e.holder} "
+                f"(proc {e.src_proc}->{e.dst_proc}, {e.retries} retries): "
+                f"{e.reason}"
+            )
+        for e in self.waiting:
+            if e not in self.lost:
+                lines.append(
+                    f"  WAIT  {e.waiter} <- {e.holder} "
+                    f"(proc {e.src_proc}->{e.dst_proc}, {e.retries} "
+                    f"retries): {e.reason}"
+                )
+        if self.cycle:
+            lines.append("  CYCLE " + " -> ".join(self.cycle))
+        return "\n".join(lines)
+
+
+class StallError(ReproError):
+    """Raised by the watchdog instead of letting a wedged run spin."""
+
+    def __init__(self, report: StallReport):
+        self.report = report
+        super().__init__("liveness watchdog: " + report.describe())
+
+
 class Simulator:
     """Event heap + virtual clock + quiescence counter.
 
@@ -65,10 +137,21 @@ class Simulator:
     forward progress of a run; :attr:`live` counts how many of them are
     outstanding, which lets higher layers recognize quiescence (e.g.
     checkpoint/crash events scheduled after a job finished are inert).
+
+    :meth:`arm_watchdog` adds a virtual-time liveness check on top of
+    the same counters: when a watched control event (a retransmit
+    timer) pops with *zero* progress events outstanding and more than
+    ``horizon`` virtual seconds since the last progress event was
+    processed, the run has stopped doing useful work while the control
+    plane keeps spinning - the watchdog asks the owning layer for a
+    wait-for snapshot and raises :class:`StallError` if the snapshot
+    confirms a genuine stall (a ``None`` snapshot means the timers are
+    stale and the heap will drain; the watchdog stays quiet).
     """
 
     __slots__ = ("_events", "_seq", "live", "makespan", "_progress",
-                 "trace_hook", "trace_fields")
+                 "trace_hook", "trace_fields", "last_progress",
+                 "_wd_horizon", "_wd_snapshot", "_wd_kinds")
 
     def __init__(
         self,
@@ -83,6 +166,26 @@ class Simulator:
         self._progress = frozenset(progress_kinds)
         self.trace_hook = trace_hook
         self.trace_fields = trace_fields
+        self.last_progress = 0.0  # virtual time of last progress pop
+        self._wd_horizon = 0.0  # 0 = watchdog disarmed
+        self._wd_snapshot: Callable[[float], StallReport | None] | None = None
+        self._wd_kinds: frozenset = frozenset()
+
+    def arm_watchdog(
+        self,
+        horizon: float,
+        snapshot: Callable[[float], StallReport | None],
+        watch_kinds: frozenset = frozenset(("timer",)),
+    ) -> None:
+        """Arm the no-progress detector.
+
+        ``snapshot(now)`` is called on suspicion; it must return a
+        :class:`StallReport` to confirm the stall (raised wrapped in
+        :class:`StallError`) or ``None`` to wave it off.
+        """
+        self._wd_horizon = horizon
+        self._wd_snapshot = snapshot
+        self._wd_kinds = frozenset(watch_kinds)
 
     def next_seq(self) -> int:
         """Next tie-break sequence number, shared with external queues."""
@@ -101,6 +204,18 @@ class Simulator:
         t, _, kind, data = heapq.heappop(self._events)
         if kind in self._progress:
             self.live -= 1
+            self.last_progress = t
+        elif (
+            self._wd_horizon > 0.0
+            and kind in self._wd_kinds
+            and self.live == 0
+            and t - self.last_progress > self._wd_horizon
+        ):
+            # Control plane still ticking, data plane silent past the
+            # horizon: suspect a stall and ask the owner to confirm.
+            report = self._wd_snapshot(t)
+            if report is not None:
+                raise StallError(report)
         if self.trace_hook is not None:
             proc = core = program = None
             if self.trace_fields is not None:

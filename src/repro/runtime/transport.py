@@ -10,9 +10,23 @@ transport degenerates to plain wire time (latency + size/bandwidth) on
 a lossless network.
 
 The fault-injection hook lives on this layer's send path: each
-(re)transmission asks the :class:`~repro.runtime.faults.FaultInjector`
-for the message's fate (deliver / drop / duplicate), and each arrival
-ack may itself be dropped.
+(re)transmission first checks the directed link for an active
+partition (black-holed silently - only the ack timer recovers, once
+the partition heals), then asks the
+:class:`~repro.runtime.faults.FaultInjector` for the message's fate
+(deliver / drop / duplicate / corrupt), and each arrival ack may
+itself be dropped or black-holed.
+
+Reliable sends carry an end-to-end CRC32 over header and payload;
+a receiver that recomputes a mismatching checksum NACKs the message
+instead of acking it, and the sender retransmits immediately (fast
+retransmit, not burning the retry budget - corruption is transient,
+unlike an unreachable peer).
+
+The transport also owns the liveness watchdog's diagnosis: its pending
+set *is* the run's wait-for state, so :meth:`Transport.stall_snapshot`
+renders it as a :class:`~repro.runtime.simulator.StallReport` naming
+every blocked dependency, the lost ones, and any wait-for cycle.
 
 Sits above :mod:`repro.runtime.simulator` (events, timers) and
 :mod:`repro.runtime.router` (current owner of source and destination
@@ -23,15 +37,40 @@ sends to re-arm, as data.
 
 from __future__ import annotations
 
+import dataclasses
+import zlib
+
+import numpy as np
+
 from .._util import ReproError
 from ..core.stream import ProgramId, Stream
 from .cluster import Layout, Machine
 from .faults import FaultInjector, RecoveryConfig
 from .metrics import RunReport
 from .router import Router
-from .simulator import Simulator
+from .simulator import Simulator, StallReport, WaitEdge
 
-__all__ = ["PendingSend", "Transport"]
+__all__ = ["PendingSend", "Transport", "stream_checksum"]
+
+
+def stream_checksum(s: Stream) -> int:
+    """End-to-end CRC32 of one stream: header fields plus payload bytes.
+
+    ndarray payloads hash their raw bytes (so an in-flight bit flip is
+    always caught); opaque payloads hash their repr, which is stable
+    within a run.
+    """
+    crc = zlib.crc32(
+        repr((s.src, s.dst, s.seq, s.epoch, s.items, s.nbytes)).encode()
+    )
+    p = s.payload
+    if isinstance(p, np.ndarray):
+        crc = zlib.crc32(np.ascontiguousarray(p).tobytes(), crc)
+    elif isinstance(p, (bytes, bytearray)):
+        crc = zlib.crc32(bytes(p), crc)
+    elif p is not None:
+        crc = zlib.crc32(repr(p).encode(), crc)
+    return crc
 
 
 class PendingSend:
@@ -59,6 +98,7 @@ class Transport:
         report: RunReport,
         injector: FaultInjector | None = None,
         rcfg: RecoveryConfig | None = None,
+        sanitizer=None,
     ):
         self.sim = sim
         self.router = router
@@ -67,6 +107,7 @@ class Transport:
         self.report = report
         self.inj = injector
         self.rcfg = rcfg
+        self.san = sanitizer
         self.out_seq: dict[ProgramId, int] = {}  # next seq per sending program
         self.pending: dict[tuple, PendingSend] = {}  # uid -> un-acked send
         self.seen: set[tuple] = set()  # uids already delivered (dup discard)
@@ -89,11 +130,12 @@ class Transport:
             )
             self.sim.push(now + wire, "msg_arrive", (dst_proc, s))
             return
-        # Stamp a unique message id and track the send until the
-        # receiver acknowledges it.
+        # Stamp a unique message id and the end-to-end checksum, and
+        # track the send until the receiver acknowledges it.
         s.seq = self.out_seq.get(s.src, 0)
         self.out_seq[s.src] = s.seq + 1
         s.epoch = ep
+        s.checksum = stream_checksum(s)
         ps = PendingSend(s, src_pid, self.rcfg.ack_timeout)
         self.pending[s.uid] = ps
         self.transmit(ps, now)
@@ -104,15 +146,50 @@ class Transport:
         s = ps.stream
         src_p = self.router.proc_of[s.src]
         dst_p = self.router.proc_of[s.dst]
+        if self.inj is not None and self.inj.link_cut(src_p, dst_p, now):
+            # Partitioned link: silent black hole, no fate draw.  The
+            # sender learns nothing; its ack timer retransmits until
+            # the partition heals (or the watchdog names the cut).
+            self.report.partition_drops += 1
+            return
         wire = self.machine.message_time(src_p, dst_p, s.nbytes, self.layout)
         fate = self.inj.message_fate() if self.inj is not None else "deliver"
         if fate == "drop":
             self.report.drops += 1
             return
+        if fate == "corrupt":
+            self.report.corruptions += 1
+            self.sim.push(
+                now + wire, "msg_arrive", (dst_p, self._corrupt_clone(s))
+            )
+            return
         self.sim.push(now + wire, "msg_arrive", (dst_p, s))
         if fate == "duplicate":
             self.report.duplicates += 1
             self.sim.push(now + 2 * wire, "msg_arrive", (dst_p, s))
+
+    def _corrupt_clone(self, s: Stream) -> Stream:
+        """A copy of ``s`` with one seeded in-flight bit flipped.
+
+        The clone carries the *original* checksum, so the receiver's
+        recomputation genuinely mismatches.  ndarray payloads get the
+        flip in their byte image; opaque payloads model the flip as
+        hitting the checksum word itself (same observable: mismatch).
+        The tracked :class:`PendingSend` keeps the pristine stream, so
+        retransmissions are clean.
+        """
+        byte, bit = self.inj.corrupt_position(
+            s.payload.nbytes if isinstance(s.payload, np.ndarray) else 4
+        )
+        p = s.payload
+        if isinstance(p, np.ndarray) and p.nbytes > 0:
+            buf = bytearray(np.ascontiguousarray(p).tobytes())
+            buf[byte] ^= 1 << bit
+            bad = np.frombuffer(bytes(buf), dtype=p.dtype).reshape(p.shape)
+            return dataclasses.replace(s, payload=bad)
+        return dataclasses.replace(
+            s, checksum=s.checksum ^ (1 << ((byte * 8 + bit) % 32))
+        )
 
     # -- control-plane events ------------------------------------------------------
 
@@ -147,25 +224,58 @@ class Transport:
         ps.timeout *= self.rcfg.backoff
         self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
 
+    def on_nack(self, uid: tuple, now: float) -> None:
+        """Checksum-mismatch report from the receiver: retransmit
+        immediately (fast retransmit).
+
+        Corruption is a transient wire fault, not an unreachable peer,
+        so a NACKed retransmission does not burn the retry budget; the
+        ack timer stays armed as the backstop for a lost NACK.
+        """
+        ps = self.pending.get(uid)
+        if ps is None:
+            return  # a clean copy got through and was acked meanwhile
+        s = ps.stream
+        if self.router.proc_of[s.src] in self.router.dead:
+            return  # sender's owner crashed; failover re-arms
+        ps.attempt += 1
+        self.transmit(ps, now)
+        self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+
     # -- receive path --------------------------------------------------------------
 
     def receive(self, s: Stream, proc: int, now: float) -> bool:
-        """Ack an arriving stream; False when it is a duplicate.
+        """Verify, ack and dedup an arriving stream; False when it must
+        not be delivered (corrupted copy or duplicate).
 
-        Acks on arrival (a cheap control message to the sender's
-        current owner), then discards duplicates: retransmissions and
-        injected copies re-ack but are invisible to the program.
+        A checksum mismatch NACKs the sender instead of acking (the
+        corrupted copy is never marked seen, so the clean retransmit is
+        delivered normally); otherwise acks on arrival (a cheap control
+        message to the sender's current owner), then discards
+        duplicates: retransmissions and injected copies re-ack but are
+        invisible to the program.
         """
         uid = s.uid
         if uid is None:
             return True
-        if self.inj is None or not self.inj.ack_dropped():
-            ack_t = self.machine.control_time(
-                proc, self.router.proc_of[s.src], self.layout
-            )
+        src_proc = self.router.proc_of[s.src]
+        if s.checksum is not None and stream_checksum(s) != s.checksum:
+            self.report.nacks += 1
+            if self.inj is not None and self.inj.link_cut(proc, src_proc, now):
+                self.report.partition_drops += 1  # NACK black-holed too
+            else:
+                t = self.machine.control_time(proc, src_proc, self.layout)
+                self.sim.push(now + t, "nack", uid)
+            return False
+        if self.inj is not None and self.inj.link_cut(proc, src_proc, now):
+            self.report.partition_drops += 1  # ack black-holed by the cut
+        elif self.inj is None or not self.inj.ack_dropped():
+            ack_t = self.machine.control_time(proc, src_proc, self.layout)
             self.sim.push(now + ack_t, "ack", uid)
         if uid in self.seen:
             return False
+        if self.san is not None:
+            self.san.on_delivery(s, proc)
         self.seen.add(uid)
         return True
 
@@ -201,3 +311,88 @@ class Transport:
                 ps.attempt += 1
                 self.transmit(ps, now)
                 self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+
+    # -- liveness diagnosis -------------------------------------------------------
+
+    def stall_snapshot(self, t: float) -> StallReport | None:
+        """Wait-for snapshot for the liveness watchdog.
+
+        Called when retransmit timers keep circulating with no progress
+        event processed for a full horizon.  Returns ``None`` when no
+        sends are outstanding (stale timers; the heap will drain), else
+        a :class:`StallReport` naming every blocked dependency - who is
+        starved, who owes the stream, and why it cannot arrive
+        (partitioned link, dead peer, or plain ack starvation) - plus
+        any wait-for cycle among the blocked programs.
+        """
+        if not self.pending:
+            return None
+        router, inj = self.router, self.inj
+        waiting: list[WaitEdge] = []
+        lost: list[WaitEdge] = []
+        holders: dict[str, set[str]] = {}  # waiter -> stream owers
+        for ps in self.pending.values():
+            s = ps.stream
+            src_p = router.proc_of[s.src]
+            dst_p = router.proc_of[s.dst]
+            cut = (
+                inj.cut_window(src_p, dst_p, t) if inj is not None else None
+            )
+            if cut is not None:
+                reason = f"link {src_p}->{dst_p} partitioned" + (
+                    f" until t={cut.end:.6f}s" if cut.heals
+                    else " (never heals)"
+                )
+            elif dst_p in router.dead:
+                reason = f"receiver proc {dst_p} is dead"
+            elif src_p in router.dead:
+                reason = f"sender's owner proc {src_p} is dead"
+            else:
+                reason = "awaiting ack"
+            edge = WaitEdge(
+                waiter=str(s.dst), holder=str(s.src),
+                src_proc=src_p, dst_proc=dst_p,
+                retries=ps.retries, reason=reason,
+            )
+            waiting.append(edge)
+            if cut is not None and not cut.heals:
+                lost.append(edge)
+            holders.setdefault(edge.waiter, set()).add(edge.holder)
+        return StallReport(
+            now=t,
+            last_progress=self.sim.last_progress,
+            horizon=self.rcfg.watchdog_horizon,
+            pending_events=len(self.sim),
+            waiting=tuple(waiting),
+            lost=tuple(lost),
+            cycle=_find_cycle(holders),
+        )
+
+
+def _find_cycle(edges: dict[str, set[str]]) -> tuple[str, ...]:
+    """First directed cycle in a waiter->holders graph, or ()."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {v: WHITE for v in edges}
+    stack: list[str] = []
+
+    def dfs(v: str) -> tuple[str, ...]:
+        color[v] = GRAY
+        stack.append(v)
+        for w in sorted(edges.get(v, ())):
+            c = color.get(w, WHITE)
+            if c == GRAY:
+                return tuple(stack[stack.index(w):]) + (w,)
+            if c == WHITE and w in edges:
+                found = dfs(w)
+                if found:
+                    return found
+        stack.pop()
+        color[v] = BLACK
+        return ()
+
+    for v in sorted(edges):
+        if color[v] == WHITE:
+            found = dfs(v)
+            if found:
+                return found
+    return ()

@@ -1,0 +1,512 @@
+"""Chaos-engine tests: partitions, corruption, cascades, watchdog,
+sanitizer, and the seeded campaign driver.
+
+The oracle everywhere is the strongest one available: a recoverable
+faulty run must produce *bitwise-identical* flux to the fault-free
+reference, and an unrecoverable one must terminate with a structured
+:class:`StallReport` naming the lost dependency - never hang, never
+silently drop work.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from numpy.testing import assert_array_equal
+
+from repro._util import ReproError
+from repro.chaos import (
+    ChaosSpace,
+    random_fault_plan,
+    run_campaign,
+    run_case,
+)
+from repro.core.stream import ProgramId, Stream
+from repro.framework import PatchSet
+from repro.mesh import cube_structured
+from repro.runtime import (
+    CrashFault,
+    DataDrivenRuntime,
+    FaultInjector,
+    FaultPlan,
+    InvariantSanitizer,
+    LinkPartition,
+    Machine,
+    RecoveryConfig,
+    Router,
+    RunReport,
+    SanitizerError,
+    Simulator,
+    StallError,
+    StragglerWindow,
+    Transport,
+    stream_checksum,
+)
+from repro.runtime.metrics import Breakdown
+from repro.runtime.recovery import Checkpoint
+from tests.conftest import make_solver
+
+CORES = 16  # 4 procs x (1 master + 3 workers) on the small machine
+
+
+def _setup(nprocs=4, **solver_kw):
+    machine = Machine(cores_per_proc=4)
+    mesh = cube_structured(8, length=4.0)
+    pset = PatchSet.from_structured(mesh, (4, 4, 4), nprocs=nprocs)
+    solver = make_solver(pset, grain=16, **solver_kw)
+    return machine, pset, solver
+
+
+def _reference_phi():
+    _, _, s = _setup()
+    ref, _, _ = s.sweep_once(mode="fast")
+    return ref
+
+
+def _run(plan, sanitize=True, **kw):
+    machine, pset, s = _setup()
+    progs, faces = s.build_programs(resilient=True)
+    rep = DataDrivenRuntime(
+        CORES, machine=machine, faults=plan, sanitize=sanitize, **kw
+    ).run(progs, pset.patch_proc)
+    phi, _ = s.accumulate(faces)
+    return rep, phi
+
+
+# -- fault-model validation ------------------------------------------------------
+
+
+class TestFaultModelValidation:
+    def test_partition_rejects_self_link(self):
+        with pytest.raises(ReproError, match="distinct"):
+            LinkPartition(2, 2, 0.0, 1.0)
+
+    def test_partition_rejects_bad_window(self):
+        with pytest.raises(ReproError, match="start"):
+            LinkPartition(0, 1, 2.0, 1.0)
+
+    def test_partition_validated_against_layout(self):
+        machine, pset, s = _setup()
+        progs, _ = s.build_programs(compute=False, resilient=True)
+        plan = FaultPlan(partitions=(LinkPartition(0, 9, 0.0, 1.0),))
+        with pytest.raises(ReproError, match="only 4 processes"):
+            DataDrivenRuntime(CORES, machine=machine, faults=plan).run(
+                progs, pset.patch_proc
+            )
+
+    def test_cascade_requires_window(self):
+        with pytest.raises(ReproError, match="cascade_window"):
+            CrashFault(0, 1e-4, cascade=0.5)
+
+    def test_duplicate_crash_of_same_proc_rejected(self):
+        with pytest.raises(ReproError, match="twice"):
+            FaultPlan(crashes=(CrashFault(1, 1e-4), CrashFault(1, 2e-4)))
+
+    def test_corrupt_rate_bounds(self):
+        with pytest.raises(ReproError, match="p_corrupt"):
+            FaultPlan(p_corrupt=1.0)
+        with pytest.raises(ReproError, match="below 1"):
+            FaultPlan(p_drop=0.5, p_duplicate=0.3, p_corrupt=0.3)
+
+    def test_partitions_and_corruption_need_recovery(self):
+        assert FaultPlan(
+            partitions=(LinkPartition(0, 1, 0.0, 1.0),)
+        ).needs_recovery()
+        assert FaultPlan(p_corrupt=0.01).needs_recovery()
+        assert not FaultPlan(
+            stragglers=(StragglerWindow(0, 0.0, 1.0, 2.0),)
+        ).needs_recovery()
+
+    def test_max_casualties_counts_cascade_caps(self):
+        plan = FaultPlan(crashes=(
+            CrashFault(0, 1e-4, cascade=0.5, cascade_window=1e-4,
+                       cascade_max=2),
+            CrashFault(1, 2e-4),
+        ))
+        assert plan.max_casualties() == 4
+
+
+# -- link partitions -------------------------------------------------------------
+
+
+class TestLinkPartitions:
+    def test_healing_partition_recovers_bitwise(self):
+        ref = _reference_phi()
+        plan = FaultPlan(
+            partitions=(LinkPartition(0, 1, 50e-6, 400e-6),), seed=3
+        )
+        rep, phi = _run(plan)
+        assert_array_equal(phi, ref)
+        assert rep.partition_drops > 0  # traffic was black-holed...
+        assert rep.retries > 0  # ...and recovered by retransmission
+
+    def test_cut_is_directed(self):
+        inj = FaultInjector(
+            FaultPlan(partitions=(LinkPartition(0, 1, 0.0, 1.0),))
+        )
+        assert inj.link_cut(0, 1, 0.5)
+        assert not inj.link_cut(1, 0, 0.5)  # reverse link unaffected
+        assert not inj.link_cut(0, 1, 1.5)  # healed
+
+    def test_cut_window_lookup(self):
+        cut = LinkPartition(0, 1, 0.0, 1.0)
+        inj = FaultInjector(FaultPlan(partitions=(cut,)))
+        assert inj.cut_window(0, 1, 0.5) == cut
+        assert inj.cut_window(0, 1, 1.5) is None
+
+    def test_infinite_partition_raises_stall_report(self):
+        plan = FaultPlan(
+            partitions=(LinkPartition(0, 1, 50e-6, math.inf),), seed=3
+        )
+        with pytest.raises(StallError) as ei:
+            _run(plan)
+        report = ei.value.report
+        assert report.lost, "the lost dependency must be named"
+        edge = report.lost[0]
+        assert edge.src_proc == 0 and edge.dst_proc == 1
+        assert "never heals" in edge.reason
+        assert report.now - report.last_progress > report.horizon
+        assert "partitioned" in str(ei.value)
+
+    def test_watchdog_disabled_by_zero_horizon(self):
+        # With the watchdog off, the same wedge runs the retry budget
+        # to exhaustion instead - proving the watchdog is what turns
+        # the hang into a diagnosis.
+        plan = FaultPlan(
+            partitions=(LinkPartition(0, 1, 50e-6, math.inf),), seed=3
+        )
+        with pytest.raises(ReproError, match="undeliverable") as ei:
+            _run(plan, recovery=RecoveryConfig(watchdog_horizon=0.0))
+        assert not isinstance(ei.value, StallError)
+
+
+# -- payload corruption ----------------------------------------------------------
+
+
+class TestCorruption:
+    def test_corruption_detected_and_recovered_bitwise(self):
+        ref = _reference_phi()
+        rep, phi = _run(FaultPlan(p_corrupt=0.1, seed=5))
+        assert_array_equal(phi, ref)
+        assert rep.corruptions > 0
+        assert rep.nacks > 0  # every corruption was caught by checksum
+
+    def test_stream_checksum_catches_bit_flip(self):
+        pid = ProgramId(0, 0)
+        payload = np.arange(6, dtype=np.int64)
+        s = Stream(src=pid, dst=ProgramId(1, 0), payload=payload,
+                   items=6, nbytes=48, seq=0)
+        s.checksum = stream_checksum(s)
+        bad = payload.copy()
+        bad[3] ^= 1 << 7
+        flipped = Stream(src=pid, dst=ProgramId(1, 0), payload=bad,
+                         items=6, nbytes=48, seq=0, checksum=s.checksum)
+        assert stream_checksum(flipped) != flipped.checksum
+        assert stream_checksum(s) == s.checksum
+
+    def test_checksum_covers_header(self):
+        pid = ProgramId(0, 0)
+        a = Stream(src=pid, dst=ProgramId(1, 0), seq=0, epoch=0)
+        b = Stream(src=pid, dst=ProgramId(1, 0), seq=0, epoch=1)
+        assert stream_checksum(a) != stream_checksum(b)
+
+
+# -- crash cascades --------------------------------------------------------------
+
+
+class TestCascades:
+    def test_cascade_recovers_bitwise(self):
+        ref = _reference_phi()
+        plan = FaultPlan(
+            crashes=(CrashFault(1, 150e-6, cascade=0.9,
+                                cascade_window=100e-6, cascade_max=1),),
+            seed=9,
+        )
+        rep, phi = _run(plan)
+        assert_array_equal(phi, ref)
+        assert rep.crashes == 2  # the victim took a neighbour down
+        assert rep.cascade_crashes == 1
+
+    def test_cascade_victims_respect_cap_and_budget(self):
+        fault = CrashFault(0, 1e-4, cascade=1.0, cascade_window=1e-4,
+                           cascade_max=2)
+        inj = FaultInjector(FaultPlan(crashes=(fault,), seed=1))
+        victims = inj.cascade_victims(fault, [0, 1, 2, 3], 1e-4)
+        assert len(victims) == 2  # capped despite p=1 over 3 survivors
+        for q, t in victims:
+            assert q != 0
+            assert 1e-4 < t <= 2e-4
+
+    def test_non_cascading_crash_draws_nothing(self):
+        fault = CrashFault(0, 1e-4)
+        inj = FaultInjector(FaultPlan(crashes=(fault,), seed=1))
+        before = inj._rng.bit_generator.state["state"]["state"]
+        assert inj.cascade_victims(fault, [0, 1, 2], 1e-4) == []
+        after = inj._rng.bit_generator.state["state"]["state"]
+        assert before == after  # rng untouched: old plans replay bit-exactly
+
+
+# -- liveness watchdog (simulator-level) -----------------------------------------
+
+
+class TestWatchdog:
+    def test_fires_only_past_horizon_with_no_live_work(self):
+        calls = []
+        sim = Simulator(frozenset({"work"}))
+        sim.arm_watchdog(1.0, lambda t: calls.append(t) or None)
+        sim.push(0.0, "work", None)
+        sim.push(0.5, "timer", None)
+        sim.push(2.0, "timer", None)
+        sim.pop()  # work at t=0: progress observed
+        sim.pop()  # timer at 0.5: within horizon, quiet
+        assert calls == []
+        sim.pop()  # timer at 2.0: past horizon, live==0 -> suspect
+        assert calls == [2.0]
+
+    def test_quiet_while_progress_outstanding(self):
+        calls = []
+        sim = Simulator(frozenset({"work"}))
+        sim.arm_watchdog(1.0, lambda t: calls.append(t) or None)
+        sim.push(5.0, "work", None)  # outstanding progress: live == 1
+        sim.push(3.0, "timer", None)
+        sim.pop()  # timer at 3.0, but live work pending
+        assert calls == []
+
+    def test_snapshot_confirmation_raises(self):
+        from repro.runtime import StallReport
+
+        rep = StallReport(now=2.0, last_progress=0.0, horizon=1.0,
+                          pending_events=1)
+        sim = Simulator(frozenset({"work"}))
+        sim.arm_watchdog(1.0, lambda t: rep)
+        sim.push(2.0, "timer", None)
+        with pytest.raises(StallError) as ei:
+            sim.pop()
+        assert ei.value.report is rep
+
+    def test_unwatched_kinds_never_trigger(self):
+        sim = Simulator(frozenset({"work"}))
+        sim.arm_watchdog(1.0, lambda t: pytest.fail("must not be called"))
+        sim.push(50.0, "ack", None)
+        sim.pop()
+
+
+# -- invariant sanitizer ---------------------------------------------------------
+
+
+def _mini_router(nprocs=2):
+    class _Prog:
+        def __init__(self, patch):
+            self.id = ProgramId(patch, 0)
+
+    progs = [_Prog(0), _Prog(1)]
+    return Router(progs, np.arange(nprocs), nprocs)
+
+
+class TestSanitizer:
+    def test_duplicate_delivery_caught(self):
+        san = InvariantSanitizer(_mini_router())
+        s = Stream(src=ProgramId(0, 0), dst=ProgramId(1, 0), seq=0)
+        san.on_delivery(s, 1)
+        with pytest.raises(SanitizerError, match="exactly-once"):
+            san.on_delivery(s, 1)
+
+    def test_delivery_to_dead_proc_caught(self):
+        router = _mini_router()
+        san = InvariantSanitizer(router)
+        router.mark_dead(1)
+        s = Stream(src=ProgramId(0, 0), dst=ProgramId(1, 0), seq=0)
+        with pytest.raises(SanitizerError, match="dead"):
+            san.on_delivery(s, 1)
+
+    def test_delivery_to_wrong_owner_caught(self):
+        san = InvariantSanitizer(_mini_router())
+        s = Stream(src=ProgramId(0, 0), dst=ProgramId(1, 0), seq=0)
+        with pytest.raises(SanitizerError, match="owner"):
+            san.on_delivery(s, 0)
+
+    def test_workload_regression_caught(self):
+        san = InvariantSanitizer(_mini_router())
+        pid = ProgramId(0, 0)
+        san.on_commit(pid, 10, 0)
+        san.on_commit(pid, 4, 0)  # fine: monotone within the epoch
+        with pytest.raises(SanitizerError, match="regressed"):
+            san.on_commit(pid, 7, 0)
+
+    def test_workload_reset_allowed_on_new_epoch(self):
+        san = InvariantSanitizer(_mini_router())
+        pid = ProgramId(0, 0)
+        san.on_commit(pid, 4, 0)
+        san.on_commit(pid, 9, 1)  # failover re-execution starts higher
+        san.on_commit(pid, 5, 0)  # stale epoch: ignored, like the tracker
+
+    def test_backwards_timeline_caught(self):
+        san = InvariantSanitizer(_mini_router())
+        san.on_booking(("w", 0, 0), 0.0, 2.0)
+        with pytest.raises(SanitizerError, match="backwards"):
+            san.on_booking(("w", 0, 0), 0.5, 1.0)
+
+    def test_malformed_interval_caught(self):
+        san = InvariantSanitizer(_mini_router())
+        with pytest.raises(SanitizerError, match="malformed"):
+            san.on_booking(("w", 0, 0), 2.0, 1.0)
+
+    def test_failover_inbox_duplicates_caught(self):
+        san = InvariantSanitizer(_mini_router())
+        s = Stream(src=ProgramId(0, 0), dst=ProgramId(1, 0), seq=3)
+        with pytest.raises(SanitizerError, match="duplicate"):
+            san.on_failover(ProgramId(1, 0), [s, s])
+
+    def test_sanitized_faulty_run_passes(self):
+        ref = _reference_phi()
+        plan = FaultPlan(
+            crashes=(CrashFault(1, 150e-6),),
+            partitions=(LinkPartition(0, 2, 80e-6, 300e-6),),
+            p_drop=0.05, p_duplicate=0.05, p_corrupt=0.03, seed=7,
+        )
+        rep, phi = _run(plan, sanitize=True)
+        assert_array_equal(phi, ref)
+        assert rep.sanitizer_checks > 0  # checks really ran
+
+
+# -- transport: rearm after failover ---------------------------------------------
+
+
+class TestRearmAfterFailover:
+    def _transport(self):
+        machine = Machine(cores_per_proc=4)
+        layout = machine.layout(8, "hybrid")  # 2 procs
+        sim = Simulator(frozenset({"msg_arrive"}))
+        report = RunReport(makespan=0.0, breakdown=Breakdown(), total_cores=8)
+        tr = Transport(sim, _mini_router(), machine, layout, report,
+                       rcfg=RecoveryConfig())
+        return sim, tr
+
+    def test_checkpointed_sends_reset_and_retransmit(self):
+        sim, tr = self._transport()
+        pid = ProgramId(0, 0)
+        s = Stream(src=pid, dst=ProgramId(1, 0), nbytes=64)
+        tr.send(s, pid, 0, 0.0, 0, 1)
+        ps = tr.pending[s.uid]
+        ps.retries, ps.timeout = 3, 1.0  # pretend backoff had escalated
+        attempt = ps.attempt
+        events_before = len(sim)
+        ck = {pid: Checkpoint(state=None, inbox=[], pending={s.uid: s})}
+        tr.rearm_after_failover({pid}, ck, now=1e-3)
+        assert s.uid in tr.pending
+        assert ps.retries == 0  # retry budget restarts with the new owner
+        assert ps.timeout == RecoveryConfig().ack_timeout  # backoff reset
+        assert ps.attempt == attempt + 1  # stale timers lazily cancelled
+        assert len(sim) == events_before + 2  # fresh msg_arrive + timer
+
+    def test_post_snapshot_sends_are_dropped(self):
+        sim, tr = self._transport()
+        pid = ProgramId(0, 0)
+        s1 = Stream(src=pid, dst=ProgramId(1, 0), nbytes=64)
+        s2 = Stream(src=pid, dst=ProgramId(1, 0), nbytes=64)
+        tr.send(s1, pid, 0, 0.0, 0, 1)
+        tr.send(s2, pid, 0, 0.0, 0, 1)
+        # Snapshot knows only s1; s2 was sent after the checkpoint.
+        ck = {pid: Checkpoint(state=None, inbox=[], pending={s1.uid: s1})}
+        tr.rearm_after_failover({pid}, ck, now=1e-3)
+        assert s1.uid in tr.pending
+        assert s2.uid not in tr.pending  # replay will regenerate it
+
+    def test_never_checkpointed_program_drops_all_sends(self):
+        sim, tr = self._transport()
+        pid = ProgramId(0, 0)
+        s = Stream(src=pid, dst=ProgramId(1, 0), nbytes=64)
+        tr.send(s, pid, 0, 0.0, 0, 1)
+        tr.rearm_after_failover({pid}, {pid: None}, now=1e-3)
+        assert not tr.pending
+
+    def test_unmoved_programs_untouched(self):
+        sim, tr = self._transport()
+        pid, other = ProgramId(0, 0), ProgramId(1, 0)
+        s = Stream(src=other, dst=pid, nbytes=64)
+        tr.send(s, other, 0, 0.0, 1, 0)
+        ps = tr.pending[s.uid]
+        ps.retries = 2
+        tr.rearm_after_failover({pid}, {pid: None}, now=1e-3)
+        assert tr.pending[s.uid].retries == 2  # untouched
+
+
+# -- overlapping stragglers end-to-end -------------------------------------------
+
+
+class TestOverlappingStragglers:
+    def test_overlapping_windows_compound_in_a_real_run(self):
+        # Multiplicative semantics end-to-end: a run whose windows
+        # overlap is slower than the same windows applied one at a
+        # time, and the flux stays bitwise exact throughout.
+        ref = _reference_phi()
+        w1 = StragglerWindow(1, 0.0, 500e-6, 3.0)
+        w2 = StragglerWindow(1, 0.0, 500e-6, 2.0)
+        runs = {}
+        for name, windows in {
+            "one": (w1,), "other": (w2,), "both": (w1, w2),
+        }.items():
+            rep, phi = _run(FaultPlan(stragglers=windows))
+            assert_array_equal(phi, ref)
+            runs[name] = rep.makespan
+        assert runs["both"] > runs["one"] > runs["other"]
+
+
+# -- chaos campaign driver -------------------------------------------------------
+
+
+class TestChaosCampaign:
+    def test_plan_is_pure_function_of_seed_and_nprocs(self):
+        a = random_fault_plan(11, 4)
+        b = random_fault_plan(11, 4)
+        assert a == b  # dataclass equality: the reproducibility contract
+        assert random_fault_plan(12, 4) != a
+        assert random_fault_plan(11, 8) != a
+
+    def test_generated_plans_always_leave_a_survivor(self):
+        space = ChaosSpace(intensity=1.0)
+        for nprocs in (2, 4, 8):
+            for seed in range(60):
+                plan = random_fault_plan(seed, nprocs, space)
+                assert plan.max_casualties() < nprocs
+                plan.validate(nprocs, [])  # no crashes -> programs unused
+
+    def test_generated_plans_cover_every_fault_class(self):
+        space = ChaosSpace(intensity=1.0)
+        shapes = [random_fault_plan(seed, 8, space) for seed in range(40)]
+        assert any(p.crashes for p in shapes)
+        assert any(c.cascades() for p in shapes for c in p.crashes)
+        assert any(p.stragglers for p in shapes)
+        assert any(p.partitions for p in shapes)
+        assert all(p.p_drop > 0 and p.p_corrupt > 0 for p in shapes)
+
+    def test_space_toggles_disable_classes(self):
+        space = ChaosSpace(intensity=1.0, crashes=False, partitions=False,
+                           corrupt=False)
+        for seed in range(20):
+            plan = random_fault_plan(seed, 4, space)
+            assert not plan.crashes and not plan.partitions
+            assert plan.p_corrupt == 0.0
+
+    def test_small_campaign_bitwise_exact(self):
+        res = run_campaign(range(2), kinds=("structured",),
+                           modes=("hybrid",))
+        assert res.total == 2
+        assert res.passed == 2
+        assert res.stalls == 0
+        summary = res.summary()
+        assert summary["exact"] == 2
+        assert summary["cases"][0]["plan"]  # plan shape recorded
+
+    def test_run_case_reports_stall_instead_of_raising(self, monkeypatch):
+        import repro.chaos as chaos
+
+        def wedge(seed, nprocs, space):
+            return FaultPlan(
+                partitions=(LinkPartition(0, 1, 50e-6, math.inf),), seed=3
+            )
+
+        monkeypatch.setattr(chaos, "random_fault_plan", wedge)
+        case = run_case("structured", "hybrid", 0)
+        assert case.stalled and not case.ok
+        assert "partitioned" in case.error

@@ -356,7 +356,8 @@ class TestFaultTolerantRun:
         summary = rep.fault_summary()
         assert set(summary) == {
             "drops", "duplicates", "retries", "timeouts", "reexecutions",
-            "checkpoints", "crashes", "failover_time", "recovery_time",
+            "checkpoints", "crashes", "failover_time", "partition_drops",
+            "corruptions", "nacks", "cascade_crashes", "recovery_time",
         }
         assert summary["crashes"] == 1
         assert summary["recovery_time"] > 0
