@@ -19,21 +19,30 @@ Run standalone (used by CI as a smoke job)::
     PYTHONPATH=src python benchmarks/bench_chaos_campaign.py --smoke
 
 ``--seeds N`` sizes the campaign (default 50; smoke uses 10),
-``--json PATH`` writes the per-campaign JSON summary.
+``--json PATH`` writes the per-campaign JSON summary, ``--adaptive``
+arms every adaptive-resilience feature (RTT-estimated RTO, hedging,
+speculation, backpressure, demotion) on every case - against the same
+oracle, since adaptivity must never cost exactness.
 """
 
 from repro.chaos import KINDS, MODES, ChaosSpace, run_campaign
+from repro.runtime import AdaptiveConfig
 
 from _common import bench_args, print_series
 
 FULL_SEEDS = 50
 SMOKE_SEEDS = 10
 
+#: The campaign's adaptive preset: everything on, with an inbox window
+#: tight enough that flow control actually parks sends at this scale.
+ADAPTIVE = AdaptiveConfig.all_on(inbox_credits=4)
+
 
 def run_chaos_campaign(seeds: int = FULL_SEEDS, intensity: float = 0.5,
-                       size: int = 8):
+                       size: int = 8, adaptive: bool = False):
     return run_campaign(
-        range(seeds), space=ChaosSpace(intensity=intensity), size=size
+        range(seeds), space=ChaosSpace(intensity=intensity), size=size,
+        adaptive=ADAPTIVE if adaptive else None,
     )
 
 
@@ -68,7 +77,7 @@ def report(res) -> None:
               f"stalled={c.stalled} {c.error[:200]}")
 
 
-def check(res) -> None:
+def check(res, adaptive: bool = False) -> None:
     # The headline robustness claim: every seeded fault mix recovers to
     # bitwise-exact flux, with zero watchdog stalls.
     assert res.passed == res.total, (
@@ -79,6 +88,15 @@ def check(res) -> None:
     agg = res.summary()["fault_totals"]
     assert agg.get("crashes", 0) > 0
     assert agg.get("retries", 0) > 0
+    if adaptive:
+        # ... and the adaptive machinery, when armed, actually fired.
+        tot = {}
+        for c in res.cases:
+            for k, v in c.adaptive.items():
+                tot[k] = tot.get(k, 0) + v
+        for key in ("rtt_samples", "hedged_sends", "speculative_launches",
+                    "backpressure_stalls"):
+            assert tot.get(key, 0) > 0, f"adaptive campaign never hit {key}"
 
 
 try:
@@ -98,6 +116,16 @@ if pytest is not None:
         report(res)
         check(res)
 
+    @pytest.mark.benchmark(group="chaos")
+    def test_chaos_campaign_adaptive(benchmark):
+        res = benchmark.pedantic(
+            run_chaos_campaign,
+            kwargs={"seeds": SMOKE_SEEDS, "adaptive": True},
+            rounds=1, iterations=1,
+        )
+        report(res)
+        check(res, adaptive=True)
+
 
 if __name__ == "__main__":
     args = bench_args(
@@ -111,14 +139,19 @@ if __name__ == "__main__":
                             help="write the per-campaign JSON summary"),
             ap.add_argument("--intensity", type=float, default=0.5,
                             help="fault-space intensity in (0, 1]"),
+            ap.add_argument("--adaptive", action="store_true",
+                            help="arm all adaptive-resilience features "
+                                 "(adaptive RTO, hedging, speculation, "
+                                 "backpressure, demotion)"),
         ),
     )
     seeds = args.seeds if args.seeds is not None else (
         SMOKE_SEEDS if args.smoke else FULL_SEEDS
     )
-    res = run_chaos_campaign(seeds=seeds, intensity=args.intensity)
+    res = run_chaos_campaign(seeds=seeds, intensity=args.intensity,
+                             adaptive=args.adaptive)
     report(res)
-    check(res)
+    check(res, adaptive=args.adaptive)
     if args.json:
         res.to_json(args.json)
         print(f"summary: {args.json}")

@@ -41,6 +41,7 @@ from ._util import ReproError
 from .framework import PatchSet
 from .mesh import cube_structured, disk_tri_mesh
 from .runtime import (
+    AdaptiveConfig,
     CrashFault,
     DataDrivenRuntime,
     FaultPlan,
@@ -212,6 +213,7 @@ class CaseResult:
     error: str = ""  # non-stall failure (sanitizer, undeliverable, ...)
     makespan: float = 0.0
     faults: dict = field(default_factory=dict)  # RunReport.fault_summary()
+    adaptive: dict = field(default_factory=dict)  # adaptive_summary() if armed
     plan: dict = field(default_factory=dict)  # plan size per fault class
 
 
@@ -234,13 +236,17 @@ def run_case(
     space: ChaosSpace = ChaosSpace(),
     size: int = 8,
     sanitize: bool = True,
+    adaptive: AdaptiveConfig | None = None,
     _scenario=None,
     _reference=None,
 ) -> CaseResult:
     """Run one campaign cell against the bitwise-exactness oracle.
 
-    ``_scenario``/``_reference`` let :func:`run_campaign` reuse the
-    built scenario and fault-free reference flux across seeds.
+    ``adaptive`` arms the adaptive-resilience layer for the run - the
+    oracle is unchanged (the whole point: adaptivity must not cost
+    exactness).  ``_scenario``/``_reference`` let :func:`run_campaign`
+    reuse the built scenario and fault-free reference flux across
+    seeds.
     """
     machine, cores, pset, solver = (
         _scenario if _scenario is not None else build_scenario(kind, mode, size)
@@ -253,7 +259,8 @@ def run_case(
                      stalled=False, plan=_plan_shape(plan))
     progs, faces = solver.build_programs(resilient=True)
     rt = DataDrivenRuntime(
-        cores, machine=machine, mode=mode, faults=plan, sanitize=sanitize
+        cores, machine=machine, mode=mode, faults=plan,
+        adaptive=adaptive, sanitize=sanitize,
     )
     try:
         rep = rt.run(progs, pset.patch_proc)
@@ -272,6 +279,8 @@ def run_case(
     res.ok = res.exact
     res.makespan = rep.makespan
     res.faults = rep.fault_summary()
+    if adaptive is not None:
+        res.adaptive = rep.adaptive_summary()
     return res
 
 
@@ -330,13 +339,16 @@ def run_campaign(
     space: ChaosSpace = ChaosSpace(),
     size: int = 8,
     sanitize: bool = True,
+    adaptive: AdaptiveConfig | None = None,
     progress=None,
 ) -> CampaignResult:
     """Run the full (kind, mode, seed) matrix; never raises on a case.
 
     Scenario meshes and fault-free references are built once per
-    (kind, mode) cell and shared across seeds.  ``progress``, when
-    given, is called with each finished :class:`CaseResult`.
+    (kind, mode) cell and shared across seeds.  ``adaptive`` arms the
+    adaptive-resilience layer on every case (same oracle).
+    ``progress``, when given, is called with each finished
+    :class:`CaseResult`.
     """
     out = CampaignResult(space=space)
     for kind in kinds:
@@ -345,7 +357,7 @@ def run_campaign(
             reference, _, _ = scenario[3].sweep_once(mode="fast")
             for seed in seeds:
                 case = run_case(
-                    kind, mode, int(seed), space, size, sanitize,
+                    kind, mode, int(seed), space, size, sanitize, adaptive,
                     _scenario=scenario, _reference=reference,
                 )
                 out.cases.append(case)

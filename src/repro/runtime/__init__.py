@@ -17,6 +17,7 @@ from .cluster import TIANHE2, Layout, Machine
 from .costmodel import CATEGORIES, CostModel
 from .engine_des import DataDrivenRuntime
 from .faults import (
+    AdaptiveConfig,
     CrashFault,
     FaultInjector,
     FaultPlan,
@@ -54,6 +55,7 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "RecoveryConfig",
+    "AdaptiveConfig",
     "SweepPerformanceModel",
     "SweepModelPrediction",
     "Simulator",

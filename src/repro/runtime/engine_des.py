@@ -38,7 +38,9 @@ from ..core.patch_program import PatchProgram, ProgramState
 from ..core.termination import MisraMarkerRing, WorkloadTracker
 from .cluster import Machine, TIANHE2
 from .costmodel import CostModel
-from .faults import FaultInjector, FaultPlan, RecoveryConfig
+from .faults import (
+    AdaptiveConfig, FaultInjector, FaultPlan, RecoveryConfig, arm_recovery,
+)
 from .metrics import Breakdown, RunReport, trace_fields
 from .recovery import RecoveryManager
 from .router import Router
@@ -68,6 +70,7 @@ class DataDrivenRuntime:
         termination: str = "workload",
         faults: FaultPlan | None = None,
         recovery: RecoveryConfig | None = None,
+        adaptive: AdaptiveConfig | None = None,
         trace: bool = False,
         sanitize: bool = False,
     ):
@@ -79,11 +82,8 @@ class DataDrivenRuntime:
         self.mode = mode
         self.termination = termination
         self.faults = faults
-        # Recovery machinery is armed explicitly or whenever the plan
-        # can lose work; a straggler-only plan needs none.
-        if recovery is None and faults is not None and faults.needs_recovery():
-            recovery = RecoveryConfig()
-        self.recovery = recovery
+        # Armed explicitly, by a lossy plan, or by an adaptive config.
+        self.recovery = arm_recovery(faults, recovery, adaptive)
         self.trace = trace
         self.sanitize = sanitize  # live invariant checks (chaos harness)
 
@@ -105,6 +105,9 @@ class DataDrivenRuntime:
             plan.validate(lay.nprocs, programs)
         inj = FaultInjector(plan) if plan is not None else None
         ft = rcfg is not None  # ack/retry + checkpoint/failover machinery on
+        acfg = rcfg.adaptive if ft else None
+        if acfg is not None:
+            acfg.validate_programs(programs)
 
         # -- compose the layers ----------------------------------------------------
         bd = Breakdown()
@@ -127,7 +130,7 @@ class DataDrivenRuntime:
         sched = Scheduler(
             sim, router, make_policy(self.mode), lay, st,
             self.cost, report, bd, slow, transport, tracker,
-            sanitizer=san,
+            sanitizer=san, adaptive=acfg,
         )
         rec = RecoveryManager(
             sim, router, transport, sched, rcfg, report, bd, st, slow,
@@ -154,14 +157,8 @@ class DataDrivenRuntime:
             now, kind, data = sim.pop()
 
             # Control-plane events never advance the makespan.
-            if kind == "ack":
-                transport.on_ack(data)
-                continue
-            if kind == "nack":
-                transport.on_nack(data, now)
-                continue
-            if kind == "timer":
-                transport.on_timer(data, now)
+            if kind in ("ack", "nack", "timer", "hedge"):
+                getattr(transport, "on_" + kind)(data, now)
                 continue
 
             # Staleness filtering (only faults ever trigger these).
@@ -175,7 +172,7 @@ class DataDrivenRuntime:
                 pid, ep = data
                 if ep != st.epoch[pid] or router.proc_of[pid] in router.dead:
                     continue
-            elif kind in ("crash", "ckpt"):
+            elif kind in ("crash", "ckpt", "health"):
                 # Double fault on one proc, or the job already done.
                 if data in router.dead or rec.quiescent():
                     continue
@@ -190,7 +187,8 @@ class DataDrivenRuntime:
             elif kind == "msg_arrive":
                 p, s = data
                 if not transport.receive(s, p, now):
-                    continue  # duplicate: re-acked above, else invisible
+                    sim.retract_progress()  # nothing was delivered
+                    continue
                 dur = cm.unpack_cost(1, s.items) * slow(p, now)
                 _, end = sched.masters[p].book(now, dur)
                 bd.add(sched.masters[p].core, "unpack", dur)
@@ -225,6 +223,8 @@ class DataDrivenRuntime:
                 sched.dispatch(router.proc_of[pid], now)
             elif kind == "ckpt":
                 rec.on_ckpt(data, now)
+            elif kind == "health":
+                rec.on_health(now)
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown event kind {kind!r}")
 

@@ -22,6 +22,7 @@ bit-identical, which is what makes fault scenarios regression-testable.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 
@@ -35,7 +36,9 @@ __all__ = [
     "LinkPartition",
     "FaultPlan",
     "FaultInjector",
+    "AdaptiveConfig",
     "RecoveryConfig",
+    "arm_recovery",
 ]
 
 
@@ -337,6 +340,125 @@ class FaultInjector:
 
 
 @dataclass(frozen=True)
+class AdaptiveConfig:
+    """Opt-in adaptive resilience features (all off by default).
+
+    PRs 1-3 built a runtime that *survives* degraded conditions; this
+    config makes it *adapt* to them.  Four independent mechanisms, each
+    rng-neutral when off (the golden fingerprints are unchanged):
+
+    * **adaptive RTO** - per-link Jacobson RTT estimation (SRTT/RTTVAR
+      with Karn's rule: no sample from retransmitted or hedged
+      messages) replacing the fixed ``RecoveryConfig.ack_timeout``
+      with ``clamp(SRTT + rto_k * RTTVAR, min_rto, max_rto)``;
+    * **hedging** - a single speculative extra copy of a message still
+      unacked after ``hedge_factor`` of its RTO (tail-latency cut;
+      receiver-side dedup makes the copy invisible);
+    * **speculation** - straggler detection from the percentile of
+      recent run durations, with a backup execution of a stalled
+      patch-program booked on the fastest other process; first
+      completion wins, the loser is discarded through the epoch-keyed
+      run-dedup, so numerics stay bitwise-exact;
+    * **backpressure** - credit-based flow control bounding each
+      process's in-flight inbound messages to ``inbox_credits``;
+      excess sends park until a credit frees, and the stall time is
+      booked under the ``backpressure`` breakdown category;
+    * **demotion** - periodic health checks over per-process observed
+      slowdown; a persistently-slow-but-alive process has its patches
+      rebalanced away through the crash-failover path without being
+      declared dead (it keeps routing/forwarding its in-flight
+      traffic).  Requires resilient programs, like crash recovery.
+
+    All times are virtual seconds; every detection input is observed
+    runtime behavior (RTT samples, booked durations), never the fault
+    plan itself.
+    """
+
+    # -- adaptive RTO (Jacobson/Karn, RFC 6298 shape)
+    adaptive_rto: bool = False
+    srtt_gain: float = 0.125  # alpha: SRTT update weight
+    rttvar_gain: float = 0.25  # beta: RTTVAR update weight
+    rto_k: float = 4.0  # RTO = SRTT + k * RTTVAR
+    min_rto: float = 20e-6  # RTO floor (spurious-retransmit guard)
+    # -- hedged retransmits
+    hedging: bool = False
+    hedge_factor: float = 0.75  # hedge after this fraction of the RTO
+    # -- speculative straggler re-execution
+    speculation: bool = False
+    spec_percentile: float = 90.0  # straggler = beyond this percentile...
+    spec_factor: float = 2.0  # ...by at least this multiple
+    spec_min_samples: int = 16  # warm-up before speculating
+    # -- credit-based flow control
+    backpressure: bool = False
+    inbox_credits: int = 32  # max in-flight inbound messages per process
+    # -- degraded-mode demotion
+    demotion: bool = False
+    demotion_interval: float = 250e-6  # health-check period
+    demotion_factor: float = 2.0  # slow = this multiple of the median
+    demotion_patience: int = 2  # consecutive unhealthy checks to demote
+    demotion_max: int = 1  # demotion budget per run
+
+    def __post_init__(self):
+        if not (0.0 < self.srtt_gain < 1.0) or not (0.0 < self.rttvar_gain < 1.0):
+            raise ReproError("estimator gains must be in (0, 1)")
+        if self.rto_k <= 0:
+            raise ReproError("rto_k must be positive")
+        if self.min_rto <= 0:
+            raise ReproError("min_rto must be positive")
+        if not (0.0 < self.hedge_factor < 1.0):
+            # At >= 1 the ack timer always beats the hedge timer and
+            # the hedge can never fire.
+            raise ReproError("hedge_factor must be in (0, 1)")
+        if not (0.0 < self.spec_percentile <= 100.0):
+            raise ReproError("spec_percentile must be in (0, 100]")
+        if self.spec_factor < 1.0:
+            raise ReproError("spec_factor must be >= 1")
+        if self.spec_min_samples < 1:
+            raise ReproError("spec_min_samples must be >= 1")
+        if self.inbox_credits < 1:
+            raise ReproError("inbox_credits must be >= 1")
+        if self.demotion_interval <= 0:
+            raise ReproError("demotion_interval must be positive")
+        if self.demotion_factor <= 1.0:
+            raise ReproError("demotion_factor must be > 1")
+        if self.demotion_patience < 1:
+            raise ReproError("demotion_patience must be >= 1")
+        if self.demotion_max < 0:
+            raise ReproError("demotion_max must be non-negative")
+
+    def any_enabled(self) -> bool:
+        return (
+            self.adaptive_rto
+            or self.hedging
+            or self.speculation
+            or self.backpressure
+            or self.demotion
+        )
+
+    def validate_programs(self, programs) -> None:
+        """Demotion replays migrated programs from checkpoints, so
+        (exactly like crash failover) it needs idempotent input
+        handling on every program."""
+        if not self.demotion:
+            return
+        for prog in programs:
+            if not getattr(prog, "resilient_input", False):
+                raise ReproError(
+                    "degraded-mode demotion replays streams from "
+                    "checkpoints and requires resilient programs "
+                    "(build the solver with resilient=True)"
+                )
+
+    @classmethod
+    def all_on(cls, **overrides) -> "AdaptiveConfig":
+        """Every adaptive feature enabled (the chaos-campaign preset)."""
+        on = dict(adaptive_rto=True, hedging=True, speculation=True,
+                  backpressure=True, demotion=True)
+        on.update(overrides)
+        return cls(**on)
+
+
+@dataclass(frozen=True)
 class RecoveryConfig:
     """Parameters of the runtime's fault-tolerance machinery.
 
@@ -354,6 +476,7 @@ class RecoveryConfig:
 
     ack_timeout: float = 120e-6  # first retransmission timeout
     backoff: float = 2.0  # timeout multiplier per retry
+    max_rto: float = 10e-3  # hard cap on any (backed-off) timeout
     max_retries: int = 10  # per message; exceeded -> ReproError
     checkpoint_interval: float = 200e-6  # per-process checkpoint period
     detection_delay: float = 100e-6  # crash -> failover start
@@ -361,15 +484,47 @@ class RecoveryConfig:
     t_checkpoint_program: float = 0.5e-6  # + per program snapshotted
     t_failover_program: float = 5.0e-6  # master cost to install a migrant
     watchdog_horizon: float = 20e-3  # no-progress stall horizon; 0 = off
+    adaptive: AdaptiveConfig | None = None  # opt-in adaptive features
 
     def __post_init__(self):
         if self.ack_timeout <= 0 or self.checkpoint_interval <= 0:
             raise ReproError("timeouts and intervals must be positive")
         if self.backoff < 1.0:
             raise ReproError("backoff must be >= 1")
+        if self.max_rto < self.ack_timeout:
+            raise ReproError(
+                "max_rto must be >= ack_timeout (the cap bounds backoff "
+                "escalation, it cannot undercut the first timeout)"
+            )
+        if self.adaptive is not None and self.adaptive.adaptive_rto \
+                and self.adaptive.min_rto > self.max_rto:
+            raise ReproError("adaptive min_rto must not exceed max_rto")
         if self.max_retries < 1:
             raise ReproError("max_retries must be >= 1")
         if self.detection_delay < 0:
             raise ReproError("detection_delay must be non-negative")
         if self.watchdog_horizon < 0:
             raise ReproError("watchdog_horizon must be non-negative")
+
+
+def arm_recovery(
+    faults: FaultPlan | None,
+    recovery: RecoveryConfig | None,
+    adaptive: AdaptiveConfig | None,
+) -> RecoveryConfig | None:
+    """Resolve the effective recovery configuration of a run.
+
+    Recovery is armed explicitly, or whenever the fault plan can lose
+    work (a straggler-only plan needs none), or whenever adaptive
+    features are requested - they ride on the reliable-delivery stack.
+    A supplied ``adaptive`` config is merged into the recovery config
+    (re-validating the pair).
+    """
+    if recovery is None and faults is not None and faults.needs_recovery():
+        recovery = RecoveryConfig()
+    if adaptive is not None:
+        recovery = (
+            RecoveryConfig(adaptive=adaptive) if recovery is None
+            else dataclasses.replace(recovery, adaptive=adaptive)
+        )
+    return recovery

@@ -84,6 +84,16 @@ class RunReport:
     cascade_crashes: int = 0  # crashes induced by a cascading CrashFault
     sanitizer_checks: int = 0  # invariant assertions evaluated (sanitize=True)
 
+    # -- adaptive-resilience counters (all zero when AdaptiveConfig off) --
+    rtt_samples: int = 0  # clean (Karn-admissible) RTT measurements
+    hedged_sends: int = 0  # speculative extra copies of tail messages
+    speculative_launches: int = 0  # backup executions booked
+    speculative_wins: int = 0  # backups that completed before the primary
+    speculative_wasted: int = 0  # backups discarded (primary finished first)
+    backpressure_stalls: int = 0  # sends parked by exhausted inbox credits
+    demotions: int = 0  # slow-but-alive procs rebalanced away
+    forwards: int = 0  # in-flight messages forwarded to a program's new owner
+
     @property
     def core_seconds(self) -> float:
         return self.makespan * self.total_cores
@@ -122,6 +132,25 @@ class RunReport:
             "recovery_time": self.breakdown.by_category.get("recovery", 0.0),
         }
 
+    def adaptive_summary(self) -> dict[str, float]:
+        """The adaptive-resilience counters in one dict."""
+        return {
+            "rtt_samples": self.rtt_samples,
+            "hedged_sends": self.hedged_sends,
+            "speculative_launches": self.speculative_launches,
+            "speculative_wins": self.speculative_wins,
+            "speculative_wasted": self.speculative_wasted,
+            "backpressure_stalls": self.backpressure_stalls,
+            "demotions": self.demotions,
+            "forwards": self.forwards,
+            "backpressure_time": self.breakdown.by_category.get(
+                "backpressure", 0.0
+            ),
+            "speculation_time": self.breakdown.by_category.get(
+                "speculation", 0.0
+            ),
+        }
+
     def avg_seconds_per_core(self) -> dict[str, float]:
         """Fig. 16's y-axis: average time per core, by category."""
         return {
@@ -132,8 +161,12 @@ class RunReport:
     def format_breakdown(self, label: str = "") -> str:
         rows = self.avg_seconds_per_core()
         parts = [f"{label} makespan={self.makespan:.4f}s"]
-        for c in CATEGORIES:
-            parts.append(f"  {c:>9}: {rows[c]:.4f}s ({self.breakdown.fractions()[c] * 100:5.1f}%)")
+        # Dynamic categories (e.g. backpressure/speculation) only exist
+        # when something was booked under them; show them after the
+        # canonical Fig. 16 stack.
+        extra = sorted(set(self.breakdown.by_category) - set(CATEGORIES))
+        for c in (*CATEGORIES, *extra):
+            parts.append(f"  {c:>12}: {rows[c]:.4f}s ({self.breakdown.fractions()[c] * 100:5.1f}%)")
         return "\n".join(parts)
 
     def to_chrome_trace(self) -> dict:

@@ -22,6 +22,17 @@ remote-edge ids).  Since sweep kernels write each cell by assignment
 from fixed upwind values, re-executed vertices recompute bit-identical
 results: a recovered run matches the fault-free numerics exactly.
 
+Degraded-mode demotion (opt-in via :class:`~repro.runtime.faults.
+AdaptiveConfig.demotion`) reuses the same migration machinery without
+declaring a crash: a periodic health probe compares each live owning
+process's observed-slowdown EWMA (fed by the scheduler) against the
+median of its peers; a process exceeding ``demotion_factor`` times the
+median for ``demotion_patience`` consecutive probes is demoted - its
+patches migrate to healthy survivors through the identical
+checkpoint-restore + delivery-log-replay + send-re-arm path, while the
+process itself stays alive to ack, forward in-flight streams, and
+serve as a target of last resort.
+
 Sits above every other runtime layer: it drives the router's owner
 re-assignment, the transport's send re-arming, and the scheduler's
 queue/run bookkeeping, and books its virtual costs on the master
@@ -86,12 +97,17 @@ class RecoveryManager:
         self.dlog: dict[ProgramId, list[Stream]] = {pid: [] for pid in st.progs}
         self.dirty: set[ProgramId] = set()  # changed since last snapshot
         self.crash_time: dict[int, float] = {}
+        self._strikes: dict[int, int] = {}  # proc -> consecutive flags
         scheduler.recovery = self  # completed runs mark themselves dirty
 
     def arm(self) -> None:
-        """Schedule the first per-process checkpoint round."""
+        """Schedule the first per-process checkpoint round (and the
+        health probe, when degraded-mode demotion is on)."""
         for p in range(self.router.nprocs):
             self.sim.push(self.rcfg.checkpoint_interval, "ckpt", p)
+        a = self.rcfg.adaptive
+        if a is not None and a.demotion:
+            self.sim.push(a.demotion_interval, "health", None)
 
     # -- bookkeeping hooks ---------------------------------------------------------
 
@@ -122,8 +138,21 @@ class RecoveryManager:
         self.sim.push(now + self.rcfg.detection_delay, "failover", proc)
 
     def on_failover(self, proc: int, now: float) -> None:
-        st = self.st
         moved = self.router.reassign(proc)
+        install_end = self._migrate(moved, now)
+        self.report.failover_time += install_end - self.crash_time[proc]
+
+    def _migrate(self, moved: list, now: float) -> float:
+        """Install migrated programs at their new owners.
+
+        The shared core of crash failover and degraded-mode demotion:
+        bump each program's epoch (staling the lost/abandoned
+        execution), restore it from its snapshot, replay the delivery
+        log into its inbox, book the install cost, requeue it, and
+        re-arm its checkpointed un-acked sends.  Returns the virtual
+        time at which the last install completes.
+        """
+        st = self.st
         moved_set = set(moved)
         install_end = now
         for pid in moved:
@@ -155,7 +184,56 @@ class RecoveryManager:
             self.sim.push(end, "requeue", (pid, st.epoch[pid]))
             install_end = max(install_end, end)
         self.transport.rearm_after_failover(moved_set, self.ckpt, now)
-        self.report.failover_time += install_end - self.crash_time[proc]
+        return install_end
+
+    def on_health(self, now: float) -> None:
+        """Periodic health probe: demote a persistently-slow live proc.
+
+        Reads the scheduler's per-process slowdown EWMA.  A process
+        whose EWMA exceeds ``demotion_factor`` times the median of all
+        live owning processes collects a strike; ``demotion_patience``
+        consecutive strikes demote it (capped at ``demotion_max``
+        demotions per run, and never below two owning survivors).  Any
+        probe that does not flag a process clears its strikes, so
+        transient blips never trigger a migration.
+        """
+        a = self.rcfg.adaptive
+        ewma = self.scheduler.proc_slow_ewma
+        candidates = [
+            p for p in range(self.router.nprocs)
+            if p not in self.router.dead
+            and p not in self.router.demoted
+            and self.router.owned[p]
+        ]
+        flagged = None
+        if (
+            len(candidates) >= 2
+            and len(self.router.demoted) < a.demotion_max
+        ):
+            med = sorted(ewma[p] for p in candidates)[len(candidates) // 2]
+            worst = max(candidates, key=lambda p: (ewma[p], -p))
+            if ewma[worst] > a.demotion_factor * med:
+                flagged = worst
+                self._strikes[worst] = self._strikes.get(worst, 0) + 1
+                if self._strikes[worst] >= a.demotion_patience:
+                    self.demote(worst, now)
+        for p in list(self._strikes):
+            if p != flagged:
+                del self._strikes[p]
+        self.sim.push(now + a.demotion_interval, "health", None)
+
+    def demote(self, proc: int, now: float) -> None:
+        """Rebalance ownership away from a slow-but-alive process.
+
+        Reuses the crash-failover path end to end - epoch bump,
+        checkpoint restore, delivery-log replay, send re-arming -
+        without marking the process dead: it keeps acking and forwards
+        any in-flight stream that still arrives at it.
+        """
+        self.router.demote(proc)
+        self.report.demotions += 1
+        moved = self.router.reassign(proc)
+        self._migrate(moved, now)
 
     def on_ckpt(self, p: int, now: float) -> None:
         """One process's periodic incremental checkpoint round."""

@@ -71,12 +71,26 @@ class Router:
         for pid, p in self.proc_of.items():
             self.owned[p].append(pid)
         self.dead: set[int] = set()
+        #: Demoted processes: alive but persistently slow; they keep
+        #: receiving/forwarding in-flight streams but no longer own
+        #: programs and are skipped as re-assignment targets.
+        self.demoted: set[int] = set()
 
     def alive(self) -> list[int]:
         return [q for q in range(self.nprocs) if q not in self.dead]
 
+    def healthy(self) -> list[int]:
+        """Alive and not demoted: the eligible re-assignment targets."""
+        return [q for q in self.alive() if q not in self.demoted]
+
     def mark_dead(self, proc: int) -> None:
         self.dead.add(proc)
+
+    def demote(self, proc: int) -> None:
+        """Mark a live process degraded (no crash: it stays reachable)."""
+        if proc in self.dead:
+            raise ReproError(f"cannot demote dead proc {proc}")
+        self.demoted.add(proc)
 
     def reassign(self, proc: int) -> list[ProgramId]:
         """Migrate a dead process's programs to survivors.
@@ -86,8 +100,15 @@ class Router:
         and residency lists, and returns the migrated program ids in
         deterministic (sorted) order.  Restoring the migrated programs
         is the recovery layer's job, not the router's.
+
+        Also serves degraded-mode demotion: the demoted process is
+        alive but excluded (like any other demoted proc) from the
+        target set.  Should every survivor be demoted, targets fall
+        back to all live procs other than the one being drained.
         """
-        alive = self.alive()
+        alive = [q for q in self.healthy() if q != proc] or [
+            q for q in self.alive() if q != proc
+        ]
         moved = sorted(self.owned[proc])
         self.owned[proc] = []
         for i, patch in enumerate(sorted({pid.patch for pid in moved})):

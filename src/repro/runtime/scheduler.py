@@ -27,11 +27,22 @@ sequence), the router (owner lookups, crashed-process checks) and the
 transport (remote emissions of completed runs).  The recovery layer,
 when armed, is attached afterwards via :attr:`Scheduler.recovery` so
 completed runs are marked dirty for incremental checkpointing.
+
+Straggler mitigation (opt-in via :class:`~repro.runtime.faults.
+AdaptiveConfig.speculation`): every booked run's scaled duration feeds
+a sliding window; a run whose duration exceeds ``spec_factor`` times
+the window's ``spec_percentile`` is treated as straggling and a backup
+execution is booked on the fastest other process with an idle worker.
+Both completions carry the same *serial*; the first to finish commits
+(through the epoch-keyed idempotent machinery) and the loser is
+discarded, so results stay bitwise-exact.  The backup's core time is
+booked under the dynamic ``speculation`` breakdown category.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..core.patch_program import PatchProgram, ProgramState
@@ -116,6 +127,13 @@ def make_policy(mode: str) -> SchedulerPolicy:
     raise ReproError(f"unknown runtime mode {mode!r}")
 
 
+def _percentile(values, q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    s = sorted(values)
+    k = max(1, -(-len(s) * q // 100))  # ceil without importing math
+    return s[int(k) - 1]
+
+
 class Scheduler:
     """Shared-queue dispatch and worker-side program execution."""
 
@@ -133,6 +151,7 @@ class Scheduler:
         transport: Transport,
         tracker: WorkloadTracker,
         sanitizer=None,
+        adaptive=None,
     ):
         self.sim = sim
         self.router = router
@@ -154,6 +173,16 @@ class Scheduler:
         self.pq: list[list] = [[] for _ in range(nprocs)]
         self.queued: set[ProgramId] = set()
         self.running: set[ProgramId] = set()
+        # -- adaptive straggler machinery (dormant when ``adaptive`` is
+        # None or speculation/demotion are off) --------------------------
+        self.acfg = adaptive
+        self._run_serial = 0  # unique id per booked execution
+        self._spec: set[int] = set()  # serials with a backup in flight
+        self._done: set[int] = set()  # speculated serials already landed
+        self._recent: deque[float] = deque(maxlen=128)  # scaled durations
+        #: EWMA of each process's observed slowdown factor; the
+        #: recovery layer's health probe reads this for demotion.
+        self.proc_slow_ewma: list[float] = [1.0] * nprocs
 
     # -- queueing and dispatch -----------------------------------------------------
 
@@ -251,11 +280,83 @@ class Scheduler:
         self.bd.add(wres.core, "pack", cost["pack"] * sf)
         self.bd.add(wres.core, "sched", self.cm.t_sched * sf)
         self.report.executions += 1
-        self.sim.push(end, "run_end", (p, w, pid, outputs, ep))
+        self._run_serial += 1
+        serial = self._run_serial
+        self.sim.push(end, "run_end", (p, w, pid, outputs, serial, False, ep))
+        a = self.acfg
+        if a is not None and (a.speculation or a.demotion):
+            # Slowdown telemetry: cheap EWMA per process, fed to the
+            # recovery layer's health probe for demotion decisions.
+            self.proc_slow_ewma[p] = 0.8 * self.proc_slow_ewma[p] + 0.2 * sf
+        if a is not None and a.speculation:
+            self._maybe_speculate(
+                p, pid, outputs, serial, ep, duration, duration * sf, end, now
+            )
+            self._recent.append(duration * sf)
+
+    def _maybe_speculate(
+        self, p, pid, outputs, serial, ep, duration, scaled, end, now
+    ) -> None:
+        """Book a backup execution when this run looks like a straggler.
+
+        The detector compares the run's scaled duration against a
+        percentile of the recent-durations window; mitigation re-books
+        the *same* outputs on the fastest other healthy process with an
+        idle worker, but only when the backup's projected finish beats
+        the primary's.  First completion wins (see :meth:`complete`).
+        """
+        a = self.acfg
+        if len(self._recent) < a.spec_min_samples:
+            return
+        if scaled <= a.spec_factor * _percentile(
+            self._recent, a.spec_percentile
+        ):
+            return
+        best = None
+        for q in range(self.router.nprocs):
+            if q == p or q in self.router.dead or q in self.router.demoted:
+                continue
+            if not self.idle_workers[q]:
+                continue
+            sf_q = self.slow(q, now)
+            if best is None or sf_q < best[1]:
+                best = (q, sf_q)
+        if best is None:
+            return
+        q, sf_q = best
+        wres = self.workers[q][self.idle_workers[q][-1]]
+        if max(now, wres.free) + duration * sf_q >= end:
+            return  # the backup would not finish before the primary
+        w_q = self.idle_workers[q].pop()
+        start, end_q = wres.book(now, duration * sf_q)
+        if self.san is not None:
+            self.san.on_booking(wres.core, start, end_q)
+        self.bd.add(wres.core, "speculation", duration * sf_q)
+        self.report.speculative_launches += 1
+        self._spec.add(serial)
+        self.sim.push(
+            end_q, "run_end", (q, w_q, pid, outputs, serial, True, ep)
+        )
 
     def complete(self, data, now: float) -> None:
-        """Finish one run: route emissions, commit workload, requeue."""
-        p, w, pid, outputs, ep = data
+        """Finish one run: route emissions, commit workload, requeue.
+
+        For a speculated run both the primary and its backup arrive
+        here under the same serial: the first completion commits, the
+        second only frees its worker (its outputs are byte-identical,
+        so dropping them is safe and keeps results bitwise-exact).
+        """
+        p, w, pid, outputs, serial, is_backup, ep = data
+        if serial in self._spec:
+            if serial in self._done:
+                # The race's loser: the winner already routed/committed.
+                if is_backup:
+                    self.report.speculative_wasted += 1
+                self.release(p, w, now)
+                return
+            self._done.add(serial)
+            if is_backup:
+                self.report.speculative_wins += 1
         st = self.st
         prog = st.progs[pid]
         for s in outputs:

@@ -151,7 +151,8 @@ class Simulator:
 
     __slots__ = ("_events", "_seq", "live", "makespan", "_progress",
                  "trace_hook", "trace_fields", "last_progress",
-                 "_wd_horizon", "_wd_snapshot", "_wd_kinds")
+                 "_prev_progress", "_wd_horizon", "_wd_snapshot",
+                 "_wd_kinds")
 
     def __init__(
         self,
@@ -167,6 +168,7 @@ class Simulator:
         self.trace_hook = trace_hook
         self.trace_fields = trace_fields
         self.last_progress = 0.0  # virtual time of last progress pop
+        self._prev_progress = 0.0  # pre-pop value (for retraction)
         self._wd_horizon = 0.0  # 0 = watchdog disarmed
         self._wd_snapshot: Callable[[float], StallReport | None] | None = None
         self._wd_kinds: frozenset = frozenset()
@@ -204,6 +206,7 @@ class Simulator:
         t, _, kind, data = heapq.heappop(self._events)
         if kind in self._progress:
             self.live -= 1
+            self._prev_progress = self.last_progress
             self.last_progress = t
         elif (
             self._wd_horizon > 0.0
@@ -222,6 +225,18 @@ class Simulator:
                 proc, core, program = self.trace_fields(kind, data)
             self.trace_hook(TraceEvent(t, kind, proc, core, program))
         return t, kind, data
+
+    def retract_progress(self) -> None:
+        """Undo the last pop's progress stamp.
+
+        Called by the owning layer when a popped progress-kind event
+        turns out to be no progress at all - a duplicate, corrupted or
+        mis-routed delivery that was discarded.  Without the retraction
+        a livelock (e.g. retransmissions endlessly re-delivering an
+        already-seen message whose acks are black-holed) refreshes the
+        progress clock on every retry and the watchdog never fires.
+        """
+        self.last_progress = self._prev_progress
 
     def observe(self, t: float) -> None:
         """Advance the virtual clock's high-water mark (the makespan)."""

@@ -28,6 +28,31 @@ set *is* the run's wait-for state, so :meth:`Transport.stall_snapshot`
 renders it as a :class:`~repro.runtime.simulator.StallReport` naming
 every blocked dependency, the lost ones, and any wait-for cycle.
 
+Adaptive extensions (opt-in via :class:`~repro.runtime.faults.
+AdaptiveConfig`, all rng-neutral when off):
+
+* **per-link RTT estimation** - every clean ack (never a retransmitted
+  or hedged message: Karn's rule) feeds a Jacobson SRTT/RTTVAR
+  estimator for its ``(src proc, dst proc)`` link, and new sends arm
+  ``clamp(SRTT + k*RTTVAR, min_rto, max_rto)`` instead of the fixed
+  ``ack_timeout``;
+* **hedged retransmits** - a message still unacked after a fraction of
+  its RTO gets one speculative extra copy (receiver dedup makes it
+  invisible; tail latency is cut without waiting for the full timer);
+* **credit-based flow control** - each destination process grants
+  ``inbox_credits`` in-flight inbound messages; a send finding the
+  window full parks until an arrival frees a credit, and the stall
+  time is booked under the ``backpressure`` breakdown category;
+* **forwarding** - an in-flight message that arrives at a process
+  which no longer owns the destination program (an ownership move by
+  degraded-mode demotion raced the wire) is forwarded to the current
+  owner instead of being mis-delivered; the ack travels only from the
+  final arrival.
+
+Whether fixed or adaptive, a retransmit timeout never escalates past
+``RecoveryConfig.max_rto``: unbounded exponential backoff would let a
+long partition push a single timer past the watchdog horizon.
+
 Sits above :mod:`repro.runtime.simulator` (events, timers) and
 :mod:`repro.runtime.router` (current owner of source and destination
 programs; crashed-process checks).  It knows nothing about scheduling
@@ -50,7 +75,7 @@ from .metrics import RunReport
 from .router import Router
 from .simulator import Simulator, StallReport, WaitEdge
 
-__all__ = ["PendingSend", "Transport", "stream_checksum"]
+__all__ = ["PendingSend", "RttEstimator", "Transport", "stream_checksum"]
 
 
 def stream_checksum(s: Stream) -> int:
@@ -73,10 +98,52 @@ def stream_checksum(s: Stream) -> int:
     return crc
 
 
+class RttEstimator:
+    """Jacobson SRTT/RTTVAR estimator for one directed proc link.
+
+    RFC 6298 shape: the first sample seeds ``SRTT = R, RTTVAR = R/2``;
+    subsequent samples blend with gains ``srtt_gain`` (alpha) and
+    ``rttvar_gain`` (beta).  Karn's rule is enforced by the *caller*:
+    only acks of never-retransmitted, never-hedged messages may be
+    sampled, since an ack of an ambiguous send cannot be matched to a
+    transmission.
+    """
+
+    __slots__ = ("srtt", "rttvar", "samples")
+
+    def __init__(self):
+        self.srtt: float | None = None
+        self.rttvar = 0.0
+        self.samples = 0
+
+    def sample(self, r: float, srtt_gain: float, rttvar_gain: float) -> None:
+        if r < 0:
+            raise ReproError("negative RTT sample")
+        if self.srtt is None:
+            self.srtt = r
+            self.rttvar = r / 2.0
+        else:
+            self.rttvar = (
+                (1.0 - rttvar_gain) * self.rttvar
+                + rttvar_gain * abs(self.srtt - r)
+            )
+            self.srtt = (1.0 - srtt_gain) * self.srtt + srtt_gain * r
+        self.samples += 1
+
+    def rto(self, k: float, min_rto: float, max_rto: float) -> float:
+        """``clamp(SRTT + k * RTTVAR, min_rto, max_rto)``."""
+        if self.srtt is None:
+            raise ReproError("RTO requested before any RTT sample")
+        return min(max(self.srtt + k * self.rttvar, min_rto), max_rto)
+
+
 class PendingSend:
     """Ack/retransmit bookkeeping of one un-acked remote stream."""
 
-    __slots__ = ("stream", "src_pid", "retries", "timeout", "attempt")
+    __slots__ = (
+        "stream", "src_pid", "retries", "timeout", "attempt",
+        "sent_at", "link", "hedged", "parked",
+    )
 
     def __init__(self, stream: Stream, src_pid: ProgramId, timeout: float):
         self.stream = stream
@@ -84,6 +151,10 @@ class PendingSend:
         self.retries = 0
         self.timeout = timeout
         self.attempt = 0  # bumped on every (re)arm; lazily cancels timers
+        self.sent_at: float | None = None  # first-copy launch time (RTT)
+        self.link: tuple[int, int] | None = None  # (src proc, dst proc)
+        self.hedged = False  # a speculative extra copy went out (Karn)
+        self.parked: float | None = None  # backpressure park time, if parked
 
 
 class Transport:
@@ -108,13 +179,31 @@ class Transport:
         self.inj = injector
         self.rcfg = rcfg
         self.san = sanitizer
+        self.acfg = rcfg.adaptive if rcfg is not None else None
         self.out_seq: dict[ProgramId, int] = {}  # next seq per sending program
         self.pending: dict[tuple, PendingSend] = {}  # uid -> un-acked send
         self.seen: set[tuple] = set()  # uids already delivered (dup discard)
+        self.rtt: dict[tuple[int, int], RttEstimator] = {}  # per link
+        # Credit-based flow control state (only touched when armed):
+        self._credit_used: dict[int, int] = {}  # dst proc -> in-flight count
+        self._charged: dict[tuple, int] = {}  # uid -> dst proc holding credit
+        self._parked: list[tuple] = []  # FIFO of uids awaiting a credit
 
     @property
     def reliable(self) -> bool:
         return self.rcfg is not None
+
+    def _initial_rto(self, src_proc: int, dst_proc: int) -> float:
+        """First-arm timeout of a fresh send: the link's estimated RTO
+        when adaptive and warmed up, the fixed ``ack_timeout`` otherwise
+        (``max_rto`` caps both; config validation guarantees
+        ``ack_timeout <= max_rto``)."""
+        a = self.acfg
+        if a is not None and a.adaptive_rto:
+            est = self.rtt.get((src_proc, dst_proc))
+            if est is not None and est.srtt is not None:
+                return est.rto(a.rto_k, a.min_rto, self.rcfg.max_rto)
+        return self.rcfg.ack_timeout
 
     # -- send path ----------------------------------------------------------------
 
@@ -136,10 +225,44 @@ class Transport:
         self.out_seq[s.src] = s.seq + 1
         s.epoch = ep
         s.checksum = stream_checksum(s)
-        ps = PendingSend(s, src_pid, self.rcfg.ack_timeout)
+        ps = PendingSend(s, src_pid, self._initial_rto(src_proc, dst_proc))
+        ps.link = (src_proc, dst_proc)
         self.pending[s.uid] = ps
+        a = self.acfg
+        if (
+            a is not None
+            and a.backpressure
+            and self._credit_used.get(dst_proc, 0) >= a.inbox_credits
+        ):
+            # Destination inbox window full: park until an arrival over
+            # there frees a credit.  No timer is armed while parked -
+            # the message is not on the wire yet.
+            ps.parked = now
+            self._parked.append(s.uid)
+            self.report.backpressure_stalls += 1
+            return
+        self._launch(ps, now)
+
+    def _launch(self, ps: PendingSend, now: float) -> None:
+        """First transmission of a tracked send: charge the flow-control
+        credit, stamp the RTT clock, arm the ack timer and (optionally)
+        the hedge timer."""
+        s = ps.stream
+        a = self.acfg
+        if a is not None and a.backpressure:
+            dst_proc = self.router.proc_of[s.dst]
+            self._charged[s.uid] = dst_proc
+            self._credit_used[dst_proc] = (
+                self._credit_used.get(dst_proc, 0) + 1
+            )
+        ps.sent_at = now
         self.transmit(ps, now)
-        self.sim.push(now + ps.timeout, "timer", (s.uid, 0))
+        self.sim.push(now + ps.timeout, "timer", (s.uid, ps.attempt))
+        if a is not None and a.hedging:
+            self.sim.push(
+                now + a.hedge_factor * ps.timeout,
+                "hedge", (s.uid, ps.attempt),
+            )
 
     def transmit(self, ps: PendingSend, now: float) -> None:
         """Put one (re)transmission of an un-acked stream on the wire."""
@@ -193,8 +316,54 @@ class Transport:
 
     # -- control-plane events ------------------------------------------------------
 
-    def on_ack(self, uid: tuple) -> None:
-        self.pending.pop(uid, None)
+    def on_ack(self, uid: tuple, now: float) -> None:
+        ps = self.pending.pop(uid, None)
+        if ps is None:
+            return
+        a = self.acfg
+        if (
+            a is not None
+            and a.adaptive_rto
+            and ps.retries == 0
+            and not ps.hedged
+            and ps.sent_at is not None
+            and ps.link is not None
+        ):
+            # Karn's rule: only a message that was transmitted exactly
+            # once yields an unambiguous RTT sample.  Retransmitted or
+            # hedged sends have two copies in flight - the ack cannot
+            # be matched to either, so they never feed the estimator.
+            est = self.rtt.get(ps.link)
+            if est is None:
+                est = self.rtt[ps.link] = RttEstimator()
+            est.sample(now - ps.sent_at, a.srtt_gain, a.rttvar_gain)
+            self.report.rtt_samples += 1
+
+    def on_hedge(self, data: tuple, now: float) -> None:
+        """Hedge-timer expiry: if the send is still unacked and still on
+        its first attempt, launch one speculative extra copy.
+
+        The receiver's uid dedup makes the copy invisible; the only
+        cost is wire traffic.  A hedged send is marked so its eventual
+        ack is excluded from RTT sampling (Karn's rule) and never
+        hedged again.
+        """
+        uid, attempt = data
+        ps = self.pending.get(uid)
+        if (
+            ps is None or ps.attempt != attempt
+            or ps.retries > 0 or ps.hedged or ps.parked is not None
+        ):
+            return  # acked, retransmitted, re-armed or parked meanwhile
+        s = ps.stream
+        if (
+            self.router.proc_of[s.src] in self.router.dead
+            or self.router.proc_of[s.dst] in self.router.dead
+        ):
+            return  # failover machinery owns this message now
+        ps.hedged = True
+        self.report.hedged_sends += 1
+        self.transmit(ps, now)
 
     def on_timer(self, data: tuple, now: float) -> None:
         """Ack-timeout expiry: retransmit with backoff, or hold/skip."""
@@ -221,7 +390,10 @@ class Transport:
         ps.attempt += 1
         self.report.retries += 1
         self.transmit(ps, now)
-        ps.timeout *= self.rcfg.backoff
+        # Exponential backoff, capped: an uncapped doubling under a
+        # long partition would arm a timer beyond the watchdog horizon
+        # and the run would be declared stalled instead of recovering.
+        ps.timeout = min(ps.timeout * self.rcfg.backoff, self.rcfg.max_rto)
         self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
 
     def on_nack(self, uid: tuple, now: float) -> None:
@@ -267,6 +439,27 @@ class Transport:
                 t = self.machine.control_time(proc, src_proc, self.layout)
                 self.sim.push(now + t, "nack", uid)
             return False
+        # A verified arrival frees its flow-control credit (dups and
+        # forwarded hops release at most once: the charge map pops).
+        if self._charged:
+            dst_proc = self._charged.pop(uid, None)
+            if dst_proc is not None:
+                self._credit_used[dst_proc] -= 1
+                self._drain_parked(now)
+        owner = self.router.proc_of[s.dst]
+        if owner != proc and uid not in self.seen:
+            # Ownership moved while the message was in flight (a
+            # degraded-mode demotion raced the wire): forward to the
+            # current owner and stay silent - the ack travels only from
+            # the final arrival, so the sender keeps retrying until the
+            # stream truly lands.
+            if owner not in self.router.dead:
+                self.report.forwards += 1
+                wire = self.machine.message_time(
+                    proc, owner, s.nbytes, self.layout
+                )
+                self.sim.push(now + wire, "msg_arrive", (owner, s))
+            return False
         if self.inj is not None and self.inj.link_cut(proc, src_proc, now):
             self.report.partition_drops += 1  # ack black-holed by the cut
         elif self.inj is None or not self.inj.ack_dropped():
@@ -278,6 +471,34 @@ class Transport:
             self.san.on_delivery(s, proc)
         self.seen.add(uid)
         return True
+
+    def _drain_parked(self, now: float) -> None:
+        """Launch parked sends, oldest first, while credits allow.
+
+        The stall (park duration) is booked under the dynamic
+        ``backpressure`` breakdown category against the sender's
+        network plane, so flow control shows up in the Fig. 16 stack
+        instead of silently inflating idle time.
+        """
+        if not self._parked:
+            return
+        still: list[tuple] = []
+        for uid in self._parked:
+            ps = self.pending.get(uid)
+            if ps is None or ps.parked is None:
+                continue  # dropped at failover, or already launched
+            dst_proc = self.router.proc_of[ps.stream.dst]
+            if self._credit_used.get(dst_proc, 0) >= self.acfg.inbox_credits:
+                still.append(uid)
+                continue
+            stalled = now - ps.parked
+            if stalled > 0 and ps.link is not None:
+                self.report.breakdown.add(
+                    ("net", ps.link[0]), "backpressure", stalled
+                )
+            ps.parked = None
+            self._launch(ps, now)
+        self._parked = still
 
     # -- checkpoint/failover support -----------------------------------------------
 
@@ -306,9 +527,14 @@ class Transport:
             if ck is None or uid not in ck.pending:
                 del self.pending[uid]
             else:
+                s = ps.stream
                 ps.retries = 0
-                ps.timeout = self.rcfg.ack_timeout
+                ps.timeout = self._initial_rto(
+                    self.router.proc_of[s.src], self.router.proc_of[s.dst]
+                )
                 ps.attempt += 1
+                ps.sent_at = None  # Karn: a re-armed send is ambiguous
+                ps.parked = None  # failover overrides flow control
                 self.transmit(ps, now)
                 self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
 
@@ -338,7 +564,12 @@ class Transport:
             cut = (
                 inj.cut_window(src_p, dst_p, t) if inj is not None else None
             )
-            if cut is not None:
+            if ps.parked is not None:
+                reason = (
+                    f"parked by flow control (proc {dst_p} inbox "
+                    f"credits exhausted)"
+                )
+            elif cut is not None:
                 reason = f"link {src_p}->{dst_p} partitioned" + (
                     f" until t={cut.end:.6f}s" if cut.heals
                     else " (never heals)"
