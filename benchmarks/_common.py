@@ -128,6 +128,17 @@ def bench_args(
         action="store_true",
         help="run the scaled-down CI smoke configuration",
     )
+    ap.add_argument(
+        "--check-hb",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help="run the vector-clock happens-before checker over every "
+        "DES run (arms tracing); with DIR, also export each run's HB "
+        "record stream as DIR/<label>.hb.json for "
+        "`python -m repro.analysis check-trace`",
+    )
     if extra is not None:
         extra(ap)
     return ap.parse_args(argv)
@@ -141,6 +152,31 @@ def write_chrome_trace(report, label: str, directory: str) -> str:
         json.dump(report.to_chrome_trace(), fh)
     print(f"trace: {path} ({len(report.trace_events)} events)")
     return path
+
+
+def check_hb(report, label: str, opt) -> None:
+    """Happens-before-check one traced run (``opt`` = args.check_hb).
+
+    ``opt`` is ``None`` (off), ``True`` (check only) or a directory
+    (check + export the HB stream for ``repro.analysis check-trace``).
+    Races abort the benchmark: a schedule that only *happened* to
+    produce the right flux is not a result.
+    """
+    if opt is None:
+        return
+    from repro.analysis import check_report, dump_hb_json
+
+    if opt is not True:
+        os.makedirs(opt, exist_ok=True)
+        path = os.path.join(opt, f"{label}.hb.json")
+        n = dump_hb_json(report.hb_events, path)
+        print(f"hb: {path} ({n} records)")
+    races = check_report(report)
+    if races:
+        for r in races:
+            print("  " + r.format())
+        raise SystemExit(f"{label}: {len(races)} happens-before race(s)")
+    print(f"hb: {label}: {len(report.hb_events)} records, race-free")
 
 
 def efficiency(base_cores: int, base_time: float, cores: int, time: float) -> float:

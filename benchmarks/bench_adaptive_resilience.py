@@ -43,7 +43,7 @@ from repro.runtime import (
     StragglerWindow,
 )
 
-from _common import bench_args, print_series, write_chrome_trace
+from _common import bench_args, check_hb, print_series, write_chrome_trace
 
 JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                          "BENCH_adaptive_resilience.json")
@@ -86,7 +86,7 @@ PLANS = (("straggler", straggler_plan), ("partition", partition_plan))
 SCENARIOS = (("structured", "hybrid"), ("unstructured", "mpi_only"))
 
 
-def run_matrix(trace_dir: str | None = None) -> list[dict]:
+def run_matrix(trace_dir: str | None = None, hb=None) -> list[dict]:
     """The full scenario x plan x config grid; one row per run."""
     rows: list[dict] = []
     for kind, mode in SCENARIOS:
@@ -100,7 +100,7 @@ def run_matrix(trace_dir: str | None = None) -> list[dict]:
                 rt = DataDrivenRuntime(
                     cores, machine=machine, mode=mode, faults=plan,
                     recovery=RecoveryConfig(), adaptive=acfg,
-                    trace=trace_dir is not None,
+                    trace=trace_dir is not None or hb is not None,
                 )
                 rep = rt.run(progs, pset.patch_proc)
                 phi, _ = solver.accumulate(faces)
@@ -123,6 +123,9 @@ def run_matrix(trace_dir: str | None = None) -> list[dict]:
                         rep, f"adaptive_{kind}_{mode}_{plan_name}_{cfg_name}",
                         trace_dir,
                     )
+                check_hb(
+                    rep, f"adaptive_{kind}_{mode}_{plan_name}_{cfg_name}", hb
+                )
     return rows
 
 
@@ -200,7 +203,7 @@ if __name__ == "__main__":
                             help="where to write the JSON summary"),
         ),
     )
-    rows = run_matrix(trace_dir=args.trace)
+    rows = run_matrix(trace_dir=args.trace, hb=args.check_hb)
     report(rows)
     check(rows)
     out = os.path.normpath(args.json)

@@ -30,7 +30,7 @@ from repro import DataDrivenRuntime, PatchSet, cube_structured
 from repro.runtime import CrashFault, FaultPlan, RecoveryConfig
 from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
 
-from _common import MACHINE, bench_args, print_series, write_chrome_trace
+from _common import MACHINE, bench_args, check_hb, print_series, write_chrome_trace
 
 DROP_RATES = [0.0, 0.02, 0.05, 0.10]
 
@@ -47,25 +47,27 @@ def _build(cores: int, n: int):
 
 
 def _run(cores: int, n: int, plan=None, recovery=None, resilient=False,
-         trace_dir=None, label=""):
+         trace_dir=None, label="", hb=None):
     pset, solver = _build(cores, n)
     progs, _ = solver.build_programs(compute=False, resilient=resilient)
     rt = DataDrivenRuntime(
         cores, machine=MACHINE, faults=plan, recovery=recovery,
-        trace=trace_dir is not None,
+        trace=trace_dir is not None or hb is not None,
     )
     rep = rt.run(progs, pset.patch_proc)
     if trace_dir is not None:
         write_chrome_trace(rep, f"fault-resilience-{label}", trace_dir)
+    check_hb(rep, f"fault-resilience-{label}", hb)
     return rep
 
 
-def run_fault_resilience(cores: int = 48, n: int = 16, trace_dir=None):
-    base = _run(cores, n, trace_dir=trace_dir, label="plain")
+def run_fault_resilience(cores: int = 48, n: int = 16, trace_dir=None,
+                         hb=None):
+    base = _run(cores, n, trace_dir=trace_dir, label="plain", hb=hb)
 
     # -- zero-fault tax: recovery machinery armed, nothing injected ----
     armed = _run(cores, n, plan=FaultPlan(seed=1), recovery=RecoveryConfig(),
-                 trace_dir=trace_dir, label="armed")
+                 trace_dir=trace_dir, label="armed", hb=hb)
     overhead_rows = [
         ["plain", base.makespan * 1e3, 0.0, 0, 0.0],
         [
@@ -82,7 +84,7 @@ def run_fault_resilience(cores: int = 48, n: int = 16, trace_dir=None):
     for p in DROP_RATES:
         plan = FaultPlan(p_drop=p, p_duplicate=p / 2.0, seed=42)
         rep = _run(cores, n, plan=plan, trace_dir=trace_dir,
-                   label=f"drop{p:g}")
+                   label=f"drop{p:g}", hb=hb)
         curve_rows.append([
             p,
             rep.makespan * 1e3,
@@ -98,7 +100,7 @@ def run_fault_resilience(cores: int = 48, n: int = 16, trace_dir=None):
         p_drop=0.02, p_duplicate=0.01, seed=7,
     )
     crash = _run(cores, n, plan=plan, resilient=True,
-                 trace_dir=trace_dir, label="crash")
+                 trace_dir=trace_dir, label="crash", hb=hb)
     crash_rows = [[
         crash.makespan * 1e3,
         crash.makespan / base.makespan,
@@ -163,9 +165,10 @@ if __name__ == "__main__":
         "run, --trace to export Chrome-trace JSON per run)"
     )
     rows = (
-        run_fault_resilience(cores=24, n=12, trace_dir=args.trace)
+        run_fault_resilience(cores=24, n=12, trace_dir=args.trace,
+                             hb=args.check_hb)
         if args.smoke
-        else run_fault_resilience(trace_dir=args.trace)
+        else run_fault_resilience(trace_dir=args.trace, hb=args.check_hb)
     )
     report(*rows)
     check(*rows)

@@ -23,21 +23,22 @@ import pytest
 
 from repro.runtime import CATEGORIES
 
-from _common import bench_args, koba_app, print_series, write_chrome_trace
+from _common import bench_args, check_hb, koba_app, print_series, write_chrome_trace
 
 CORES = [24, 48, 96, 192]
 N = 20
 
 
-def run_fig16(trace_dir: str | None = None):
+def run_fig16(trace_dir: str | None = None, hb=None):
     rows = []
     reports = []
     for cores in CORES:
         app = koba_app(N, cores, patch=5, grain=64)
         rep = app.sweep_report(cores, coarsened=False,
-                               trace=trace_dir is not None)
+                               trace=trace_dir is not None or hb is not None)
         if trace_dir is not None:
             write_chrome_trace(rep, f"fig16-koba{N}-{cores}cores", trace_dir)
+        check_hb(rep, f"fig16-koba{N}-{cores}cores", hb)
         per_core = rep.avg_seconds_per_core()
         rows.append(
             [cores]
@@ -79,5 +80,5 @@ def test_fig16_runtime_breakdown(benchmark):
 if __name__ == "__main__":
     args = bench_args("Fig. 16 runtime breakdown (use --trace to export "
                       "Chrome-trace JSON per run)")
-    rows, _ = run_fig16(trace_dir=args.trace)
+    rows, _ = run_fig16(trace_dir=args.trace, hb=args.check_hb)
     _print(rows)

@@ -1,0 +1,56 @@
+"""Static analysis for the reproduction: determinism lints + HB races.
+
+Every guarantee the runtime makes - bitwise-exact recovery under chaos
+campaigns, golden fingerprints across refactors, the data-driven
+schedule being a pure function of ``(mesh, partition, seed)`` - rests
+on two properties the dynamic test tiers can only sample:
+
+1. the *source* contains no hidden nondeterminism (wall-clock reads,
+   unseeded RNG, set-iteration order leaking into event ordering), and
+2. the *protocols* never commit state that is not happens-before
+   ordered by a delivery edge.
+
+This package enforces both statically:
+
+* :mod:`repro.analysis.engine` + :mod:`repro.analysis.rules` - a
+  custom AST lint engine with repo-specific determinism (DET), DES
+  and protocol (PROTO) rules, ``# repro: allow[RULE]`` suppressions
+  and machine-readable output;
+* :mod:`repro.analysis.hb` - a vector-clock happens-before checker
+  over the structured event trace the simulator emits, flagging
+  commit/migration/speculation races the runtime sanitizer's
+  exactly-once checks cannot see.
+
+Run both from the CLI::
+
+    python -m repro.analysis lint src/
+    python -m repro.analysis check-trace trace.json
+"""
+
+from __future__ import annotations
+
+from .engine import LintEngine, ModuleInfo, Violation, lint_paths
+from .hb import (
+    HbChecker,
+    HbRace,
+    check_report,
+    check_trace,
+    dump_hb_json,
+    load_hb_json,
+)
+from .rules import ALL_RULES, rule_table
+
+__all__ = [
+    "ALL_RULES",
+    "HbChecker",
+    "HbRace",
+    "LintEngine",
+    "ModuleInfo",
+    "Violation",
+    "check_report",
+    "check_trace",
+    "dump_hb_json",
+    "lint_paths",
+    "load_hb_json",
+    "rule_table",
+]

@@ -1,0 +1,108 @@
+"""``python -m repro.analysis`` - lint and HB-check the repo.
+
+Subcommands::
+
+    lint [PATHS...] [--json] [--rules]
+        Run the determinism/DES/protocol lint rules over Python
+        sources (default: src/).  Exit 1 on findings.
+
+    check-trace FILES... [--json]
+        Replay happens-before record streams (written by
+        ``dump_hb_json`` or a benchmark's ``--check-hb``) through the
+        vector-clock checker.  Exit 1 on races.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import render
+from .hb import check_trace, load_hb_json
+from .rules import ALL_RULES, rule_table
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.rules:
+        rows = rule_table()
+        if args.json:
+            print(json.dumps({"rules": rows}, indent=1))
+        else:
+            for r in rows:
+                print(f"{r['id']:9s} {r['title']}")
+        return 0
+    from .engine import lint_paths
+
+    paths = args.paths or ["src"]
+    violations = lint_paths(paths, rules=ALL_RULES)
+    print(render(violations, as_json=args.json))
+    return 1 if violations else 0
+
+
+def _cmd_check_trace(args: argparse.Namespace) -> int:
+    results = []
+    total = 0
+    for path in args.files:
+        races = check_trace(load_hb_json(path))
+        total += len(races)
+        results.append((path, races))
+    if args.json:
+        print(json.dumps({
+            "files": [
+                {
+                    "path": path,
+                    "races": [
+                        {
+                            "kind": r.kind,
+                            "time": r.time,
+                            "subject": r.subject,
+                            "message": r.message,
+                        }
+                        for r in races
+                    ],
+                }
+                for path, races in results
+            ],
+            "count": total,
+        }, indent=1))
+    else:
+        for path, races in results:
+            if not races:
+                print(f"{path}: race-free")
+                continue
+            print(f"{path}: {len(races)} race(s)")
+            for r in races:
+                print("  " + r.format())
+    return 1 if total else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_lint = sub.add_parser("lint", help="run the lint rules")
+    p_lint.add_argument("paths", nargs="*", help="files/dirs (default: src)")
+    p_lint.add_argument("--json", action="store_true")
+    p_lint.add_argument(
+        "--rules", action="store_true", help="list the shipped rules"
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
+
+    p_hb = sub.add_parser(
+        "check-trace", help="happens-before check recorded HB traces"
+    )
+    p_hb.add_argument("files", nargs="+", help="HB trace JSON files")
+    p_hb.add_argument("--json", action="store_true")
+    p_hb.set_defaults(fn=_cmd_check_trace)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

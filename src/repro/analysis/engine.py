@@ -1,0 +1,237 @@
+"""The lint engine: file loading, suppression parsing, rule dispatch.
+
+The engine is deliberately small: it turns each Python file into a
+:class:`ModuleInfo` (source, AST, comment-level suppressions, logical
+module name, and a one-hop function index), hands it to every rule,
+and filters the returned :class:`Violation`\\ s against the
+``# repro: allow[RULE]`` suppressions.  Rules live in
+:mod:`repro.analysis.rules` and know nothing about files or comments.
+
+Suppression syntax::
+
+    x = time.time()  # repro: allow[DET001]
+    # repro: allow[DET003, PROTO001]   <- alone on a line: covers the
+    for p in procs: ...                   next line
+
+``allow[*]`` suppresses every rule on the covered line.
+
+Fixture files (which do not live under ``src/repro``) can claim a
+logical module identity for the module-scoped PROTO rules with::
+
+    # repro: module=repro.runtime.scheduler
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .rules import Rule
+
+__all__ = ["Violation", "ModuleInfo", "LintEngine", "lint_paths"]
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+_MODULE_RE = re.compile(r"#\s*repro:\s*module=([A-Za-z0-9_.]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, with enough context to act on it."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"{self.message}\n    hint: {self.hint}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """Everything a rule may want to know about one source file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: logical dotted module name ("repro.runtime.transport"); inferred
+    #: from the path or overridden by a ``# repro: module=`` pragma.
+    module: str
+    #: line -> set of rule ids allowed ("*" = all) on that line.
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: "name" and "Class.name" -> FunctionDef, for one-hop call lookup.
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        allowed = self.suppressions.get(line, ())
+        return rule in allowed or "*" in allowed
+
+
+def _logical_module(path: Path) -> str:
+    """Dotted module name from a file path (best effort)."""
+    parts = list(path.with_suffix("").parts)
+    parts = parts[parts.index("repro"):] if "repro" in parts else parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _scan_comments(source: str) -> tuple[dict[int, set[str]], str | None]:
+    """Extract suppression lines and the module pragma from comments."""
+    suppressions: dict[int, set[str]] = {}
+    module: str | None = None
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenError:
+        return suppressions, module
+    code_lines = {
+        t.start[0]
+        for t in tokens
+        if t.type
+        not in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        )
+    }
+    for t in tokens:
+        if t.type != tokenize.COMMENT:
+            continue
+        m = _MODULE_RE.search(t.string)
+        if m:
+            module = m.group(1)
+        m = _ALLOW_RE.search(t.string)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        line = t.start[0]
+        if line in code_lines:
+            suppressions.setdefault(line, set()).update(rules)
+        else:
+            # Comment alone on its line: covers the next code line.
+            nxt = min((ln for ln in code_lines if ln > line), default=None)
+            if nxt is not None:
+                suppressions.setdefault(nxt, set()).update(rules)
+    return suppressions, module
+
+
+def _index_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Map plain and class-qualified names to their FunctionDefs."""
+    index: dict[str, ast.FunctionDef] = {}
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            index[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, ast.FunctionDef):
+                    index[f"{node.name}.{sub.name}"] = sub
+                    # Unqualified fallback: one-hop `self.foo()` lookup
+                    # does not track the receiver's class.
+                    index.setdefault(sub.name, sub)
+    return index
+
+
+def load_module(path: str | Path) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises SyntaxError)."""
+    p = Path(path)
+    source = p.read_text()
+    tree = ast.parse(source, filename=str(p))
+    suppressions, pragma = _scan_comments(source)
+    return ModuleInfo(
+        path=str(p),
+        source=source,
+        tree=tree,
+        module=pragma if pragma is not None else _logical_module(p),
+        suppressions=suppressions,
+        functions=_index_functions(tree),
+    )
+
+
+class LintEngine:
+    """Run a rule set over files and directories."""
+
+    def __init__(self, rules: "list[Rule] | None" = None):
+        if rules is None:
+            from .rules import ALL_RULES
+
+            rules = ALL_RULES
+        self.rules = list(rules)
+
+    def collect_files(self, paths: list[str | Path]) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                files.extend(
+                    f for f in sorted(p.rglob("*.py"))
+                    if "__pycache__" not in f.parts
+                )
+            else:
+                files.append(p)
+        return files
+
+    def lint_file(self, path: str | Path) -> list[Violation]:
+        mod = load_module(path)
+        return self.lint_module(mod)
+
+    def lint_module(self, mod: ModuleInfo) -> list[Violation]:
+        out: list[Violation] = []
+        for rule in self.rules:
+            for v in rule.check(mod):
+                if not mod.suppressed(v.rule, v.line):
+                    out.append(v)
+        out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        return out
+
+    def lint_paths(self, paths: list[str | Path]) -> list[Violation]:
+        out: list[Violation] = []
+        for f in self.collect_files(paths):
+            out.extend(self.lint_file(f))
+        return out
+
+
+def lint_paths(
+    paths: list[str | Path], rules: "list[Rule] | None" = None
+) -> list[Violation]:
+    """Convenience wrapper: lint ``paths`` with ``rules`` (default all)."""
+    return LintEngine(rules).lint_paths(paths)
+
+
+def render(violations: list[Violation], as_json: bool = False) -> str:
+    """Human or JSON rendering of a violation list."""
+    if as_json:
+        return json.dumps(
+            {"violations": [v.to_dict() for v in violations],
+             "count": len(violations)},
+            indent=1,
+        )
+    if not violations:
+        return "repro.analysis: clean"
+    lines = [v.format() for v in violations]
+    lines.append(f"repro.analysis: {len(violations)} violation(s)")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Rule registry: every shipped lint rule, in id order.
+
+Adding a rule: subclass :class:`~repro.analysis.rules.base.Rule` in a
+module here, give it an ``id``/``title``/``hint``, and append an
+instance to :data:`ALL_RULES`.  Fixture coverage is enforced by
+``tests/test_analysis_lint.py`` - each rule must ship a triggering
+fixture, a clean fixture, and a suppression fixture.
+"""
+
+from __future__ import annotations
+
+from .base import Rule
+from .des import RealWorldCallbackRule
+from .determinism import (
+    IdentitySortKeyRule,
+    SetIterationOrderRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from .protocol import COUNTER_OWNERS, CounterOwnershipRule, TransportBypassRule
+
+__all__ = ["ALL_RULES", "COUNTER_OWNERS", "Rule", "rule_table"]
+
+ALL_RULES: list[Rule] = [
+    WallClockRule(),
+    UnseededRngRule(),
+    SetIterationOrderRule(),
+    IdentitySortKeyRule(),
+    RealWorldCallbackRule(),
+    TransportBypassRule(),
+    CounterOwnershipRule(),
+]
+
+
+def rule_table() -> list[dict]:
+    """The shipped rules as rows (docs and ``--rules`` output)."""
+    return [
+        {"id": r.id, "title": r.title, "hint": r.hint} for r in ALL_RULES
+    ]

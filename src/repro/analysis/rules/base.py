@@ -1,0 +1,101 @@
+"""Rule base class and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..engine import ModuleInfo, Violation
+
+__all__ = ["Rule", "dotted_name", "walk_functions", "called_functions"]
+
+
+class Rule:
+    """One lint rule: an id, a fix-hint, and an AST check."""
+
+    id: str = "RULE000"
+    title: str = ""
+    hint: str = ""
+
+    def check(self, mod: ModuleInfo) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, mod: ModuleInfo, node: ast.AST, message: str,
+        hint: str | None = None,
+    ) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=hint if hint is not None else self.hint,
+        )
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Yield every function with its enclosing class name (or None)."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, None
+            yield from _nested(node, None)
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield sub, node.name
+                    yield from _nested(sub, node.name)
+
+
+def _nested(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, cls: str | None
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    for node in ast.walk(fn):
+        if node is not fn and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            yield node, cls
+
+
+def called_functions(
+    body: Iterable[ast.stmt], mod: ModuleInfo
+) -> list[ast.FunctionDef]:
+    """Functions of the same module called from ``body`` (one hop).
+
+    Resolves ``foo(...)`` against module-level functions and
+    ``self.foo(...)`` / ``obj.foo(...)`` against the unqualified
+    method index - deliberately receiver-blind, which is the right
+    trade for a repo-local lint (false negatives beat import solving).
+    """
+    out: list[ast.FunctionDef] = []
+    seen: set[int] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name: str | None = None
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+            elif isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            if name is None:
+                continue
+            fn = mod.functions.get(name)
+            if fn is not None and id(fn) not in seen:
+                seen.add(id(fn))
+                out.append(fn)
+    return out

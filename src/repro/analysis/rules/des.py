@@ -1,0 +1,97 @@
+"""DES rule: DES001 - real-world side effects in simulated callbacks.
+
+The discrete-event simulator models a cluster in *virtual* time; a
+callback that performs real I/O or blocks the host (sleep, stdin,
+sockets, subprocesses) mixes the two time axes - it slows the wall
+clock without advancing the virtual one, and its effects are invisible
+to checkpoint/replay.  A "simulated callback" is recognized by the
+repo's own convention: any function that takes a ``now`` parameter
+(the virtual-time stamp handed down from the event loop) or whose name
+is an ``on_<event>`` handler.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import ModuleInfo, Violation
+from .base import Rule, dotted_name, walk_functions
+
+__all__ = ["RealWorldCallbackRule"]
+
+_BLOCKING_NAMES = {"open", "input", "print", "breakpoint", "exec", "eval"}
+
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.spawnl",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.Popen",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "socket.socket",
+    "socket.create_connection",
+    "requests.get",
+    "requests.post",
+    "requests.request",
+    "urllib.request.urlopen",
+    "sys.stdout.write",
+    "sys.stderr.write",
+    "sys.stdin.read",
+    "sys.stdin.readline",
+}
+
+
+class RealWorldCallbackRule(Rule):
+    """DES001: real I/O or blocking calls inside simulated callbacks."""
+
+    id = "DES001"
+    title = "real I/O in a simulated callback"
+    hint = (
+        "simulated callbacks run in virtual time: book the cost on a "
+        "Resource timeline and record outcomes on the RunReport; do "
+        "file/console I/O in the driver after `run()` returns"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Violation]:
+        for fn, cls in walk_functions(mod.tree):
+            if not self._is_callback(fn):
+                continue
+            where = f"{cls}.{fn.name}" if cls else fn.name
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                offender = self._blocking(node)
+                if offender is not None:
+                    yield self.violation(
+                        mod, node,
+                        f"`{offender}` inside simulated callback "
+                        f"`{where}` (has a virtual-time `now` "
+                        "parameter)" if self._has_now(fn) else
+                        f"`{offender}` inside simulated callback "
+                        f"`{where}` (an `on_*` event handler)",
+                    )
+
+    @staticmethod
+    def _has_now(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        args = list(fn.args.args) + list(fn.args.kwonlyargs)
+        return any(a.arg == "now" for a in args)
+
+    def _is_callback(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        return self._has_now(fn) or fn.name.startswith("on_")
+
+    @staticmethod
+    def _blocking(node: ast.Call) -> str | None:
+        if isinstance(node.func, ast.Name):
+            if node.func.id in _BLOCKING_NAMES:
+                return f"{node.func.id}()"
+            return None
+        name = dotted_name(node.func)
+        if name in _BLOCKING_DOTTED:
+            return f"{name}()"
+        return None

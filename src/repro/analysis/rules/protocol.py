@@ -1,0 +1,163 @@
+"""Protocol rules: PROTO001-PROTO002 - layer-ownership contracts.
+
+The layered runtime's guarantees are positional: reliable delivery
+holds because *every* remote stream passes through the transport's
+seq/ack/retransmit path, and the report's counters mean what they say
+because exactly one layer writes each of them.  These rules pin both
+contracts to the module graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import ModuleInfo, Violation
+from .base import Rule, dotted_name
+
+__all__ = ["TransportBypassRule", "CounterOwnershipRule"]
+
+#: The only module allowed to put streams on the wire.
+_TRANSPORT_MODULE = "repro.runtime.transport"
+
+#: Event kinds that represent a wire transmission: scheduling one
+#: outside the transport bypasses seq stamping, ack tracking,
+#: retransmit timers, checksums and the fault-injection hook.
+_WIRE_KINDS = {"msg_arrive"}
+
+
+class TransportBypassRule(Rule):
+    """PROTO001: wire events scheduled outside the transport layer."""
+
+    id = "PROTO001"
+    title = "transport bypass"
+    hint = (
+        "route remote streams through Transport.send(): it stamps the "
+        "(src, seq) uid, arms the ack/retransmit timers, computes the "
+        "checksum and applies the fault-injection hook; a raw "
+        "`sim.push(.., 'msg_arrive', ..)` is invisible to all of that"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Violation]:
+        if mod.module == _TRANSPORT_MODULE:
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "push"
+            ) and not (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "heappush"
+            ):
+                continue
+            kind = self._event_kind(node)
+            if kind in _WIRE_KINDS:
+                yield self.violation(
+                    mod, node,
+                    f"`{kind!r}` event scheduled outside "
+                    f"{_TRANSPORT_MODULE} bypasses the seq/ack path",
+                )
+
+    @staticmethod
+    def _event_kind(node: ast.Call) -> str | None:
+        # Simulator.push(t, kind, data): kind is the second positional.
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            v = node.args[1].value
+            if isinstance(v, str):
+                return v
+        for kw in node.keywords:
+            if kw.arg == "kind" and isinstance(kw.value, ast.Constant):
+                v = kw.value.value
+                if isinstance(v, str):
+                    return v
+        return None
+
+
+#: RunReport counter -> the one module allowed to write it.  The
+#: defining module (metrics) is always allowed; everything else is a
+#: layering violation: a counter written from two layers can no longer
+#: be reconciled against that layer's invariants (e.g. retries vs
+#: timeouts, crashes vs failover_time).
+COUNTER_OWNERS: dict[str, str] = {
+    # transport-owned: the wire plane
+    "messages": "repro.runtime.transport",
+    "message_bytes": "repro.runtime.transport",
+    "drops": "repro.runtime.transport",
+    "duplicates": "repro.runtime.transport",
+    "retries": "repro.runtime.transport",
+    "timeouts": "repro.runtime.transport",
+    "partition_drops": "repro.runtime.transport",
+    "corruptions": "repro.runtime.transport",
+    "nacks": "repro.runtime.transport",
+    "rtt_samples": "repro.runtime.transport",
+    "hedged_sends": "repro.runtime.transport",
+    "backpressure_stalls": "repro.runtime.transport",
+    "forwards": "repro.runtime.transport",
+    # scheduler-owned: the dispatch/execution plane
+    "executions": "repro.runtime.scheduler",
+    "local_streams": "repro.runtime.scheduler",
+    "stream_items": "repro.runtime.scheduler",
+    "vertices_solved": "repro.runtime.scheduler",
+    "reexecutions": "repro.runtime.scheduler",
+    "speculative_launches": "repro.runtime.scheduler",
+    "speculative_wins": "repro.runtime.scheduler",
+    "speculative_wasted": "repro.runtime.scheduler",
+    # recovery-owned: the resilience plane
+    "checkpoints": "repro.runtime.recovery",
+    "crashes": "repro.runtime.recovery",
+    "failover_time": "repro.runtime.recovery",
+    "demotions": "repro.runtime.recovery",
+    # engine-owned: the composition root
+    "events": "repro.runtime.engine_des",
+    "cascade_crashes": "repro.runtime.engine_des",
+    "sanitizer_checks": "repro.runtime.engine_des",
+    "termination_hops": "repro.runtime.engine_des",
+    "termination_time": "repro.runtime.engine_des",
+    "makespan": "repro.runtime.engine_des",
+}
+
+#: Modules exempt from ownership (definition + test scaffolding).
+_EXEMPT_MODULES = {"repro.runtime.metrics"}
+
+#: Attribute bases that denote "the run report" (receiver heuristic).
+_REPORT_BASES = {"report", "rep", "self.report", "run_report"}
+
+
+class CounterOwnershipRule(Rule):
+    """PROTO002: RunReport counter writes outside the owning layer."""
+
+    id = "PROTO002"
+    title = "counter write outside owning layer"
+    hint = (
+        "each RunReport counter is written by exactly one layer (see "
+        "COUNTER_OWNERS in repro/analysis/rules/protocol.py); expose a "
+        "method on the owning layer or add a new counter it owns"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Violation]:
+        if mod.module in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(mod.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for tgt in targets:
+                if not isinstance(tgt, ast.Attribute):
+                    continue
+                owner = COUNTER_OWNERS.get(tgt.attr)
+                if owner is None or owner == mod.module:
+                    continue
+                base = dotted_name(tgt.value)
+                if base not in _REPORT_BASES:
+                    continue
+                yield self.violation(
+                    mod, tgt,
+                    f"counter `{tgt.attr}` is owned by {owner}, "
+                    f"written from {mod.module or mod.path}",
+                )

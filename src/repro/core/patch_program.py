@@ -22,7 +22,7 @@ from __future__ import annotations
 import copy
 import enum
 from abc import ABC, abstractmethod
-from typing import Hashable
+from collections.abc import Hashable
 
 from .stream import ProgramId, Stream
 

@@ -10,7 +10,8 @@ target program in its route table, locally or across processes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable
+from collections.abc import Hashable
+from typing import Any
 
 __all__ = ["ProgramId", "Stream"]
 

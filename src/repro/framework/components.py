@@ -16,7 +16,7 @@ against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -41,10 +41,11 @@ class InitializeComponent:
 
     def apply(self, fld: PatchField) -> None:
         mesh = fld.pset.mesh
-        if hasattr(mesh, "cell_centroids"):
-            centers = mesh.cell_centroids
-        else:
-            centers = mesh.cell_centers()
+        centers = (
+            mesh.cell_centroids
+            if hasattr(mesh, "cell_centroids")
+            else mesh.cell_centers()
+        )
         for p in fld.pset.patches:
             fld.local[p.id] = np.asarray(self.fn(centers[p.cells]), dtype=float)
 
@@ -130,10 +131,11 @@ class BSPExecutor:
             total.inter_proc_messages += stats.inter_proc_messages
             total.inter_proc_bytes += stats.inter_proc_bytes
             new = fld.to_global()
-            if residual_fn is not None:
-                res = residual_fn(old, new)
-            else:
-                res = float(np.max(np.abs(new - old))) if new.size else 0.0
+            res = (
+                residual_fn(old, new)
+                if residual_fn is not None
+                else (float(np.max(np.abs(new - old))) if new.size else 0.0)
+            )
             if res < self.tol:
                 return BSPReport(step, True, res, total)
         return BSPReport(self.max_steps, False, res, total)

@@ -12,7 +12,7 @@ C-order linear index over the whole domain box.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ face keys), so meshes with 10^5-10^6 cells construct in seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

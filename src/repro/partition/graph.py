@@ -114,10 +114,7 @@ def greedy_partition(graph: CSRGraph, nparts: int, seed: int = 0) -> np.ndarray:
         target = (total - graph.vwgt[part >= 0].sum()) / (nparts - p)
         # Seed: unassigned vertex farthest from assigned region (first part:
         # peripheral vertex).
-        if p == 0:
-            s = start
-        else:
-            s = _farthest_unassigned(graph, part)
+        s = start if p == 0 else _farthest_unassigned(graph, part)
         acc = 0.0
         q: deque[int] = deque([s])
         enq = {s}
@@ -138,10 +135,11 @@ def greedy_partition(graph: CSRGraph, nparts: int, seed: int = 0) -> np.ndarray:
         for v in np.nonzero(part < 0)[0]:
             nbr_parts = part[graph.neighbors(v)]
             nbr_parts = nbr_parts[nbr_parts >= 0]
-            if len(nbr_parts):
-                p = int(nbr_parts[np.argmin(wts[nbr_parts])])
-            else:
-                p = int(np.argmin(wts))
+            p = (
+                int(nbr_parts[np.argmin(wts[nbr_parts])])
+                if len(nbr_parts)
+                else int(np.argmin(wts))
+            )
             part[v] = p
             wts[p] += graph.vwgt[v]
     return part
@@ -330,10 +328,7 @@ def _refine_boundary(
             gain = other - same
             if gain <= 0:
                 continue
-            if part[v] == 0:
-                new_w0 = w0 - graph.vwgt[v]
-            else:
-                new_w0 = w0 + graph.vwgt[v]
+            new_w0 = w0 - graph.vwgt[v] if part[v] == 0 else w0 + graph.vwgt[v]
             if not (lo_bound <= new_w0 <= hi_bound):
                 continue
             part[v] = 1 - part[v]

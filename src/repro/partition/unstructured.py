@@ -72,10 +72,11 @@ def decompose_unstructured(
     elif method in ("multilevel", "greedy"):
         indptr, indices = mesh.adjacency_graph()
         g = CSRGraph.from_adjacency(indptr, indices)
-        if method == "multilevel":
-            cell_patch = multilevel_partition(g, npatches, seed=seed)
-        else:
-            cell_patch = greedy_partition(g, npatches, seed=seed)
+        cell_patch = (
+            multilevel_partition(g, npatches, seed=seed)
+            if method == "multilevel"
+            else greedy_partition(g, npatches, seed=seed)
+        )
     else:
         raise ReproError(f"unknown decomposition method {method!r}")
 
@@ -86,8 +87,9 @@ def decompose_unstructured(
     if np.any(counts == 0):
         raise ReproError("partitioner produced an empty patch")
     centroids = sums / counts[:, None]
-    if nprocs == 1:
-        patch_proc = np.zeros(npatches, dtype=np.int64)
-    else:
-        patch_proc = rcb_partition(centroids, nprocs, weights=counts)
+    patch_proc = (
+        np.zeros(npatches, dtype=np.int64)
+        if nprocs == 1
+        else rcb_partition(centroids, nprocs, weights=counts)
+    )
     return UnstructuredDecomposition(cell_patch=cell_patch, patch_proc=patch_proc)

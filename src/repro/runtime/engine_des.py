@@ -116,6 +116,7 @@ class DataDrivenRuntime:
             _PROGRESS,
             trace_hook=report.trace_events.append if self.trace else None,
             trace_fields=trace_fields,
+            note_hook=report.hb_events.append if self.trace else None,
         )
         st = RunState()
         for prog in programs:
@@ -165,17 +166,16 @@ class DataDrivenRuntime:
             if kind in ("run_start", "run_end"):
                 if sched.stale_run(data, now):
                     continue
-            elif kind == "msg_arrive":
-                if data[0] in router.dead:
-                    continue  # receiver is down; the sender will retry
+            elif kind == "msg_arrive" and data[0] in router.dead:
+                continue  # receiver is down; the sender will retry
             elif kind == "requeue":
                 pid, ep = data
                 if ep != st.epoch[pid] or router.proc_of[pid] in router.dead:
                     continue
-            elif kind in ("crash", "ckpt", "health"):
-                # Double fault on one proc, or the job already done.
-                if data in router.dead or rec.quiescent():
-                    continue
+            elif kind in ("crash", "ckpt", "health") and (
+                data in router.dead or rec.quiescent()
+            ):
+                continue  # double fault on one proc, or the job already done
 
             sim.observe(now)
             report.events += 1
@@ -185,8 +185,8 @@ class DataDrivenRuntime:
             elif kind == "run_end":
                 sched.complete(data, now)
             elif kind == "msg_arrive":
-                p, s = data
-                if not transport.receive(s, p, now):
+                p, s, wid = data
+                if not transport.receive(s, p, now, wid):
                     sim.retract_progress()  # nothing was delivered
                     continue
                 dur = cm.unpack_cost(1, s.items) * slow(p, now)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -193,7 +194,7 @@ class FaultPlan:
             c.cascade_max for c in self.crashes if c.cascades()
         )
 
-    def validate(self, nprocs: int, programs) -> None:
+    def validate(self, nprocs: int, programs: Sequence) -> None:
         """Reject plans inconsistent with the layout or program set."""
         for w in self.stragglers:
             if w.proc >= nprocs:
@@ -435,7 +436,7 @@ class AdaptiveConfig:
             or self.demotion
         )
 
-    def validate_programs(self, programs) -> None:
+    def validate_programs(self, programs: Sequence) -> None:
         """Demotion replays migrated programs from checkpoints, so
         (exactly like crash failover) it needs idempotent input
         handling on every program."""

@@ -69,6 +69,12 @@ class RunReport:
     #: ``trace=True``): one TraceEvent per processed simulator event.
     trace_events: list = field(default_factory=list)
 
+    #: Out-of-band happens-before records (``hb_*`` notes; also only
+    #: with ``trace=True``), kept separate from :attr:`trace_events` so
+    #: the per-event trace and its Chrome export stay 1:1 with
+    #: :attr:`events`.  Consumed by :func:`repro.analysis.hb.check_report`.
+    hb_events: list = field(default_factory=list)
+
     # -- fault & recovery counters (all zero on reliable runs) ----------
     drops: int = 0  # remote messages lost by fault injection
     duplicates: int = 0  # remote messages duplicated in flight
@@ -199,7 +205,7 @@ class RunReport:
         return {"traceEvents": evs, "displayTimeUnit": "ms"}
 
 
-def trace_fields(kind, data):
+def trace_fields(kind: str, data) -> tuple:
     """(proc, core, program) of one runtime event, for the structured
     trace (the engine passes this to the simulator's trace hook)."""
     if kind in ("run_start", "run_end"):

@@ -41,7 +41,9 @@ timelines under the ``recovery`` breakdown category.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .._util import ReproError
 from ..core.patch_program import ProgramState
@@ -52,6 +54,9 @@ from .router import Router
 from .scheduler import RunState, Scheduler
 from .simulator import Simulator
 from .transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .sanitizer import InvariantSanitizer
 
 __all__ = ["Checkpoint", "RecoveryManager"]
 
@@ -78,9 +83,9 @@ class RecoveryManager:
         report: RunReport,
         bd: Breakdown,
         st: RunState,
-        slow,
-        sanitizer=None,
-    ):
+        slow: Callable[[int, float], float],
+        sanitizer: InvariantSanitizer | None = None,
+    ) -> None:
         self.sim = sim
         self.router = router
         self.transport = transport
@@ -127,6 +132,7 @@ class RecoveryManager:
     # -- event handlers ------------------------------------------------------------
 
     def on_crash(self, proc: int, now: float) -> None:
+        self.sim.note(now, "hb_crash", (proc,))
         self.router.mark_dead(proc)
         self.report.crashes += 1
         self.crash_time[proc] = now
@@ -139,10 +145,10 @@ class RecoveryManager:
 
     def on_failover(self, proc: int, now: float) -> None:
         moved = self.router.reassign(proc)
-        install_end = self._migrate(moved, now)
+        install_end = self._migrate(moved, proc, now)
         self.report.failover_time += install_end - self.crash_time[proc]
 
-    def _migrate(self, moved: list, now: float) -> float:
+    def _migrate(self, moved: list, src: int, now: float) -> float:
         """Install migrated programs at their new owners.
 
         The shared core of crash failover and degraded-mode demotion:
@@ -158,6 +164,9 @@ class RecoveryManager:
         for pid in moved:
             new_p = self.router.proc_of[pid]
             st.epoch[pid] += 1
+            self.sim.note(
+                now, "hb_migrate", (str(pid), src, new_p, st.epoch[pid])
+            )
             self.scheduler.drop(pid)
             prog = st.progs[pid]
             ck = self.ckpt[pid]
@@ -230,10 +239,11 @@ class RecoveryManager:
         without marking the process dead: it keeps acking and forwards
         any in-flight stream that still arrives at it.
         """
+        self.sim.note(now, "hb_demote", (proc,))
         self.router.demote(proc)
         self.report.demotions += 1
         moved = self.router.reassign(proc)
-        self._migrate(moved, now)
+        self._migrate(moved, proc, now)
 
     def on_ckpt(self, p: int, now: float) -> None:
         """One process's periodic incremental checkpoint round."""

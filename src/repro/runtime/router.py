@@ -26,6 +26,8 @@ knows nothing about transport, scheduling or recovery policy.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from .._util import ReproError
@@ -37,7 +39,7 @@ __all__ = ["Router"]
 class Router:
     """Program/patch owner map with crash-driven re-assignment."""
 
-    def __init__(self, programs, patch_proc, nprocs: int):
+    def __init__(self, programs: Sequence, patch_proc: np.ndarray, nprocs: int):
         if len(programs) == 0:
             raise ReproError("no programs to run")
         patch_proc = np.asarray(patch_proc)

@@ -43,7 +43,9 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.patch_program import PatchProgram, ProgramState
 from ..core.stream import ProgramId, Stream
@@ -55,6 +57,10 @@ from .metrics import Breakdown, RunReport
 from .router import Router
 from .simulator import Resource, Simulator
 from .transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .faults import AdaptiveConfig
+    from .sanitizer import InvariantSanitizer
 
 __all__ = [
     "RunState",
@@ -100,7 +106,9 @@ class HybridPolicy(SchedulerPolicy):
 
     mode = "hybrid"
 
-    def build_resources(self, nprocs, layout):
+    def build_resources(
+        self, nprocs: int, layout: Layout
+    ) -> tuple[list[Resource], list[list[Resource]]]:
         masters = [Resource(("m", p)) for p in range(nprocs)]
         workers = [
             [Resource(("w", p, w)) for w in range(layout.workers_per_proc)]
@@ -114,7 +122,9 @@ class MpiOnlyPolicy(SchedulerPolicy):
 
     mode = "mpi_only"
 
-    def build_resources(self, nprocs, layout):
+    def build_resources(
+        self, nprocs: int, layout: Layout
+    ) -> tuple[list[Resource], list[list[Resource]]]:
         shared = [Resource(("w", p, 0)) for p in range(nprocs)]
         return shared, [[r] for r in shared]
 
@@ -147,12 +157,12 @@ class Scheduler:
         cm: CostModel,
         report: RunReport,
         bd: Breakdown,
-        slow,
+        slow: Callable[[int, float], float],
         transport: Transport,
         tracker: WorkloadTracker,
-        sanitizer=None,
-        adaptive=None,
-    ):
+        sanitizer: InvariantSanitizer | None = None,
+        adaptive: AdaptiveConfig | None = None,
+    ) -> None:
         self.sim = sim
         self.router = router
         self.policy = policy
@@ -226,7 +236,7 @@ class Scheduler:
         self.running.discard(pid)
         self.queued.discard(pid)
 
-    def stale_run(self, data, now: float) -> bool:
+    def stale_run(self, data: tuple, now: float) -> bool:
         """Filter superseded run events (only faults ever trigger this)."""
         p, w, pid, ep = data[0], data[1], data[2], data[-1]
         if p in self.router.dead:
@@ -241,7 +251,7 @@ class Scheduler:
 
     # -- worker-side execution (Alg. 1 inner loop) ---------------------------------
 
-    def execute(self, data, now: float) -> None:
+    def execute(self, data: tuple, now: float) -> None:
         """Run one program on its assigned worker; books virtual time."""
         p, w, pid, ep = data
         st = self.st
@@ -334,11 +344,13 @@ class Scheduler:
         self.bd.add(wres.core, "speculation", duration * sf_q)
         self.report.speculative_launches += 1
         self._spec.add(serial)
+        if self.sim.note_hook is not None:
+            self.sim.note(now, "hb_spec", (serial, p, q))
         self.sim.push(
             end_q, "run_end", (q, w_q, pid, outputs, serial, True, ep)
         )
 
-    def complete(self, data, now: float) -> None:
+    def complete(self, data: tuple, now: float) -> None:
         """Finish one run: route emissions, commit workload, requeue.
 
         For a speculated run both the primary and its backup arrive
@@ -347,16 +359,26 @@ class Scheduler:
         so dropping them is safe and keeps results bitwise-exact).
         """
         p, w, pid, outputs, serial, is_backup, ep = data
+        note = self.sim.note_hook is not None
         if serial in self._spec:
             if serial in self._done:
                 # The race's loser: the winner already routed/committed.
                 if is_backup:
                     self.report.speculative_wasted += 1
+                if note:
+                    self.sim.note(
+                        now, "hb_complete",
+                        (str(pid), p, serial, is_backup, False),
+                    )
                 self.release(p, w, now)
                 return
             self._done.add(serial)
             if is_backup:
                 self.report.speculative_wins += 1
+        if note:
+            self.sim.note(
+                now, "hb_complete", (str(pid), p, serial, is_backup, True)
+            )
         st = self.st
         prog = st.progs[pid]
         for s in outputs:
@@ -383,6 +405,8 @@ class Scheduler:
             # commit.
             if self.san is not None:
                 self.san.on_commit(pid, rem, ep)
+            if note:
+                self.sim.note(now, "hb_commit", (str(pid), p, ep, serial))
             self.tracker.commit(pid, rem, epoch=ep)
         if prog.vote_to_halt() and not st.inbox[pid]:
             st.state[pid] = ProgramState.INACTIVE

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from .._util import ReproError
 
@@ -58,13 +59,20 @@ class Resource:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One structured trace record: what the event loop processed."""
+    """One structured trace record: what the event loop processed.
+
+    ``detail`` is only populated on out-of-band notes (see
+    :meth:`Simulator.note`): a flat tuple of JSON-scalar fields whose
+    schema is keyed by ``kind`` (e.g. the ``hb_*`` happens-before
+    records consumed by :mod:`repro.analysis.hb`).
+    """
 
     time: float
     kind: str
     proc: int | None
     core: tuple | None
     program: str | None
+    detail: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -150,15 +158,16 @@ class Simulator:
     """
 
     __slots__ = ("_events", "_seq", "live", "makespan", "_progress",
-                 "trace_hook", "trace_fields", "last_progress",
-                 "_prev_progress", "_wd_horizon", "_wd_snapshot",
-                 "_wd_kinds")
+                 "trace_hook", "trace_fields", "note_hook",
+                 "last_progress", "_prev_progress", "_wd_horizon",
+                 "_wd_snapshot", "_wd_kinds")
 
     def __init__(
         self,
         progress_kinds: frozenset = frozenset(),
         trace_hook: Callable[[TraceEvent], None] | None = None,
         trace_fields: Callable[[str, Any], tuple] | None = None,
+        note_hook: Callable[[TraceEvent], None] | None = None,
     ):
         self._events: list = []
         self._seq = 0
@@ -167,6 +176,7 @@ class Simulator:
         self._progress = frozenset(progress_kinds)
         self.trace_hook = trace_hook
         self.trace_fields = trace_fields
+        self.note_hook = note_hook
         self.last_progress = 0.0  # virtual time of last progress pop
         self._prev_progress = 0.0  # pre-pop value (for retraction)
         self._wd_horizon = 0.0  # 0 = watchdog disarmed
@@ -188,6 +198,21 @@ class Simulator:
         self._wd_horizon = horizon
         self._wd_snapshot = snapshot
         self._wd_kinds = frozenset(watch_kinds)
+
+    def note(self, t: float, kind: str, detail: tuple) -> None:
+        """Record one out-of-band structured note (e.g. an ``hb_*``
+        happens-before record) on the note stream.
+
+        Notes are pure observation: they never touch the event heap or
+        the shared tie-break sequence, so arming the note hook cannot
+        perturb event ordering - golden fingerprints are bitwise
+        identical with and without it.  Callers on hot paths should
+        guard on :attr:`note_hook` before building ``detail``.
+        """
+        if self.note_hook is not None:
+            self.note_hook(
+                TraceEvent(t, kind, None, None, None, tuple(detail))
+            )
 
     def next_seq(self) -> int:
         """Next tie-break sequence number, shared with external queues."""

@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import dataclasses
 import zlib
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -74,6 +75,9 @@ from .faults import FaultInjector, RecoveryConfig
 from .metrics import RunReport
 from .router import Router
 from .simulator import Simulator, StallReport, WaitEdge
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .sanitizer import InvariantSanitizer
 
 __all__ = ["PendingSend", "RttEstimator", "Transport", "stream_checksum"]
 
@@ -169,8 +173,8 @@ class Transport:
         report: RunReport,
         injector: FaultInjector | None = None,
         rcfg: RecoveryConfig | None = None,
-        sanitizer=None,
-    ):
+        sanitizer: InvariantSanitizer | None = None,
+    ) -> None:
         self.sim = sim
         self.router = router
         self.machine = machine
@@ -181,6 +185,10 @@ class Transport:
         self.san = sanitizer
         self.acfg = rcfg.adaptive if rcfg is not None else None
         self.out_seq: dict[ProgramId, int] = {}  # next seq per sending program
+        # Per-copy wire ids for the happens-before trace.  Deliberately
+        # NOT the simulator's tie-break sequence: allocating sim seqs
+        # here would shift event ordering and break golden fingerprints.
+        self._wire_seq = 0
         self.pending: dict[tuple, PendingSend] = {}  # uid -> un-acked send
         self.seen: set[tuple] = set()  # uids already delivered (dup discard)
         self.rtt: dict[tuple[int, int], RttEstimator] = {}  # per link
@@ -207,6 +215,24 @@ class Transport:
 
     # -- send path ----------------------------------------------------------------
 
+    def _wire_push(self, now: float, arrive: float, src_proc: int,
+                   dst_proc: int, s: Stream) -> None:
+        """Schedule one physical ``msg_arrive`` copy.
+
+        Every copy that goes on the wire - first transmission,
+        retransmit, hedge, duplicate, corrupt clone, forward hop -
+        passes through here, gets a transport-local wire id, and (when
+        tracing) emits the ``hb_send`` record that lets the
+        happens-before checker pair it with its arrival.
+        """
+        self._wire_seq += 1
+        if self.sim.note_hook is not None:
+            self.sim.note(now, "hb_send", (
+                self._wire_seq, src_proc, dst_proc,
+                str(s.uid) if s.uid is not None else None,
+            ))
+        self.sim.push(arrive, "msg_arrive", (dst_proc, s, self._wire_seq))
+
     def send(self, s: Stream, src_pid: ProgramId, ep: int, now: float,
              src_proc: int, dst_proc: int) -> None:
         """Put one remote stream on the wire (tracked until acked when
@@ -217,7 +243,7 @@ class Transport:
             wire = self.machine.message_time(
                 src_proc, dst_proc, s.nbytes, self.layout
             )
-            self.sim.push(now + wire, "msg_arrive", (dst_proc, s))
+            self._wire_push(now, now + wire, src_proc, dst_proc, s)
             return
         # Stamp a unique message id and the end-to-end checksum, and
         # track the send until the receiver acknowledges it.
@@ -282,14 +308,14 @@ class Transport:
             return
         if fate == "corrupt":
             self.report.corruptions += 1
-            self.sim.push(
-                now + wire, "msg_arrive", (dst_p, self._corrupt_clone(s))
+            self._wire_push(
+                now, now + wire, src_p, dst_p, self._corrupt_clone(s)
             )
             return
-        self.sim.push(now + wire, "msg_arrive", (dst_p, s))
+        self._wire_push(now, now + wire, src_p, dst_p, s)
         if fate == "duplicate":
             self.report.duplicates += 1
-            self.sim.push(now + 2 * wire, "msg_arrive", (dst_p, s))
+            self._wire_push(now, now + 2 * wire, src_p, dst_p, s)
 
     def _corrupt_clone(self, s: Stream) -> Stream:
         """A copy of ``s`` with one seeded in-flight bit flipped.
@@ -416,7 +442,23 @@ class Transport:
 
     # -- receive path --------------------------------------------------------------
 
-    def receive(self, s: Stream, proc: int, now: float) -> bool:
+    def _note_recv(self, now: float, wid: int | None, proc: int,
+                   delivered: bool, uid: tuple | None) -> None:
+        """Emit the ``hb_recv`` record for one processed arrival.
+
+        ``delivered`` marks app-level delivery (the exactly-once axis);
+        the checker draws the causal edge from any paired send, since
+        even a discarded copy was physically read by ``proc``.
+        """
+        if self.sim.note_hook is not None and wid is not None:
+            self.sim.note(now, "hb_recv", (
+                wid, proc, delivered,
+                str(uid) if uid is not None else None,
+            ))
+
+    def receive(
+        self, s: Stream, proc: int, now: float, wid: int | None = None
+    ) -> bool:
         """Verify, ack and dedup an arriving stream; False when it must
         not be delivered (corrupted copy or duplicate).
 
@@ -425,14 +467,18 @@ class Transport:
         delivered normally); otherwise acks on arrival (a cheap control
         message to the sender's current owner), then discards
         duplicates: retransmissions and injected copies re-ack but are
-        invisible to the program.
+        invisible to the program.  ``wid`` is the arriving copy's wire
+        id (from the ``msg_arrive`` event), echoed on the ``hb_recv``
+        trace record.
         """
         uid = s.uid
         if uid is None:
+            self._note_recv(now, wid, proc, True, None)
             return True
         src_proc = self.router.proc_of[s.src]
         if s.checksum is not None and stream_checksum(s) != s.checksum:
             self.report.nacks += 1
+            self._note_recv(now, wid, proc, False, uid)
             if self.inj is not None and self.inj.link_cut(proc, src_proc, now):
                 self.report.partition_drops += 1  # NACK black-holed too
             else:
@@ -453,12 +499,13 @@ class Transport:
             # current owner and stay silent - the ack travels only from
             # the final arrival, so the sender keeps retrying until the
             # stream truly lands.
+            self._note_recv(now, wid, proc, False, uid)
             if owner not in self.router.dead:
                 self.report.forwards += 1
                 wire = self.machine.message_time(
                     proc, owner, s.nbytes, self.layout
                 )
-                self.sim.push(now + wire, "msg_arrive", (owner, s))
+                self._wire_push(now, now + wire, proc, owner, s)
             return False
         if self.inj is not None and self.inj.link_cut(proc, src_proc, now):
             self.report.partition_drops += 1  # ack black-holed by the cut
@@ -466,10 +513,12 @@ class Transport:
             ack_t = self.machine.control_time(proc, src_proc, self.layout)
             self.sim.push(now + ack_t, "ack", uid)
         if uid in self.seen:
+            self._note_recv(now, wid, proc, False, uid)
             return False
         if self.san is not None:
             self.san.on_delivery(s, proc)
         self.seen.add(uid)
+        self._note_recv(now, wid, proc, True, uid)
         return True
 
     def _drain_parked(self, now: float) -> None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

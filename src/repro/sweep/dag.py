@@ -131,9 +131,8 @@ def break_cycles(
         best_e, best_w = -1, np.inf
         for k in range(in_ptr[x], in_ptr[x + 1]):
             e = order_in[k]
-            if keep[e] and not done[u[e]]:
-                if weight[e] < best_w:
-                    best_e, best_w = int(e), float(weight[e])
+            if keep[e] and not done[u[e]] and weight[e] < best_w:
+                best_e, best_w = int(e), float(weight[e])
         if best_e < 0:
             raise ReproError("cycle breaking failed to find an edge to cut")
         keep[best_e] = False
@@ -331,12 +330,11 @@ class SweepTopology:
 
             # Patch-level digraph (unique cross-patch edges).
             cross = pu != pv
-            if np.any(cross):
-                pairs = np.unique(
-                    np.stack([pu[cross], pv[cross]], axis=1), axis=0
-                )
-            else:
-                pairs = np.zeros((0, 2), dtype=np.int64)
+            pairs = (
+                np.unique(np.stack([pu[cross], pv[cross]], axis=1), axis=0)
+                if np.any(cross)
+                else np.zeros((0, 2), dtype=np.int64)
+            )
             self.patch_dag[a] = pairs
 
             # In-degree counts per patch: group all edges by target patch.

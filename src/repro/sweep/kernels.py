@@ -55,10 +55,11 @@ class AngleKernel:
         self.num_interfaces = interfaces.num_interfaces
         self.num_bfaces = boundary.num_faces
         self.num_slots = self.num_interfaces + self.num_bfaces
-        if hasattr(mesh, "cell_volumes"):
-            self.volumes = mesh.cell_volumes
-        else:
-            self.volumes = np.full(ncells, mesh.cell_volume)
+        self.volumes = (
+            mesh.cell_volumes
+            if hasattr(mesh, "cell_volumes")
+            else np.full(ncells, mesh.cell_volume)
+        )
 
         # --- interior interfaces: upwind/downwind per direction ---
         # 2-D meshes: only the (x, y) ordinate components see geometry.

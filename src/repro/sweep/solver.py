@@ -98,10 +98,11 @@ class SnSolver:
 
         self.interfaces = build_interfaces(self.mesh)
         self.boundary = build_boundary(self.mesh)
-        if hasattr(self.mesh, "cell_volumes"):
-            self.volumes = self.mesh.cell_volumes
-        else:
-            self.volumes = np.full(self.mesh.num_cells, self.mesh.cell_volume)
+        self.volumes = (
+            self.mesh.cell_volumes
+            if hasattr(self.mesh, "cell_volumes")
+            else np.full(self.mesh.num_cells, self.mesh.cell_volume)
+        )
         self.sigma_t_v = materials.sigma_t_cell * self.volumes[:, None]
 
         self._kernels: dict[int, AngleKernel] = {}

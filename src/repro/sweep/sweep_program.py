@@ -16,7 +16,7 @@ patches (Fig. 4) simply cause additional scheduled runs.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -1,0 +1,11 @@
+"""Golden violation: DES001 flags real I/O inside simulated callbacks."""
+
+import time
+
+
+def on_ack(uid, now):
+    print("acked", uid)  # console I/O from virtual time
+
+
+def retry_backoff(now: float):
+    time.sleep(0.1)  # blocks the host, not the virtual clock

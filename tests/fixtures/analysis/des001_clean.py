@@ -1,0 +1,16 @@
+"""Clean twin of des001_bad: cost is booked on a Resource timeline and
+outcomes land on the report; host I/O stays in the driver."""
+
+
+def on_ack(uid, now, report):
+    report.acks += 1
+
+
+def retry_backoff(now: float, resource, dur: float):
+    return resource.book(now, dur)
+
+
+def driver_summary(report):
+    # Not a simulated callback (no `now`, not `on_*`): printing the
+    # final report from the driver is fine.
+    print(report)

@@ -1,0 +1,5 @@
+"""Suppressed twin of des001_bad."""
+
+
+def on_ack(uid, now):
+    print("acked", uid)  # repro: allow[DES001]

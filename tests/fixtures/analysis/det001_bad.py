@@ -1,0 +1,10 @@
+"""Golden violation: DET001 flags wall-clock reads."""
+
+import time
+from datetime import datetime
+
+
+def stamp_run():
+    started = time.time()
+    tag = datetime.now()
+    return started, tag

@@ -1,0 +1,5 @@
+"""Clean twin of det001_bad: virtual time is passed down, not read."""
+
+
+def stamp_run(now: float):
+    return now

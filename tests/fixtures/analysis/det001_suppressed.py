@@ -1,0 +1,8 @@
+"""Suppressed twin of det001_bad: the allow comment silences DET001."""
+
+import time
+
+
+def host_timestamp():
+    # This module is driver-side reporting, outside the simulation.
+    return time.time()  # repro: allow[DET001]

@@ -1,0 +1,11 @@
+"""Golden violation: DET002 flags RNG that does not flow from a seed."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    rng = np.random.default_rng()  # no seed: OS entropy
+    legacy = np.random.uniform()  # global numpy state
+    return rng.random() + legacy + random.random()  # global stdlib state

@@ -1,0 +1,8 @@
+"""Clean twin of det002_bad: all randomness flows from one seed."""
+
+import numpy as np
+
+
+def jitter(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random()

@@ -1,0 +1,9 @@
+"""Suppressed twin of det002_bad."""
+
+import numpy as np
+
+
+def jitter():
+    # repro: allow[DET002]
+    rng = np.random.default_rng()
+    return rng.random()

@@ -1,0 +1,7 @@
+"""Golden violation: DET003 flags set-order iteration that schedules
+events - event order becomes a function of PYTHONHASHSEED."""
+
+
+def kick_all(sim, procs: set):
+    for p in procs:
+        sim.push(0.0, "kick", p)

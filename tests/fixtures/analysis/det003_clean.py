@@ -1,0 +1,15 @@
+"""Clean twin of det003_bad: sorted() normalizes the iteration order."""
+
+
+def kick_all(sim, procs: set):
+    for p in sorted(procs):
+        sim.push(0.0, "kick", p)
+
+
+def read_only(procs: set):
+    # Iterating a set is fine when the body never reaches an event
+    # sink: commutative accumulation is order-independent.
+    total = 0
+    for p in procs:
+        total += p
+    return total

@@ -1,0 +1,11 @@
+"""Golden violation: DET003's one-hop interprocedural case - the loop
+body reaches the event sink through a same-module helper."""
+
+
+def _kick(sim, p):
+    sim.push(0.0, "kick", p)
+
+
+def kick_all(sim):
+    for p in {1, 2, 3}:
+        _kick(sim, p)

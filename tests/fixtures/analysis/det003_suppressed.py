@@ -1,0 +1,9 @@
+"""Suppressed twin of det003_bad."""
+
+
+def kick_all(sim, procs: set):
+    # Order is provably irrelevant here (all events at one timestamp
+    # commute for this consumer), reviewed 2026-08.
+    # repro: allow[DET003]
+    for p in procs:
+        sim.push(0.0, "kick", p)

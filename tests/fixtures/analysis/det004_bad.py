@@ -1,0 +1,9 @@
+"""Golden violation: DET004 flags sort keys built on object identity."""
+
+
+def stable_order(streams):
+    return sorted(streams, key=id)
+
+
+def worst(streams):
+    return max(streams, key=lambda s: (s.items, id(s)))

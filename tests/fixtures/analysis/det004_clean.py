@@ -1,0 +1,5 @@
+"""Clean twin of det004_bad: sort on a stable domain key."""
+
+
+def stable_order(streams):
+    return sorted(streams, key=lambda s: (str(s.src), s.seq))

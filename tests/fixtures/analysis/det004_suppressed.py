@@ -1,0 +1,5 @@
+"""Suppressed twin of det004_bad."""
+
+
+def stable_order(streams):
+    return sorted(streams, key=id)  # repro: allow[DET004]

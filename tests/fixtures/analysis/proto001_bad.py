@@ -1,0 +1,7 @@
+"""Golden violation: PROTO001 flags wire events scheduled outside the
+transport layer - the message bypasses seq stamping, ack tracking and
+the fault-injection hook."""
+
+
+def sneak_delivery(sim, dst_proc, stream):
+    sim.push(0.0, "msg_arrive", (dst_proc, stream, 0))

@@ -1,0 +1,11 @@
+"""Clean twin of proto001_bad: the same push is legal from the module
+that owns the wire (claimed via the module pragma)."""
+# repro: module=repro.runtime.transport
+
+
+def wire_push(sim, dst_proc, stream, wid):
+    sim.push(0.0, "msg_arrive", (dst_proc, stream, wid))
+
+
+def other_kinds_are_fine(sim, pid, stream):
+    sim.push(0.0, "deliver", (pid, stream))

@@ -1,0 +1,7 @@
+"""Suppressed twin of proto001_bad."""
+
+
+def sneak_delivery(sim, dst_proc, stream):
+    # Test scaffolding that injects a raw arrival on purpose.
+    # repro: allow[PROTO001]
+    sim.push(0.0, "msg_arrive", (dst_proc, stream, 0))

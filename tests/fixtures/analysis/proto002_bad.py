@@ -1,0 +1,9 @@
+"""Golden violation: PROTO002 flags RunReport counter writes outside
+the owning layer (this file claims to be the scheduler but writes
+transport- and recovery-owned counters)."""
+# repro: module=repro.runtime.scheduler
+
+
+def account(report):
+    report.retries += 1  # transport-owned
+    report.crashes = 3  # recovery-owned

@@ -1,0 +1,8 @@
+"""Clean twin of proto002_bad: the scheduler writes only the counters
+it owns."""
+# repro: module=repro.runtime.scheduler
+
+
+def account(report, items):
+    report.executions += 1
+    report.stream_items += items

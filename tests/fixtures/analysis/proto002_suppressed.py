@@ -1,0 +1,6 @@
+"""Suppressed twin of proto002_bad."""
+# repro: module=repro.runtime.scheduler
+
+
+def account(report):
+    report.retries += 1  # repro: allow[PROTO002]

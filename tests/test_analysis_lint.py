@@ -1,0 +1,147 @@
+"""The lint engine: every rule demonstrated on golden fixtures, the
+suppression syntax, the module pragma, and the meta-check that the
+shipped repo itself lints clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintEngine, Violation, lint_paths
+from repro.analysis.engine import load_module, render
+from repro.analysis.rules import ALL_RULES, rule_table
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+RULE_IDS = [r.id for r in ALL_RULES]
+
+#: rule id -> fixture stem (bad/clean/suppressed triples).
+FIXTURE_STEM = {
+    "DET001": "det001",
+    "DET002": "det002",
+    "DET003": "det003",
+    "DET004": "det004",
+    "DES001": "des001",
+    "PROTO001": "proto001",
+    "PROTO002": "proto002",
+}
+
+
+def _lint(name: str) -> list[Violation]:
+    return LintEngine().lint_file(FIXTURES / name)
+
+
+# -- every rule fires on its golden-violation fixture ----------------------------
+
+
+class TestRulesTrigger:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_bad_fixture_triggers_the_rule(self, rule_id):
+        vs = _lint(f"{FIXTURE_STEM[rule_id]}_bad.py")
+        assert any(v.rule == rule_id for v in vs), (
+            f"{rule_id} did not fire on its bad fixture: {vs}"
+        )
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_bad_fixture_triggers_nothing_else(self, rule_id):
+        """Fixtures are surgical: exactly one rule id per bad file."""
+        vs = _lint(f"{FIXTURE_STEM[rule_id]}_bad.py")
+        assert {v.rule for v in vs} == {rule_id}
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_clean_fixture_is_clean(self, rule_id):
+        assert _lint(f"{FIXTURE_STEM[rule_id]}_clean.py") == []
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_suppression_silences_the_rule(self, rule_id):
+        assert _lint(f"{FIXTURE_STEM[rule_id]}_suppressed.py") == []
+
+    def test_det003_interprocedural_one_hop(self):
+        vs = _lint("det003_hop_bad.py")
+        assert [v.rule for v in vs] == ["DET003"]
+        # The message names the call chain into the sink.
+        assert "_kick" in vs[0].message and "push" in vs[0].message
+
+    def test_violations_carry_hint_and_position(self):
+        vs = _lint("det001_bad.py")
+        assert vs, "expected findings"
+        for v in vs:
+            assert v.line > 0 and v.hint
+            assert str(FIXTURES / "det001_bad.py") == v.path
+
+
+# -- engine mechanics ------------------------------------------------------------
+
+
+class TestEngine:
+    def test_wildcard_allow_suppresses_everything(self, tmp_path):
+        f = tmp_path / "wild.py"
+        f.write_text(
+            "import time\n"
+            "t = time.time()  # repro: allow[*]\n"
+        )
+        assert LintEngine().lint_file(f) == []
+
+    def test_standalone_allow_covers_next_code_line(self, tmp_path):
+        f = tmp_path / "standalone.py"
+        f.write_text(
+            "import time\n"
+            "# repro: allow[DET001]\n"
+            "t = time.time()\n"
+            "u = time.time()\n"  # NOT covered
+        )
+        vs = LintEngine().lint_file(f)
+        assert [v.line for v in vs] == [4]
+
+    def test_allow_for_a_different_rule_does_not_suppress(self, tmp_path):
+        f = tmp_path / "wrong.py"
+        f.write_text("import time\nt = time.time()  # repro: allow[DET002]\n")
+        assert [v.rule for v in LintEngine().lint_file(f)] == ["DET001"]
+
+    def test_module_pragma_overrides_path_module(self):
+        mod = load_module(FIXTURES / "proto002_bad.py")
+        assert mod.module == "repro.runtime.scheduler"
+
+    def test_logical_module_inferred_from_src_path(self):
+        mod = load_module(SRC / "runtime" / "transport.py")
+        assert mod.module == "repro.runtime.transport"
+
+    def test_render_human_and_json(self):
+        vs = _lint("det004_bad.py")
+        text = render(vs)
+        assert "DET004" in text and "violation(s)" in text
+        doc = json.loads(render(vs, as_json=True))
+        assert doc["count"] == len(vs) >= 1
+        assert doc["violations"][0]["rule"] == "DET004"
+        assert render([]) == "repro.analysis: clean"
+
+    def test_rule_table_covers_all_rules(self):
+        assert [row["id"] for row in rule_table()] == RULE_IDS
+
+
+# -- the CLI ---------------------------------------------------------------------
+
+
+class TestCli:
+    def test_lint_bad_fixture_exits_nonzero(self, capsys):
+        from repro.analysis.__main__ import main
+
+        rc = main(["lint", str(FIXTURES / "det001_bad.py")])
+        assert rc == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_lint_clean_fixture_exits_zero(self, capsys):
+        from repro.analysis.__main__ import main
+
+        rc = main(["lint", str(FIXTURES / "det001_clean.py"), "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 0
+
+
+# -- the shipped repo lints clean (the CI gate, in-process) ----------------------
+
+
+def test_shipped_repo_lints_clean():
+    vs = lint_paths([SRC])
+    assert vs == [], "\n" + render(vs)

@@ -133,11 +133,13 @@ class TestPatchConnectivity:
                         for d in (-1, 1):
                             nb = mi.copy()
                             nb[ax] += d
-                            if np.all(nb >= 0) and np.all(nb < mesh.shape):
-                                if int(
-                                    np.ravel_multi_index(nb, mesh.shape)
-                                ) in own:
-                                    touch = True
+                            if (
+                                np.all(nb >= 0)
+                                and np.all(nb < mesh.shape)
+                                and int(np.ravel_multi_index(nb, mesh.shape))
+                                in own
+                            ):
+                                touch = True
                     assert touch
 
 

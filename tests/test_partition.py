@@ -83,8 +83,6 @@ class TestHilbert:
         """Mean jump distance along Hilbert <= along Morton."""
         n = 16
         coords = np.array(list(itertools.product(range(n), repeat=2)))
-        for enc in (hilbert_encode, morton_encode):
-            pass
         hk = hilbert_encode(coords, 4)
         mk = morton_encode(coords, 4)
         hj = np.abs(np.diff(coords[np.argsort(hk)], axis=0)).sum(axis=1).mean()
