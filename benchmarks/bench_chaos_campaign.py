@@ -22,7 +22,10 @@ Run standalone (used by CI as a smoke job)::
 ``--json PATH`` writes the per-campaign JSON summary, ``--adaptive``
 arms every adaptive-resilience feature (RTT-estimated RTO, hedging,
 speculation, backpressure, demotion) on every case - against the same
-oracle, since adaptivity must never cost exactness.
+oracle, since adaptivity must never cost exactness.  ``--check-hb
+[DIR]`` additionally holds every completed case to the vector-clock
+happens-before checker (any race fails the cell; with DIR, each case's
+HB record stream is exported for ``repro.analysis check-trace``).
 """
 
 from repro.chaos import KINDS, MODES, ChaosSpace, run_campaign
@@ -39,10 +42,10 @@ ADAPTIVE = AdaptiveConfig.all_on(inbox_credits=4)
 
 
 def run_chaos_campaign(seeds: int = FULL_SEEDS, intensity: float = 0.5,
-                       size: int = 8, adaptive: bool = False):
+                       size: int = 8, adaptive: bool = False, hb=None):
     return run_campaign(
         range(seeds), space=ChaosSpace(intensity=intensity), size=size,
-        adaptive=ADAPTIVE if adaptive else None,
+        adaptive=ADAPTIVE if adaptive else None, hb=hb,
     )
 
 
@@ -149,8 +152,11 @@ if __name__ == "__main__":
         SMOKE_SEEDS if args.smoke else FULL_SEEDS
     )
     res = run_chaos_campaign(seeds=seeds, intensity=args.intensity,
-                             adaptive=args.adaptive)
+                             adaptive=args.adaptive, hb=args.check_hb)
     report(res)
+    if args.check_hb is not None:
+        print(f"hb: {res.total} campaign runs checked, "
+              f"{sum(c.races for c in res.cases)} race(s)")
     check(res, adaptive=args.adaptive)
     if args.json:
         res.to_json(args.json)

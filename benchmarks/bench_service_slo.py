@@ -1,0 +1,218 @@
+"""Service SLOs: throughput, tail latency and shed rate under load.
+
+Three traffic regimes over identical seeded tenants on the sweep
+service (all virtual time, one seed end to end):
+
+* **baseline** - arrivals below capacity: nothing is shed, every job
+  runs at full fidelity; this calibrates the clean p50/p99;
+* **overload** - the same tenants arrive in bursts at several times
+  capacity with degradation disabled: admission control sheds the
+  overflow (bounded queues - that is the SLO being bought), and the
+  jobs that are admitted queue behind full-fidelity runs;
+* **overload+degrade** - same arrivals, graceful degradation armed:
+  past the overload watermark new jobs run the demoted configuration
+  (coarser clustering grain, larger patches), finishing faster and
+  returning their admission credits sooner.
+
+The check asserts the degradation trade the design promises: under
+identical overload, demotion must cut the completed-jobs p99 latency
+and not shed more than the rigid service - degraded answers instead
+of dropped jobs.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service_slo.py
+
+Writes ``BENCH_service_slo.json`` at the repo root (override with
+``--json``).  ``--smoke`` runs the CI-sized traffic.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.service import JobExecutor, JobSpec, JobStatus, ServiceConfig, SweepService
+
+from _common import bench_args, print_series
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_service_slo.json")
+
+TENANTS = 4
+FULL_JOBS = 48
+SMOKE_JOBS = 16
+
+#: One full-fidelity structured job's virtual makespan is ~0.9ms on
+#: the 2-worker service -> capacity ~2.2 jobs/ms.  Baseline arrives at
+#: ~1.1 jobs/ms; overload fires the same jobs in ~4x-capacity bursts.
+BASELINE_SPACING = 0.9e-3
+BURST_GAP = 2e-3
+BURST_WIDTH = 0.5e-3
+
+
+def _bursts(jobs: int) -> int:
+    """~12 jobs per burst keeps the burst rate at ~4x capacity at any
+    traffic size (smoke included)."""
+    return max(2, round(jobs / 12))
+
+
+def _config(degrade: bool) -> ServiceConfig:
+    return ServiceConfig(
+        workers=2,
+        tenant_slots=4,
+        global_slots=10,
+        degrade_at=0.5 if degrade else 1.0,
+        seed=1,
+    )
+
+
+def _arrivals(seed: int, jobs: int, overload: bool):
+    """Seeded traffic: (time, spec) per job, identical specs across
+    regimes - only the arrival process changes."""
+    rng = np.random.default_rng((seed, 4242))
+    out = []
+    for j in range(jobs):
+        tenant = f"tenant-{int(rng.integers(0, TENANTS))}"
+        spec = JobSpec(tenant=tenant, seed=int(rng.integers(0, 2**20)))
+        if overload:
+            burst = int(rng.integers(0, _bursts(jobs)))
+            at = burst * BURST_GAP + float(rng.uniform(0.0, BURST_WIDTH))
+        else:
+            at = j * BASELINE_SPACING + float(
+                rng.uniform(0.0, 0.25 * BASELINE_SPACING)
+            )
+        out.append((at, spec))
+    out.sort(key=lambda x: x[0])
+    return out
+
+
+def _percentile(xs: list[float], q: float) -> float:
+    return float(np.percentile(np.array(xs), q)) if xs else 0.0
+
+
+def run_regime(name: str, seed: int, jobs: int,
+               executor: JobExecutor) -> dict:
+    overload = name != "baseline"
+    svc = SweepService(_config(degrade=name == "overload+degrade"),
+                       executor=executor)
+    for at, spec in _arrivals(seed, jobs, overload):
+        svc.submit(spec, at=at)
+    results = svc.run_until_idle()
+    done = [r for r in results if r.status == JobStatus.COMPLETED]
+    lat = [r.latency for r in done]
+    m = svc.metrics()
+    return {
+        "regime": name,
+        "jobs": jobs,
+        "completed": len(done),
+        "failed": sum(m["failed"].values()),
+        "shed": sum(m["shed"].values()),
+        "shed_rate": m["shed_rate"],
+        "demotions": m["demotions"],
+        "exact": all(r.exact for r in done),
+        "span": svc.now,
+        "jobs_per_sec": len(done) / svc.now if svc.now > 0 else 0.0,
+        "p50_latency": _percentile(lat, 50),
+        "p99_latency": _percentile(lat, 99),
+    }
+
+
+def run_matrix(jobs: int = FULL_JOBS, seed: int = 0) -> list[dict]:
+    executor = JobExecutor()  # scenario cache shared across regimes
+    return [
+        run_regime(name, seed, jobs, executor)
+        for name in ("baseline", "overload", "overload+degrade")
+    ]
+
+
+def report(rows: list[dict]) -> None:
+    table = [
+        [
+            r["regime"], r["jobs"], r["completed"], r["shed"],
+            f"{100.0 * r['shed_rate']:.0f}%", r["demotions"],
+            f"{r['jobs_per_sec'] / 1e3:.2f}k/s",
+            f"{r['p50_latency'] * 1e3:.2f}ms",
+            f"{r['p99_latency'] * 1e3:.2f}ms",
+        ]
+        for r in rows
+    ]
+    print_series(
+        "Service SLOs - baseline vs overload vs overload+degradation "
+        "(virtual time, identical seeded tenants)",
+        ["regime", "jobs", "done", "shed", "shed%", "demoted",
+         "throughput", "p50", "p99"],
+        table,
+    )
+
+
+def check(rows: list[dict]) -> None:
+    by = {r["regime"]: r for r in rows}
+    base, over, deg = (
+        by["baseline"], by["overload"], by["overload+degrade"]
+    )
+    # Nothing computed wrong anywhere, and every accepted job resolved.
+    for r in rows:
+        assert r["exact"], f"{r['regime']}: inexact completed flux"
+        assert r["failed"] == 0, f"{r['regime']}: unexpected failures"
+        assert r["completed"] + r["shed"] == r["jobs"], (
+            f"{r['regime']}: job ledger does not add up"
+        )
+    # Under capacity nothing is shed; overload sheds and stretches p99.
+    assert base["shed"] == 0, "baseline traffic was shed"
+    assert over["shed"] > 0, "overload regime never shed"
+    assert over["p99_latency"] > base["p99_latency"], (
+        "overload did not stretch tail latency"
+    )
+    # The degradation trade: demotion fired, cut the overloaded p99,
+    # and answered at least as many jobs as the rigid service.
+    assert deg["demotions"] > 0, "degradation never engaged"
+    assert deg["p99_latency"] < over["p99_latency"], (
+        f"degradation did not cut p99: {deg['p99_latency']:.6f}s vs "
+        f"{over['p99_latency']:.6f}s"
+    )
+    assert deg["completed"] >= over["completed"], (
+        "degradation answered fewer jobs than the rigid service"
+    )
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone invocation
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="service")
+    def test_service_slo(benchmark):
+        rows = benchmark.pedantic(
+            run_matrix, kwargs={"jobs": SMOKE_JOBS}, rounds=1, iterations=1
+        )
+        report(rows)
+        check(rows)
+
+
+if __name__ == "__main__":
+    args = bench_args(
+        "Service SLOs: throughput, p50/p99 latency and shed rate for "
+        "baseline vs overload vs overload-with-degradation traffic on "
+        "the multi-tenant sweep service",
+        extra=lambda ap: (
+            ap.add_argument("--json", metavar="PATH", default=JSON_PATH,
+                            help="where to write the JSON summary"),
+        ),
+    )
+    rows = run_matrix(jobs=SMOKE_JOBS if args.smoke else FULL_JOBS)
+    report(rows)
+    check(rows)
+    out = os.path.normpath(args.json)
+    with open(out, "w") as fh:
+        json.dump({"rows": rows}, fh, indent=1)
+    print(f"\nsummary: {out}")
+    over = next(r for r in rows if r["regime"] == "overload")
+    deg = next(r for r in rows if r["regime"] == "overload+degrade")
+    cut = 100.0 * (1.0 - deg["p99_latency"] / over["p99_latency"])
+    print(f"service SLO: OK (degradation cut overloaded p99 by "
+          f"{cut:.0f}%, shed {100 * deg['shed_rate']:.0f}% vs "
+          f"{100 * over['shed_rate']:.0f}%)")

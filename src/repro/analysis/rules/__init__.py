@@ -17,9 +17,21 @@ from .determinism import (
     UnseededRngRule,
     WallClockRule,
 )
-from .protocol import COUNTER_OWNERS, CounterOwnershipRule, TransportBypassRule
+from .protocol import (
+    COUNTER_OWNERS,
+    SERVICE_FACADE_ALLOWED,
+    CounterOwnershipRule,
+    ServiceFacadeRule,
+    TransportBypassRule,
+)
 
-__all__ = ["ALL_RULES", "COUNTER_OWNERS", "Rule", "rule_table"]
+__all__ = [
+    "ALL_RULES",
+    "COUNTER_OWNERS",
+    "SERVICE_FACADE_ALLOWED",
+    "Rule",
+    "rule_table",
+]
 
 ALL_RULES: list[Rule] = [
     WallClockRule(),
@@ -29,6 +41,7 @@ ALL_RULES: list[Rule] = [
     RealWorldCallbackRule(),
     TransportBypassRule(),
     CounterOwnershipRule(),
+    ServiceFacadeRule(),
 ]
 
 

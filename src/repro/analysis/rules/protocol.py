@@ -1,10 +1,11 @@
-"""Protocol rules: PROTO001-PROTO002 - layer-ownership contracts.
+"""Protocol rules: PROTO001-PROTO003 - layer-ownership contracts.
 
 The layered runtime's guarantees are positional: reliable delivery
 holds because *every* remote stream passes through the transport's
 seq/ack/retransmit path, and the report's counters mean what they say
 because exactly one layer writes each of them.  These rules pin both
-contracts to the module graph.
+contracts - and the service layer's facade boundary - to the module
+graph.
 """
 
 from __future__ import annotations
@@ -15,7 +16,11 @@ from collections.abc import Iterator
 from ..engine import ModuleInfo, Violation
 from .base import Rule, dotted_name
 
-__all__ = ["TransportBypassRule", "CounterOwnershipRule"]
+__all__ = [
+    "TransportBypassRule",
+    "CounterOwnershipRule",
+    "ServiceFacadeRule",
+]
 
 #: The only module allowed to put streams on the wire.
 _TRANSPORT_MODULE = "repro.runtime.transport"
@@ -161,3 +166,106 @@ class CounterOwnershipRule(Rule):
                     f"counter `{tgt.attr}` is owned by {owner}, "
                     f"written from {mod.module or mod.path}",
                 )
+
+
+#: The service layer and the runtime facade it is confined to.
+_SERVICE_PREFIX = "repro.service"
+_RUNTIME_PACKAGE = "repro.runtime"
+
+#: Facade exports the service may import: the runtime entry point, its
+#: structured exceptions, and pure data/config types.  Everything else
+#: the facade re-exports (Simulator, Transport, Router, Scheduler,
+#: FaultInjector, policies, sanitizer, ...) is an internal layer: a
+#: service module that touches one can corrupt invariants the
+#: DataDrivenRuntime composition root is responsible for.
+SERVICE_FACADE_ALLOWED = frozenset({
+    "DataDrivenRuntime",
+    "DeadlineExceeded",
+    "Machine",
+    "Layout",
+    "TIANHE2",
+    "RecoveryConfig",
+    "AdaptiveConfig",
+    "FaultPlan",
+    "CrashFault",
+    "StragglerWindow",
+    "LinkPartition",
+    "StallError",
+    "StallReport",
+    "WaitEdge",
+    "RunReport",
+    "Breakdown",
+    "SweepPerformanceModel",
+    "SweepModelPrediction",
+    "CostModel",
+})
+
+
+def _resolve_import(module: str, node: ast.ImportFrom) -> str | None:
+    """Absolute dotted target of a (possibly relative) ImportFrom."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    if node.level > len(parts):
+        return None
+    base = parts[: len(parts) - node.level]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+class ServiceFacadeRule(Rule):
+    """PROTO003: repro.service reaching past the DataDrivenRuntime facade.
+
+    The job layer's fault isolation rests on the executor being the
+    only runtime client, and only through the facade: admission,
+    breakers, retries and degradation all reason about *jobs*, never
+    about streams, events or worker pools.  A service module importing
+    a runtime submodule (``repro.runtime.transport``) or an internal
+    layer name from the facade (``Simulator``, ``Transport``, ...)
+    re-opens every layering hole the runtime's own rules closed.
+    """
+
+    id = "PROTO003"
+    title = "service reaches past the runtime facade"
+    hint = (
+        "repro.service talks to the runtime only through the facade: "
+        "import DataDrivenRuntime (plus exceptions and pure data/config "
+        "types) from repro.runtime; never import runtime submodules or "
+        "internal layers (Simulator, Transport, Router, Scheduler, "
+        "FaultInjector, ...) - see SERVICE_FACADE_ALLOWED in "
+        "repro/analysis/rules/protocol.py"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Violation]:
+        m = mod.module
+        if m != _SERVICE_PREFIX and not m.startswith(_SERVICE_PREFIX + "."):
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.startswith(_RUNTIME_PACKAGE + "."):
+                        yield self.violation(
+                            mod, node,
+                            f"`import {alias.name}` reaches past the "
+                            "DataDrivenRuntime facade",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_import(m, node)
+                if target is None:
+                    continue
+                if target.startswith(_RUNTIME_PACKAGE + "."):
+                    yield self.violation(
+                        mod, node,
+                        f"import from {target} bypasses the "
+                        f"{_RUNTIME_PACKAGE} facade",
+                    )
+                elif target == _RUNTIME_PACKAGE:
+                    for alias in node.names:
+                        if alias.name not in SERVICE_FACADE_ALLOWED:
+                            yield self.violation(
+                                mod, node,
+                                f"`{alias.name}` is a runtime internal; "
+                                "the service may only use facade entry "
+                                "points and pure data types",
+                            )

@@ -33,6 +33,7 @@ the watchdog, not a campaign member.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -211,6 +212,7 @@ class CaseResult:
     exact: bool  # flux bitwise-identical to the fault-free reference
     stalled: bool  # watchdog raised a StallReport
     error: str = ""  # non-stall failure (sanitizer, undeliverable, ...)
+    races: int = 0  # happens-before races (only when hb-checking)
     makespan: float = 0.0
     faults: dict = field(default_factory=dict)  # RunReport.fault_summary()
     adaptive: dict = field(default_factory=dict)  # adaptive_summary() if armed
@@ -229,6 +231,22 @@ def _plan_shape(plan: FaultPlan) -> dict:
     }
 
 
+def _hb_check(rep, label: str, opt) -> int:
+    """Vector-clock-check one traced run; returns the race count.
+
+    ``opt`` is ``True`` (check only) or a directory (check + export
+    the HB record stream for ``repro.analysis check-trace``).  Lazy
+    import: the checker is optional equipment, campaigns without
+    ``hb`` never touch :mod:`repro.analysis`.
+    """
+    from .analysis import check_report, dump_hb_json
+
+    if opt is not True:
+        os.makedirs(opt, exist_ok=True)
+        dump_hb_json(rep.hb_events, os.path.join(opt, f"{label}.hb.json"))
+    return len(check_report(rep))
+
+
 def run_case(
     kind: str,
     mode: str,
@@ -237,6 +255,7 @@ def run_case(
     size: int = 8,
     sanitize: bool = True,
     adaptive: AdaptiveConfig | None = None,
+    hb=None,
     _scenario=None,
     _reference=None,
 ) -> CaseResult:
@@ -244,9 +263,11 @@ def run_case(
 
     ``adaptive`` arms the adaptive-resilience layer for the run - the
     oracle is unchanged (the whole point: adaptivity must not cost
-    exactness).  ``_scenario``/``_reference`` let :func:`run_campaign`
-    reuse the built scenario and fault-free reference flux across
-    seeds.
+    exactness).  ``hb`` (``None`` | ``True`` | directory) arms event
+    tracing and holds the completed run to the happens-before checker
+    on top of the flux oracle - any race fails the cell.
+    ``_scenario``/``_reference`` let :func:`run_campaign` reuse the
+    built scenario and fault-free reference flux across seeds.
     """
     machine, cores, pset, solver = (
         _scenario if _scenario is not None else build_scenario(kind, mode, size)
@@ -260,7 +281,7 @@ def run_case(
     progs, faces = solver.build_programs(resilient=True)
     rt = DataDrivenRuntime(
         cores, machine=machine, mode=mode, faults=plan,
-        adaptive=adaptive, sanitize=sanitize,
+        adaptive=adaptive, sanitize=sanitize, trace=hb is not None,
     )
     try:
         rep = rt.run(progs, pset.patch_proc)
@@ -277,6 +298,11 @@ def run_case(
         and phi.tobytes() == np.ascontiguousarray(_reference).tobytes()
     )
     res.ok = res.exact
+    if hb is not None:
+        res.races = _hb_check(rep, f"{kind}_{mode}_{seed}", hb)
+        if res.races:
+            res.ok = False
+            res.error = f"{res.races} happens-before race(s)"
     res.makespan = rep.makespan
     res.faults = rep.fault_summary()
     if adaptive is not None:
@@ -340,13 +366,15 @@ def run_campaign(
     size: int = 8,
     sanitize: bool = True,
     adaptive: AdaptiveConfig | None = None,
+    hb=None,
     progress=None,
 ) -> CampaignResult:
     """Run the full (kind, mode, seed) matrix; never raises on a case.
 
     Scenario meshes and fault-free references are built once per
     (kind, mode) cell and shared across seeds.  ``adaptive`` arms the
-    adaptive-resilience layer on every case (same oracle).
+    adaptive-resilience layer on every case (same oracle); ``hb`` arms
+    the happens-before checker on every case (see :func:`run_case`).
     ``progress``, when given, is called with each finished
     :class:`CaseResult`.
     """
@@ -358,7 +386,7 @@ def run_campaign(
             for seed in seeds:
                 case = run_case(
                     kind, mode, int(seed), space, size, sanitize, adaptive,
-                    _scenario=scenario, _reference=reference,
+                    hb=hb, _scenario=scenario, _reference=reference,
                 )
                 out.cases.append(case)
                 if progress is not None:

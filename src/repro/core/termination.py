@@ -22,8 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .._util import ReproError
+from .patch_program import ProgramState
 
-__all__ = ["WorkloadTracker", "MisraMarkerRing"]
+__all__ = ["WorkloadTracker", "MisraMarkerRing", "verify_quiescent"]
 
 
 class WorkloadTracker:
@@ -133,6 +134,15 @@ class MisraMarkerRing:
         self.hops += 1
         return False
 
+    @classmethod
+    def all_idle_hops(cls, nprocs: int) -> int:
+        """Hops the marker needs to certify termination when every
+        process is already idle (the quiesced-cluster negotiation)."""
+        ring = cls(nprocs)
+        for p in range(nprocs):
+            ring.on_idle(p)
+        return ring.run_to_completion()
+
     def run_to_completion(self, max_hops: int = 10_000_000) -> int:
         """Drive the marker until termination, assuming no further events.
 
@@ -146,3 +156,22 @@ class MisraMarkerRing:
             if self.hops - start > max_hops:
                 raise ReproError("marker did not converge")
         return self.hops - start
+
+
+def verify_quiescent(progs, states, tracker: WorkloadTracker) -> None:
+    """Post-run invariant: quiescence must mean *completion*.
+
+    Every program is INACTIVE with zero remaining workload, and the
+    shared workload ledger is drained - an empty event heap with any of
+    these violated means the run silently lost work.
+    """
+    for pid, prog in progs.items():
+        if states[pid] is not ProgramState.INACTIVE:
+            raise ReproError(f"{pid!r} still active at quiescence")
+        rem = prog.remaining_workload()
+        if rem is not None and rem != 0:
+            raise ReproError(f"{pid!r} finished with {rem} work remaining")
+    if not tracker.is_done():
+        raise ReproError(
+            f"workload tracker not drained: {tracker.pending_keys()!r}"
+        )

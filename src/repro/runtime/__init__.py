@@ -15,7 +15,7 @@ above it): :mod:`~repro.runtime.simulator` (DES core) <
 
 from .cluster import TIANHE2, Layout, Machine
 from .costmodel import CATEGORIES, CostModel
-from .engine_des import DataDrivenRuntime
+from .engine_des import DataDrivenRuntime, DeadlineExceeded
 from .faults import (
     AdaptiveConfig,
     CrashFault,
@@ -47,6 +47,7 @@ __all__ = [
     "CostModel",
     "CATEGORIES",
     "DataDrivenRuntime",
+    "DeadlineExceeded",
     "RunReport",
     "Breakdown",
     "CrashFault",

@@ -35,13 +35,13 @@ import numpy as np
 
 from .._util import ReproError
 from ..core.patch_program import PatchProgram, ProgramState
-from ..core.termination import MisraMarkerRing, WorkloadTracker
+from ..core.termination import MisraMarkerRing, WorkloadTracker, verify_quiescent
 from .cluster import Machine, TIANHE2
 from .costmodel import CostModel
 from .faults import (
     AdaptiveConfig, FaultInjector, FaultPlan, RecoveryConfig, arm_recovery,
 )
-from .metrics import Breakdown, RunReport, trace_fields
+from .metrics import Breakdown, DeadlineExceeded, RunReport, trace_fields
 from .recovery import RecoveryManager
 from .router import Router
 from .sanitizer import InvariantSanitizer
@@ -49,7 +49,7 @@ from .scheduler import RunState, Scheduler, make_policy
 from .simulator import Simulator
 from .transport import Transport
 
-__all__ = ["DataDrivenRuntime"]
+__all__ = ["DataDrivenRuntime", "DeadlineExceeded"]
 
 #: Event kinds that represent actual forward progress of the run; the
 #: simulator counts how many are outstanding to recognize quiescence.
@@ -91,18 +91,24 @@ class DataDrivenRuntime:
         self,
         programs: list[PatchProgram],
         patch_proc: np.ndarray,
+        deadline: float | None = None,
     ) -> RunReport:
         """Execute ``programs`` to global termination; returns the report.
 
         ``patch_proc[p]`` is the owning process of patch ``p`` and must
         be consistent with the layout's process count and with the
-        patches the programs reference.
+        patches the programs reference.  ``deadline`` is an optional
+        virtual-time budget: the first event past it cancels the run
+        cleanly with :class:`DeadlineExceeded`; ``None`` changes nothing.
         """
+        if deadline is not None and deadline <= 0:
+            raise ReproError("run deadline must be positive")
         lay = self.layout
         router = Router(programs, patch_proc, lay.nprocs)
         plan, rcfg = self.faults, self.recovery
         if plan is not None:
-            plan.validate(lay.nprocs, programs)
+            wd = rcfg.watchdog_horizon if rcfg is not None else None
+            plan.validate(lay.nprocs, programs, horizon=wd)
         inj = FaultInjector(plan) if plan is not None else None
         ft = rcfg is not None  # ack/retry + checkpoint/failover machinery on
         acfg = rcfg.adaptive if ft else None
@@ -156,6 +162,13 @@ class DataDrivenRuntime:
         cm = self.cost
         while sim:
             now, kind, data = sim.pop()
+
+            if deadline is not None and now > deadline:
+                # Events pop in time order: the first one past the
+                # budget proves nothing more can happen within it.
+                report.makespan = sim.makespan
+                bd.finalize_idle(sim.makespan, sched.cores())
+                raise DeadlineExceeded(deadline, now, report)
 
             # Control-plane events never advance the makespan.
             if kind in ("ack", "nack", "timer", "hedge"):
@@ -229,27 +242,14 @@ class DataDrivenRuntime:
                 raise ReproError(f"unknown event kind {kind!r}")
 
         # -- post-run checks and termination negotiation ---------------------------
-        for pid, prog in st.progs.items():
-            if st.state[pid] is not ProgramState.INACTIVE:
-                raise ReproError(f"{pid!r} still active at quiescence")
-            rem = prog.remaining_workload()
-            if rem is not None and rem != 0:
-                raise ReproError(f"{pid!r} finished with {rem} work remaining")
-        if not tracker.is_done():
-            raise ReproError(
-                f"workload tracker not drained: {tracker.pending_keys()!r}"
-            )
+        verify_quiescent(st.progs, st.state, tracker)
         if san is not None:
             san.check_final(st.progs)
             report.sanitizer_checks = san.checks
 
         makespan = sim.makespan
         if self.termination == "consensus":
-            alive_n = lay.nprocs - len(router.dead)
-            ring = MisraMarkerRing(alive_n)
-            for p in range(alive_n):
-                ring.on_idle(p)
-            hops = ring.run_to_completion()
+            hops = MisraMarkerRing.all_idle_hops(lay.nprocs - len(router.dead))
             report.termination_hops = hops
             report.termination_time = hops * self.machine.latency_inter
             makespan += report.termination_time

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -194,19 +195,50 @@ class FaultPlan:
             c.cascade_max for c in self.crashes if c.cascades()
         )
 
-    def validate(self, nprocs: int, programs: Sequence) -> None:
-        """Reject plans inconsistent with the layout or program set."""
+    def validate(
+        self,
+        nprocs: int,
+        programs: Sequence,
+        horizon: float | None = None,
+    ) -> None:
+        """Reject plans inconsistent with the layout or program set.
+
+        ``horizon``, when given, is the run's armed watchdog horizon: a
+        straggler or partition window that only *starts* at or beyond
+        it is almost certainly a misconfigured plan - the run either
+        quiesces or is declared stalled before the fault ever fires, so
+        the scenario silently tests nothing.  Such windows draw a
+        :class:`UserWarning` (not an error: a long run that keeps
+        progressing past the horizon can still legitimately reach
+        them).
+        """
         for w in self.stragglers:
             if w.proc >= nprocs:
                 raise ReproError(
                     f"straggler window targets proc {w.proc} but the "
                     f"layout has only {nprocs} processes"
                 )
+            if horizon is not None and horizon > 0 and w.start >= horizon:
+                warnings.warn(
+                    f"straggler window on proc {w.proc} starts at "
+                    f"t={w.start:.6f}s, at or beyond the watchdog "
+                    f"horizon ({horizon:.6f}s): if the run quiesces or "
+                    "stalls first, the fault silently never fires",
+                    stacklevel=2,
+                )
         for cut in self.partitions:
             if cut.src >= nprocs or cut.dst >= nprocs:
                 raise ReproError(
                     f"partition cuts link {cut.src}->{cut.dst} but the "
                     f"layout has only {nprocs} processes"
+                )
+            if horizon is not None and horizon > 0 and cut.start >= horizon:
+                warnings.warn(
+                    f"partition of link {cut.src}->{cut.dst} starts at "
+                    f"t={cut.start:.6f}s, at or beyond the watchdog "
+                    f"horizon ({horizon:.6f}s): if the run quiesces or "
+                    "stalls first, the fault silently never fires",
+                    stacklevel=2,
                 )
         if self.crashes:
             crashed = self.crashed_procs()

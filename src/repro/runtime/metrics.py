@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+from .._util import ReproError
 from .costmodel import CATEGORIES
 
-__all__ = ["Breakdown", "RunReport", "trace_fields"]
+__all__ = ["Breakdown", "DeadlineExceeded", "RunReport", "trace_fields"]
 
 
 class Breakdown:
@@ -46,6 +47,29 @@ class Breakdown:
         if t <= 0:
             return {c: 0.0 for c in self.by_category}
         return {c: v / t for c, v in self.by_category.items()}
+
+
+class DeadlineExceeded(ReproError):
+    """A run overran its virtual-time budget and was cancelled.
+
+    Raised by :meth:`DataDrivenRuntime.run` when a ``deadline`` was
+    given and the simulated clock passed it: the event loop stops at
+    the first event beyond the budget, finalizes the partial
+    :class:`RunReport` (so the consumed slice is accounted) and
+    unwinds.  The job layer above uses :attr:`report` to reclaim the
+    cluster slice and attach the partial accounting to the failure;
+    nothing of the run survives the exception - a cancelled run holds
+    no global state.
+    """
+
+    def __init__(self, deadline: float, now: float, report: RunReport):
+        self.deadline = deadline
+        self.now = now  # virtual time of the first event past the budget
+        self.report = report  # partial accounting up to the cancellation
+        super().__init__(
+            f"run cancelled: virtual time reached {now:.6f}s, past its "
+            f"budget of {deadline:.6f}s ({report.events} events processed)"
+        )
 
 
 @dataclass

@@ -87,6 +87,27 @@ class WaitEdge:
     retries: int
     reason: str  # e.g. "link 0->1 partitioned (never heals)"
 
+    def to_dict(self) -> dict:
+        return {
+            "waiter": self.waiter,
+            "holder": self.holder,
+            "src_proc": self.src_proc,
+            "dst_proc": self.dst_proc,
+            "retries": self.retries,
+            "reason": self.reason,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "WaitEdge":
+        return WaitEdge(
+            waiter=d["waiter"],
+            holder=d["holder"],
+            src_proc=int(d["src_proc"]),
+            dst_proc=int(d["dst_proc"]),
+            retries=int(d["retries"]),
+            reason=d["reason"],
+        )
+
 
 @dataclass(frozen=True)
 class StallReport:
@@ -128,6 +149,36 @@ class StallReport:
         if self.cycle:
             lines.append("  CYCLE " + " -> ".join(self.cycle))
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the report (``math.inf`` survives the
+        round-trip because JSON's ``Infinity`` literal does).
+
+        Consumers that only render text keep :meth:`describe`; the
+        service layer and trace tooling attach this dict to job
+        failures and exported traces instead of exception prose.
+        """
+        return {
+            "now": self.now,
+            "last_progress": self.last_progress,
+            "horizon": self.horizon,
+            "pending_events": self.pending_events,
+            "waiting": [e.to_dict() for e in self.waiting],
+            "lost": [e.to_dict() for e in self.lost],
+            "cycle": list(self.cycle),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "StallReport":
+        return StallReport(
+            now=float(d["now"]),
+            last_progress=float(d["last_progress"]),
+            horizon=float(d["horizon"]),
+            pending_events=int(d["pending_events"]),
+            waiting=tuple(WaitEdge.from_dict(e) for e in d["waiting"]),
+            lost=tuple(WaitEdge.from_dict(e) for e in d["lost"]),
+            cycle=tuple(d["cycle"]),
+        )
 
 
 class StallError(ReproError):

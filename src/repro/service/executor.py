@@ -1,0 +1,197 @@
+"""Job execution: one attempt of one spec on the DataDrivenRuntime.
+
+The executor is the service's only contact with the runtime, and it
+talks exclusively to the *facade*: ``DataDrivenRuntime`` in, structured
+exceptions and a ``RunReport`` out.  It never reaches into transport,
+scheduler, router or recovery internals - the PROTO003 lint rule pins
+that boundary to the module graph.
+
+Two caches make the service cheap at traffic:
+
+* **scenario cache** - mesh, patch decomposition, sweep DAG,
+  priorities and the fault-free reference flux are pure functions of
+  :meth:`JobSpec.scenario_fields`; they are built once per distinct
+  scenario and shared across every job and tenant that names it (the
+  content-hash artifact caching of ROADMAP item 3);
+* the **result cache** lives one layer up in the service proper,
+  keyed by the full content hash - the executor only computes.
+
+Every attempt maps to exactly one structured :class:`AttemptOutcome`;
+the executor never lets a runtime exception escape unclassified.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import ReproError
+from ..framework import PatchSet
+from ..mesh import cube_structured, disk_tri_mesh
+from ..runtime import (
+    DataDrivenRuntime,
+    DeadlineExceeded,
+    Machine,
+    RecoveryConfig,
+    StallError,
+)
+from ..sweep import Material, MaterialMap, SnSolver, level_symmetric
+from .spec import JobSpec
+
+__all__ = ["AttemptOutcome", "JobExecutor"]
+
+
+@dataclass
+class AttemptOutcome:
+    """Structured result of one execution attempt."""
+
+    status: str  # "ok" | "deadline" | "stall" | "error" | "invalid"
+    duration: float  # virtual seconds the cluster slice was held
+    makespan: float = 0.0  # DES makespan (== duration on "ok")
+    flux_crc: int | None = None
+    exact: bool | None = None  # flux bitwise-equal to fault-free reference
+    detail: str = ""
+    stall: dict | None = None  # StallReport.to_dict() on "stall"
+    counters: dict = field(default_factory=dict)  # RunReport.fault_summary()
+
+
+@dataclass
+class _Scenario:
+    """One cached scenario: everything derivable from scenario_fields."""
+
+    machine: Machine
+    cores: int
+    pset: PatchSet
+    solver: SnSolver
+    reference: bytes  # fault-free flux, raw bytes
+    reference_crc: int
+
+
+class JobExecutor:
+    """Builds scenarios (cached) and runs attempts on the runtime."""
+
+    def __init__(self, watchdog_horizon: float = 5e-3,
+                 scenario_cache_size: int = 32):
+        if watchdog_horizon <= 0:
+            raise ReproError("watchdog_horizon must be positive")
+        if scenario_cache_size < 1:
+            raise ReproError("scenario_cache_size must be >= 1")
+        #: Watchdog horizon armed on fault-bearing runs: a stalled job
+        #: is *diagnosed* (StallReport) after this much progress-free
+        #: virtual time instead of spinning against its deadline.
+        self.watchdog_horizon = watchdog_horizon
+        self.cache_size = scenario_cache_size
+        self._scenarios: dict[tuple, _Scenario] = {}
+        self.scenario_builds = 0  # cache misses (observability)
+        self.scenario_hits = 0
+
+    # -- scenario construction --------------------------------------------------
+
+    def scenario(self, spec: JobSpec) -> _Scenario:
+        """The cached scenario for ``spec`` (built on first use)."""
+        key = spec.scenario_fields()
+        sc = self._scenarios.get(key)
+        if sc is not None:
+            self.scenario_hits += 1
+            return sc
+        sc = self._build(spec)
+        self.scenario_builds += 1
+        if len(self._scenarios) >= self.cache_size:
+            # FIFO eviction: drop the oldest scenario (insertion order).
+            oldest = next(iter(self._scenarios))
+            del self._scenarios[oldest]
+        self._scenarios[key] = sc
+        return sc
+
+    def _build(self, spec: JobSpec) -> _Scenario:
+        machine = Machine(cores_per_proc=4)
+        cores = 16 if spec.mode == "hybrid" else 8
+        nprocs = machine.layout(cores, spec.mode).nprocs
+        if spec.kind == "structured":
+            mesh = cube_structured(spec.size, length=4.0)
+            pset = PatchSet.from_structured(
+                mesh, (spec.patch,) * 3, nprocs=nprocs
+            )
+        else:
+            mesh = disk_tri_mesh(spec.size)
+            pset = PatchSet.from_unstructured(
+                mesh, spec.patch, nprocs=nprocs
+            )
+        mm = MaterialMap.uniform(
+            Material.isotropic(1.0, 0.5), mesh.num_cells
+        )
+        q = np.ones((mesh.num_cells, 1))
+        solver = SnSolver(
+            pset, level_symmetric(spec.sn), mm, q, grain=spec.grain
+        )
+        phi, _, _ = solver.sweep_once(mode="fast")
+        ref = np.ascontiguousarray(phi).tobytes()
+        return _Scenario(
+            machine=machine, cores=cores, pset=pset, solver=solver,
+            reference=ref, reference_crc=zlib.crc32(ref),
+        )
+
+    # -- attempt execution ------------------------------------------------------
+
+    def execute(self, spec: JobSpec, deadline: float | None) -> AttemptOutcome:
+        """Run one attempt of ``spec`` under ``deadline``.
+
+        Classifies every outcome: a clean run yields ``ok`` with the
+        flux checksum and the exactness verdict against the fault-free
+        reference; a budget overrun yields ``deadline`` with the
+        consumed slice; a watchdog stall yields ``stall`` with the
+        serialized :class:`~repro.runtime.StallReport`; any other
+        structured runtime failure yields ``error``.
+        """
+        try:
+            sc = self.scenario(spec)
+        except ReproError as e:
+            return AttemptOutcome(
+                status="invalid", duration=0.0, detail=str(e)
+            )
+        faulty = spec.faults is not None
+        recovery = (
+            RecoveryConfig(watchdog_horizon=self.watchdog_horizon)
+            if faulty else None
+        )
+        try:
+            progs, faces = sc.solver.build_programs(resilient=faulty)
+            rt = DataDrivenRuntime(
+                sc.cores, machine=sc.machine, mode=spec.mode,
+                faults=spec.faults, recovery=recovery,
+            )
+            rep = rt.run(progs, sc.pset.patch_proc, deadline=deadline)
+        except DeadlineExceeded as e:
+            return AttemptOutcome(
+                status="deadline",
+                duration=e.deadline,  # the full slice was consumed
+                makespan=e.report.makespan,
+                detail=str(e),
+                counters=e.report.fault_summary(),
+            )
+        except StallError as e:
+            return AttemptOutcome(
+                status="stall",
+                duration=min(e.report.now, deadline)
+                if deadline is not None else e.report.now,
+                detail="liveness watchdog confirmed a stall",
+                stall=e.report.to_dict(),
+            )
+        except ReproError as e:
+            # Undeliverable messages, plan/layout mismatches, sanitizer
+            # trips: structured failure, zero slice beyond the report.
+            return AttemptOutcome(
+                status="error", duration=0.0, detail=str(e)
+            )
+        phi, _ = sc.solver.accumulate(faces)
+        blob = np.ascontiguousarray(phi).tobytes()
+        return AttemptOutcome(
+            status="ok",
+            duration=rep.makespan,
+            makespan=rep.makespan,
+            flux_crc=zlib.crc32(blob),
+            exact=blob == sc.reference,
+            counters=rep.fault_summary() if faulty else {},
+        )

@@ -1,0 +1,435 @@
+"""The sweep service: multi-tenant job layer over the DES runtime.
+
+``SweepService`` is itself a small discrete-event simulation, one
+level above the cluster DES: its clock is service virtual time, its
+events are job submissions, attempt completions and retry timers, and
+each *attempt* advances the clock by exactly the virtual makespan the
+cluster DES reports (a job occupies its worker slot for as long as the
+simulated cluster would have computed).  Everything - admission,
+backoff jitter, worker-pool crash draws, breaker transitions - is
+driven by one seeded generator and the event order, so an entire
+multi-tenant day of traffic replays bit-for-bit from
+``(ServiceConfig, workload)``.
+
+Life of a job::
+
+    submit --> cache? ----------------------------> cached JobResult
+        \\-> breaker gate -> admission credits -> (maybe demote)
+             -> tenant ready queue -> fair-share dispatch
+             -> JobExecutor attempt -> ok? commit exactly once
+                                    -> transient? backoff+jitter retry
+                                    -> terminal failure (taxonomy)
+
+Retry policy is deliberately narrow: only *transient* failures - a
+worker-pool crash, which exists above the deterministic cluster DES -
+are retried.  Deadline overruns, watchdog stalls, and structured
+runtime errors are deterministic functions of the spec; retrying them
+verbatim would burn capacity to reproduce the same failure, so they
+fail fast (and feed the tenant's circuit breaker, which is how a
+poison spec gets quarantined).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import ReproError
+from .admission import AdmissionController
+from .breaker import CircuitBreaker
+from .executor import AttemptOutcome, JobExecutor
+from .spec import (
+    FailureReason,
+    JobRejected,
+    JobResult,
+    JobSpec,
+    JobStatus,
+    RejectReason,
+)
+
+__all__ = ["ServiceConfig", "SweepService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one service instance (all virtual-time)."""
+
+    workers: int = 4  # concurrent executor slots (cluster slices)
+    tenant_slots: int = 4  # live jobs one tenant may hold
+    global_slots: int = 16  # service-wide backlog bound
+    est_job_time: float = 1e-3  # retry_after sizing unit
+    default_deadline: float = 5e-3  # per-attempt budget when spec has none
+    max_attempts: int = 3  # transient-failure retry budget
+    backoff_base: float = 0.5e-3  # first retry delay
+    backoff_factor: float = 2.0  # exponential growth
+    jitter_frac: float = 0.1  # +/- fraction of the delay, seeded
+    breaker_threshold: int = 3
+    breaker_open_for: float = 10e-3
+    breaker_probes: int = 1
+    #: Demote new jobs once the backlog exceeds this fraction of
+    #: ``global_slots``; 1.0 disables degradation (backlog can never
+    #: exceed the bound itself).
+    degrade_at: float = 0.75
+    demote_grain: int = 64  # degraded clustering grain (coarser)
+    demote_patch: int = 4  # degraded patch parameter (fewer, larger)
+    watchdog_horizon: float = 2e-3  # stall diagnosis on fault-bearing runs
+    worker_crash_rate: float = 0.0  # P(attempt dies with its pool worker)
+    seed: int = 0  # jitter + crash draws
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ReproError("service needs at least one worker slot")
+        if self.max_attempts < 1:
+            raise ReproError("max_attempts must be >= 1")
+        if self.backoff_base <= 0 or self.backoff_factor < 1:
+            raise ReproError("backoff must be positive and non-shrinking")
+        if not (0.0 <= self.jitter_frac < 1.0):
+            raise ReproError("jitter_frac must be in [0, 1)")
+        if not (0.0 < self.degrade_at <= 1.0):
+            raise ReproError("degrade_at must be in (0, 1]")
+        if not (0.0 <= self.worker_crash_rate < 1.0):
+            raise ReproError("worker_crash_rate must be in [0, 1)")
+        if self.default_deadline <= 0:
+            raise ReproError("default_deadline must be positive")
+
+
+@dataclass
+class _Job:
+    """Internal record of one admitted (non-cached) job."""
+
+    spec: JobSpec  # as submitted (identity)
+    exec_spec: JobSpec  # as executed (== spec unless demoted)
+    result: JobResult
+    followers: list[JobResult]  # coalesced duplicates awaiting commit
+
+
+class SweepService:
+    """Deterministic multi-tenant front end of the sweep runtime."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig(),
+                 executor: JobExecutor | None = None):
+        self.cfg = config
+        self.executor = (
+            executor if executor is not None
+            else JobExecutor(watchdog_horizon=config.watchdog_horizon)
+        )
+        self.admission = AdmissionController(
+            config.tenant_slots, config.global_slots, config.est_job_time
+        )
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self._rng = np.random.default_rng(config.seed)
+        # -- event plane (service virtual time) ----------------------------
+        self._events: list[tuple] = []  # heap of (time, seq, kind, payload)
+        self._seq = itertools.count()
+        self.now = 0.0
+        # -- scheduling state ----------------------------------------------
+        self.free_workers = config.workers
+        self._ready: dict[str, deque[_Job]] = {}  # tenant -> FIFO queue
+        self._rr = 0  # fair-share rotation cursor over tenant order
+        self._inflight: dict[str, _Job] = {}  # key -> primary job
+        # -- outcomes -------------------------------------------------------
+        self.committed: dict[str, JobResult] = {}  # exactly-once store
+        self.results: list[JobResult] = []  # terminal records, commit order
+        self.rejections: list[dict] = []  # shed submissions (+ "at" time)
+        self._ids = itertools.count()
+        # -- counters -------------------------------------------------------
+        self.arrivals_seen: list[tuple[float, str, str]] = []  # (t, tenant, key)
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.demotions = 0
+        self.worker_crashes = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, at: float = 0.0) -> None:
+        """Enqueue a submission event at service time ``at``."""
+        if at < self.now:
+            raise ReproError(
+                f"cannot submit at {at:.6f}s: service time is {self.now:.6f}s"
+            )
+        self._push(at, "submit", spec)
+
+    def run_until_idle(self) -> list[JobResult]:
+        """Drain the event plane; returns all terminal records so far."""
+        while self._events:
+            self.now, _, kind, payload = heapq.heappop(self._events)
+            if kind == "submit":
+                self._on_submit(payload)
+            elif kind == "retry":
+                self._enqueue(payload)
+            elif kind == "finish":
+                job, outcome = payload
+                self._on_finish(job, outcome)
+            else:  # pragma: no cover - event kinds are closed
+                raise ReproError(f"unknown service event {kind!r}")
+            self._pump()
+        return self.results
+
+    def metrics(self) -> dict:
+        """Aggregate service-level counters (the SLO dashboard)."""
+        by_reason: dict[str, int] = {}
+        for r in self.results:
+            if r.status == JobStatus.FAILED:
+                by_reason[r.reason] = by_reason.get(r.reason, 0) + 1
+        return {
+            "submissions": self.admission.submissions + self.cache_hits,
+            "admitted": self.admission.submissions - self.admission.shed(),
+            "completed": sum(
+                1 for r in self.results if r.status == JobStatus.COMPLETED
+            ),
+            "failed": by_reason,
+            "shed": {
+                RejectReason.TENANT_QUEUE_FULL: self.admission.shed_tenant,
+                RejectReason.SERVICE_OVERLOADED: self.admission.shed_global,
+                RejectReason.BREAKER_OPEN: sum(
+                    1 for r in self.rejections
+                    if r["reason"] == RejectReason.BREAKER_OPEN
+                ),
+            },
+            "shed_rate": (
+                len(self.rejections)
+                / max(1, self.admission.submissions + self.cache_hits)
+            ),
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "demotions": self.demotions,
+            "worker_crashes": self.worker_crashes,
+            "breaker_trips": {
+                t: b.trips for t, b in self.breakers.items() if b.trips
+            },
+            "scenario_builds": self.executor.scenario_builds,
+        }
+
+    # -- event helpers -----------------------------------------------------------
+
+    def _push(self, at: float, kind: str, payload) -> None:
+        heapq.heappush(self._events, (at, next(self._seq), kind, payload))
+
+    def _breaker(self, tenant: str) -> CircuitBreaker:
+        br = self.breakers.get(tenant)
+        if br is None:
+            br = CircuitBreaker(
+                self.cfg.breaker_threshold, self.cfg.breaker_open_for,
+                self.cfg.breaker_probes,
+            )
+            self.breakers[tenant] = br
+        return br
+
+    # -- submission path ---------------------------------------------------------
+
+    def _on_submit(self, spec: JobSpec) -> None:
+        key = spec.key()
+        self.arrivals_seen.append((self.now, spec.tenant, key))
+        # 1. Content-hash cache: a repeat of a committed job costs
+        #    nothing - no credit, no worker, no breaker probe.
+        hit = self.committed.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            self._record(self._cached_copy(hit, spec))
+            return
+        # 2. Admission credits, then the breaker.  ``admit`` raises
+        #    before charging, so a shed submission consumes nothing;
+        #    the breaker (which must mutate probe state in half-open)
+        #    is consulted only once a credit is actually held.
+        try:
+            self.admission.admit(spec.tenant, self.now)
+        except JobRejected as rej:
+            self._reject(rej)
+            return
+        br = self._breaker(spec.tenant)
+        if not br.allow(self.now):
+            self.admission.release(spec.tenant)
+            self._reject(JobRejected(
+                RejectReason.BREAKER_OPEN, br.retry_after(self.now),
+                spec.tenant,
+                detail=f"breaker {br.state} after "
+                       f"{br.consecutive_failures} consecutive failures",
+            ))
+            return
+        # 3. Idempotent resubmission: same content already queued or
+        #    running -> coalesce onto the primary, commit will fan out.
+        primary = self._inflight.get(key)
+        if primary is not None:
+            self.coalesced += 1
+            fr = self._skeleton(spec, key)
+            fr.cached = True
+            primary.followers.append(fr)
+            return
+        # 4. Graceful degradation: past the overload watermark, new
+        #    jobs run the coarser (cheaper) configuration.
+        exec_spec = spec
+        result = self._skeleton(spec, key)
+        if self.admission.total > self.cfg.degrade_at * self.cfg.global_slots:
+            exec_spec = spec.demoted(
+                self.cfg.demote_grain, self.cfg.demote_patch
+            )
+            if exec_spec.scenario_fields() != spec.scenario_fields():
+                self.demotions += 1
+                result.demoted = True
+                result.demote_note = (
+                    f"overload: grain {spec.grain}->{exec_spec.grain}, "
+                    f"patch {spec.patch}->{exec_spec.patch}"
+                )
+        job = _Job(spec=spec, exec_spec=exec_spec, result=result,
+                   followers=[])
+        self._inflight[key] = job
+        self._enqueue(job)
+
+    def _skeleton(self, spec: JobSpec, key: str) -> JobResult:
+        return JobResult(
+            job_id=next(self._ids), tenant=spec.tenant, key=key,
+            status=JobStatus.FAILED, submitted=self.now,
+        )
+
+    def _cached_copy(self, hit: JobResult, spec: JobSpec) -> JobResult:
+        r = self._skeleton(spec, hit.key)
+        r.status = JobStatus.COMPLETED
+        r.started = r.finished = self.now
+        r.makespan = hit.makespan
+        r.flux_crc = hit.flux_crc
+        r.exact = hit.exact
+        r.cached = True
+        r.demoted = hit.demoted
+        r.demote_note = hit.demote_note
+        return r
+
+    def _reject(self, rej: JobRejected) -> None:
+        d = rej.to_dict()
+        d["at"] = self.now
+        self.rejections.append(d)
+
+    # -- dispatch (fair share) ---------------------------------------------------
+
+    def _enqueue(self, job: _Job) -> None:
+        q = self._ready.get(job.spec.tenant)
+        if q is None:
+            q = deque()
+            self._ready[job.spec.tenant] = q
+        q.append(job)
+
+    def _pump(self) -> None:
+        """Fill free worker slots round-robin across tenant queues.
+
+        The rotation cursor persists across pumps, so a tenant that
+        keeps its queue full cannot shadow later tenants: each dispatch
+        hands the next slot to the next tenant in first-seen order.
+        """
+        tenants = list(self._ready)  # insertion-ordered, stable
+        while self.free_workers > 0 and any(
+            self._ready[t] for t in tenants
+        ):
+            for off in range(len(tenants)):
+                t = tenants[(self._rr + off) % len(tenants)]
+                if self._ready[t]:
+                    self._rr = (self._rr + off + 1) % len(tenants)
+                    self._dispatch(self._ready[t].popleft())
+                    break
+
+    def _dispatch(self, job: _Job) -> None:
+        self.free_workers -= 1
+        if job.result.attempts == 0:
+            job.result.started = self.now
+        job.result.attempts += 1
+        if (self.cfg.worker_crash_rate > 0.0
+                and self._rng.random() < self.cfg.worker_crash_rate):
+            # The pool worker dies mid-attempt: the cluster DES never
+            # ran (nothing to replay), the slot is held for the partial
+            # slice the worker burned before dying.
+            self.worker_crashes += 1
+            burned = float(
+                self._rng.uniform(0.2, 0.9)) * self.cfg.est_job_time
+            outcome = AttemptOutcome(
+                status="crash", duration=burned,
+                detail="worker pool member crashed mid-attempt",
+            )
+        else:
+            deadline = (
+                job.spec.deadline if job.spec.deadline is not None
+                else self.cfg.default_deadline
+            )
+            outcome = self.executor.execute(job.exec_spec, deadline)
+        self._push(self.now + outcome.duration, "finish", (job, outcome))
+
+    # -- completion path ---------------------------------------------------------
+
+    def _on_finish(self, job: _Job, outcome: AttemptOutcome) -> None:
+        self.free_workers += 1
+        if outcome.status == "ok":
+            self._commit(job, outcome)
+            return
+        if outcome.status == "crash" and (
+            job.result.attempts < self.cfg.max_attempts
+        ):
+            delay = self.cfg.backoff_base * (
+                self.cfg.backoff_factor ** (job.result.attempts - 1)
+            )
+            if self.cfg.jitter_frac > 0.0:
+                delay *= 1.0 + self.cfg.jitter_frac * float(
+                    self._rng.uniform(-1.0, 1.0)
+                )
+            self._push(self.now + delay, "retry", job)
+            return
+        self._fail(job, outcome)
+
+    _REASONS = {
+        "crash": FailureReason.WORKER_CRASH,
+        "deadline": FailureReason.DEADLINE,
+        "stall": FailureReason.STALL,
+        "error": FailureReason.RUNTIME_ERROR,
+        "invalid": FailureReason.INVALID,
+    }
+
+    def _commit(self, job: _Job, outcome: AttemptOutcome) -> None:
+        key = job.result.key
+        if key in self.committed:  # pragma: no cover - exactly-once guard
+            raise ReproError(f"double commit for job key {key}")
+        r = job.result
+        r.status = JobStatus.COMPLETED
+        r.reason = ""
+        r.finished = self.now
+        r.makespan = outcome.makespan
+        r.flux_crc = outcome.flux_crc
+        r.exact = outcome.exact
+        r.fault_counters = dict(outcome.counters)
+        self.committed[key] = r
+        self._settle(job, success=True)
+
+    def _fail(self, job: _Job, outcome: AttemptOutcome) -> None:
+        r = job.result
+        r.status = JobStatus.FAILED
+        r.reason = self._REASONS[outcome.status]
+        r.detail = outcome.detail
+        r.finished = self.now
+        r.makespan = outcome.makespan
+        r.stall = outcome.stall
+        r.fault_counters = dict(outcome.counters)
+        self._settle(job, success=False)
+
+    def _settle(self, job: _Job, success: bool) -> None:
+        """One terminal record per admitted submission, primary first."""
+        del self._inflight[job.result.key]
+        br = self._breaker(job.spec.tenant)
+        (br.on_success if success else br.on_failure)(self.now)
+        self._record(job.result)
+        self.admission.release(job.spec.tenant)
+        src = job.result
+        for fr in job.followers:
+            fr.status = src.status
+            fr.reason = src.reason
+            fr.detail = "coalesced onto in-flight duplicate; " + src.detail
+            fr.started = fr.started or src.started
+            fr.finished = self.now
+            fr.makespan = src.makespan
+            fr.flux_crc = src.flux_crc
+            fr.exact = src.exact
+            fr.demoted = src.demoted
+            fr.demote_note = src.demote_note
+            self._record(fr)
+            self.admission.release(fr.tenant)
+
+    def _record(self, result: JobResult) -> None:
+        self.results.append(result)

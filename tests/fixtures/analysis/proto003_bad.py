@@ -1,0 +1,12 @@
+"""Golden violation: PROTO003 flags a service module reaching past the
+DataDrivenRuntime facade - a runtime submodule import and an internal
+layer name pulled out of the facade."""
+# repro: module=repro.service.rogue
+
+from repro.runtime import Simulator
+from repro.runtime.transport import Transport
+
+
+def hijack(nprocs):
+    sim = Simulator(frozenset())
+    return Transport, sim

@@ -1,0 +1,12 @@
+"""Clean twin of proto003_bad: the service talks to the runtime only
+through facade entry points and pure data/config types."""
+# repro: module=repro.service.polite
+
+from repro.runtime import DataDrivenRuntime, FaultPlan, RecoveryConfig
+
+
+def run(cores, progs, patch_proc):
+    rt = DataDrivenRuntime(
+        cores, faults=FaultPlan(seed=1), recovery=RecoveryConfig()
+    )
+    return rt.run(progs, patch_proc)

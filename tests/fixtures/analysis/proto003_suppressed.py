@@ -1,0 +1,10 @@
+"""Suppressed twin of proto003_bad."""
+# repro: module=repro.service.rogue
+
+# White-box test scaffolding that inspects the simulator on purpose.
+# repro: allow[PROTO003]
+from repro.runtime import Simulator
+
+
+def peek():
+    return Simulator

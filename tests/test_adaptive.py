@@ -246,6 +246,34 @@ def test_backpressure_stalls_are_booked():
     np.testing.assert_array_equal(phi, _reference_phi())
 
 
+def test_parked_sends_drain_fifo_per_destination():
+    """Flow control must be fair: when arrivals free inbox credits, the
+    parked backlog drains strictly oldest-first, even while newer sends
+    keep arriving and parking in between the receives."""
+    acfg = AdaptiveConfig(backpressure=True, inbox_credits=1)
+    sim, tr = _transport(RecoveryConfig(adaptive=acfg))
+    # One credit: the first send launches, the next two park in order.
+    a, b, c = (_send(tr, now=i * 1e-6) for i in range(3))
+    assert tr.pending[a.uid].parked is None
+    assert tr._parked == [b.uid, c.uid]
+    # A verified arrival frees the credit and launches the *oldest*
+    # parked send only.
+    assert tr.receive(a, 1, 3e-6)
+    assert tr.pending[b.uid].parked is None
+    assert tr.pending[c.uid].parked is not None
+    # Credit churn: fresh sends must queue behind the existing backlog,
+    # never jump it.
+    d, e = (_send(tr, now=4e-6 + i * 1e-6) for i in range(2))
+    assert tr._parked == [c.uid, d.uid, e.uid]
+    for launched, arriving in ((c, b), (d, c), (e, d)):
+        assert tr.receive(arriving, 1, 6e-6)
+        assert tr.pending[launched.uid].parked is None, (
+            "drain skipped the head of the parked queue"
+        )
+    assert tr._parked == []
+    assert tr.report.backpressure_stalls == 4
+
+
 def test_all_off_config_is_event_identical_to_none():
     """The opt-in contract: AdaptiveConfig() (everything off) must not
     perturb a single event - same makespan, same flux, no adaptive

@@ -25,6 +25,7 @@ FIXTURE_STEM = {
     "DES001": "des001",
     "PROTO001": "proto001",
     "PROTO002": "proto002",
+    "PROTO003": "proto003",
 }
 
 

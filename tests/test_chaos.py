@@ -290,6 +290,39 @@ class TestWatchdog:
         sim.push(50.0, "ack", None)
         sim.pop()
 
+    def test_stall_report_json_round_trip(self):
+        """StallReport/WaitEdge survive a full JSON round-trip - the
+        service layer attaches the dict form to job failures, so every
+        field (including an infinite partition-heal time in a reason)
+        must come back identical."""
+        import json
+        import math
+
+        from repro.runtime import StallReport, WaitEdge
+
+        lost = WaitEdge(
+            waiter="P3.0", holder="P0.1", src_proc=0, dst_proc=1,
+            retries=7,
+            reason=f"link 0->1 partitioned (heals at {math.inf})",
+        )
+        waiting = WaitEdge(
+            waiter="P1.0", holder="P3.0", src_proc=1, dst_proc=0,
+            retries=2, reason="upstream starved",
+        )
+        rep = StallReport(
+            now=3.5e-3, last_progress=1.5e-3, horizon=2e-3,
+            pending_events=11, waiting=(waiting, lost), lost=(lost,),
+            cycle=("P3.0", "P1.0", "P3.0"),
+        )
+        wire = json.dumps(rep.to_dict())
+        back = StallReport.from_dict(json.loads(wire))
+        assert back == rep
+        assert back.lost[0] == lost and back.waiting == (waiting, lost)
+        # The dict form stays render-compatible with the text form.
+        assert StallReport.from_dict(rep.to_dict()).describe() == (
+            rep.describe()
+        )
+
 
 # -- invariant sanitizer ---------------------------------------------------------
 

@@ -7,6 +7,8 @@ the recovery machinery armed stays within the checkpoint overhead
 budget of the fault-free makespan.
 """
 
+import warnings
+
 import pytest
 from numpy.testing import assert_array_equal
 
@@ -18,6 +20,7 @@ from repro.runtime import (
     DataDrivenRuntime,
     FaultInjector,
     FaultPlan,
+    LinkPartition,
     Machine,
     RecoveryConfig,
     StragglerWindow,
@@ -83,6 +86,28 @@ class TestFaultPlan:
                          stragglers=[StragglerWindow(0, 0.0, 1.0, 2.0)])
         assert isinstance(plan.crashes, tuple)
         assert isinstance(plan.stragglers, tuple)
+
+    def test_validate_warns_when_window_starts_past_horizon(self):
+        # A straggler or partition window that only opens at or beyond
+        # the armed watchdog horizon silently tests nothing: the run
+        # quiesces or is declared stalled before the fault fires.
+        late = FaultPlan(
+            stragglers=(StragglerWindow(0, 5.0, 6.0, 2.0),),
+            partitions=(LinkPartition(0, 1, 5.0, 6.0),),
+        )
+        with pytest.warns(UserWarning, match="straggler window"):
+            with pytest.warns(UserWarning, match="partition of link"):
+                late.validate(4, [], horizon=1.0)
+        # Windows inside the horizon - or no horizon armed at all -
+        # must stay silent.
+        early = FaultPlan(
+            stragglers=(StragglerWindow(0, 0.0, 1.0, 2.0),),
+            partitions=(LinkPartition(0, 1, 0.0, 0.5),),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            early.validate(4, [], horizon=1.0)
+            late.validate(4, [])
 
 
 class TestFaultInjector:
