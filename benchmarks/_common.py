@@ -139,9 +139,48 @@ def bench_args(
         "record stream as DIR/<label>.hb.json for "
         "`python -m repro.analysis check-trace`",
     )
+    ap.add_argument(
+        "--profile",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="run the benchmark under cProfile and write the top-25 "
+        "cumulative-time table to DIR/<bench>.pstats.txt plus the raw "
+        "stats to DIR/<bench>.pstats (default DIR: the working "
+        "directory, next to the benchmark's JSON artifacts)",
+    )
     if extra is not None:
         extra(ap)
     return ap.parse_args(argv)
+
+
+def maybe_profile(fn, label: str, opt):
+    """Run ``fn()`` - under cProfile when ``opt`` (= args.profile) is set.
+
+    Writes the top-25 cumulative-time entries to
+    ``DIR/<label>.pstats.txt`` (human-readable, next to whatever JSON
+    artifact the bench emits) and the raw profile to
+    ``DIR/<label>.pstats`` for pstats/snakeviz tooling.  Returns
+    ``fn()``'s result either way.
+    """
+    if opt is None:
+        return fn()
+    import cProfile
+    import io
+    import pstats
+
+    os.makedirs(opt, exist_ok=True)
+    prof = cProfile.Profile()
+    result = prof.runcall(fn)
+    prof.dump_stats(os.path.join(opt, f"{label}.pstats"))
+    buf = io.StringIO()
+    pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(25)
+    path = os.path.join(opt, f"{label}.pstats.txt")
+    with open(path, "w") as fh:
+        fh.write(buf.getvalue())
+    print(f"profile: {path} (top 25 by cumulative time)")
+    return result
 
 
 def write_chrome_trace(report, label: str, directory: str) -> str:

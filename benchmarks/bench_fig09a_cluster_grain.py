@@ -16,7 +16,7 @@ import pytest
 from repro import DataDrivenRuntime, PatchSet, StructuredMesh
 from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
 
-from _common import MACHINE, print_series
+from _common import MACHINE, bench_args, maybe_profile, print_series
 
 GRAINS = [1, 8, 64, 256, 1024, 2048, 4096]
 CORES = 24
@@ -65,3 +65,9 @@ def test_fig09a_vertex_clustering_grain(benchmark):
     # Executions drop monotonically with grain.
     execs = [r[2] for r in rows]
     assert all(a >= b for a, b in zip(execs, execs[1:]))
+if __name__ == "__main__":
+    args = bench_args("Fig. 9a: vertex-clustering grain sensitivity")
+    rows = maybe_profile(run_fig09a, "fig09a", args.profile)
+    print_series("Fig. 9a - vertex clustering grain",
+                 ["grain", "time_ms", "executions", "messages", "idle_frac"],
+                 rows)

@@ -14,7 +14,7 @@ import pytest
 from repro import DataDrivenRuntime, PatchSet, cube_structured
 from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
 
-from _common import MACHINE, print_series
+from _common import MACHINE, bench_args, maybe_profile, print_series
 
 STRATEGIES = ["ldcp+ldcp", "slbd+slbd", "ldcp+slbd"]
 CORES = [24, 48, 96, 192]
@@ -60,3 +60,10 @@ def test_fig09b_priority_strategies_structured(benchmark):
     assert worst == "ldcp+ldcp" or last[worst] < 1.1 * min(last.values()), (
         f"expected an SLBD vertex ordering to win at scale, got {last}"
     )
+if __name__ == "__main__":
+    args = bench_args("Fig. 9b: priority strategies (structured)")
+    out = maybe_profile(run_fig09b, "fig09b", args.profile)
+    rows = [[c] + [out[s][i] for s in STRATEGIES]
+            for i, c in enumerate(CORES)]
+    print_series("Fig. 9b - priority strategies (structured)",
+                 ["cores"] + list(STRATEGIES), rows)

@@ -11,15 +11,27 @@ monotone speedup with efficiency decaying into the 30-70% band at 16x.
 
 import pytest
 
-from _common import KOBA_LARGE, KOBA_MIDDLE, koba_app, print_series
+from _common import (
+    KOBA_LARGE, KOBA_MIDDLE, bench_args, check_hb, koba_app, maybe_profile,
+    print_series, write_chrome_trace,
+)
 
 
-def _strong_scaling(n: int, cores_list: list[int], patch: int) -> list[list]:
+def _strong_scaling(
+    n: int, cores_list: list[int], patch: int,
+    trace_dir=None, hb=None,
+) -> list[list]:
     rows = []
     base = None
+    traced = trace_dir is not None or hb is not None
     for cores in cores_list:
         app = koba_app(n, cores, patch=patch)
-        rep = app.sweep_report(cores, coarsened=False)
+        rep = app.sweep_report(cores, coarsened=False, trace=traced)
+        if traced:
+            label = f"fig12-koba{n}-c{cores}"
+            if trace_dir is not None:
+                write_chrome_trace(rep, label, trace_dir)
+            check_hb(rep, label, hb)
         if base is None:
             base = (cores, rep.makespan)
         speedup = base[1] / rep.makespan * 1.0
@@ -31,6 +43,11 @@ def _strong_scaling(n: int, cores_list: list[int], patch: int) -> list[list]:
 
 def run_fig12a() -> list[list]:
     return _strong_scaling(KOBA_MIDDLE, [24, 48, 96, 192, 384], patch=6)
+
+
+def run_fig12a_smoke() -> list[list]:
+    """CI-sized fig12a: the two smallest core counts only."""
+    return _strong_scaling(KOBA_MIDDLE, [24, 48], patch=6)
 
 
 def run_fig12b() -> list[list]:
@@ -67,3 +84,35 @@ def test_fig12b_kobayashi_large_scale(benchmark):
     times = [r[1] for r in rows]
     assert all(a > b for a, b in zip(times, times[1:]))
     assert 0.2 <= rows[-1][3] <= 0.85
+
+
+_HDR = ["cores", "time_ms", "speedup", "efficiency", "idle_frac"]
+
+if __name__ == "__main__":
+    args = bench_args("Fig. 12: strong scaling of JSNT-S (Kobayashi)")
+    _tr, _hb = args.trace, args.check_hb
+    if args.smoke:
+        rows = maybe_profile(
+            lambda: _strong_scaling(
+                KOBA_MIDDLE, [24, 48], patch=6, trace_dir=_tr, hb=_hb
+            ),
+            "fig12a_smoke", args.profile,
+        )
+        print_series("Fig. 12a (smoke)", _HDR, rows)
+    else:
+        rows = maybe_profile(
+            lambda: _strong_scaling(
+                KOBA_MIDDLE, [24, 48, 96, 192, 384], patch=6,
+                trace_dir=_tr, hb=_hb,
+            ),
+            "fig12a", args.profile,
+        )
+        print_series(f"Fig. 12a - Kobayashi-{KOBA_MIDDLE}", _HDR, rows)
+        rows = maybe_profile(
+            lambda: _strong_scaling(
+                KOBA_LARGE, [48, 96, 192, 384, 768], patch=8,
+                trace_dir=_tr, hb=_hb,
+            ),
+            "fig12b", args.profile,
+        )
+        print_series(f"Fig. 12b - Kobayashi-{KOBA_LARGE}", _HDR, rows)

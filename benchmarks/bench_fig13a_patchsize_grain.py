@@ -16,7 +16,7 @@ import pytest
 
 from repro.runtime import CostModel
 
-from _common import print_series, reactor_app
+from _common import bench_args, maybe_profile, print_series, reactor_app
 
 CORES = 24
 PATCH_SIZES = [50, 100, 250, 500, 1000, 2000]
@@ -77,3 +77,11 @@ def test_fig13a_cluster_grain(benchmark):
     # Drops then plateaus; no structured-style blow-up at large grain.
     assert times[1] > times[16]
     assert times[64] < 1.3 * min(times.values())
+if __name__ == "__main__":
+    args = bench_args("Fig. 13a: patch-size and grain sensitivity")
+    rows = maybe_profile(run_patch_sizes, "fig13a_patch", args.profile)
+    print_series("Fig. 13a - patch size",
+                 ["patch", "npatches", "time_ms", "messages", "idle_frac"],
+                 rows)
+    rows = maybe_profile(run_grains, "fig13a_grain", args.profile)
+    print_series("Fig. 13a - grain", ["grain", "time_ms", "executions"], rows)

@@ -13,7 +13,7 @@ import pytest
 
 from repro.runtime import CostModel
 
-from _common import print_series, reactor_app
+from _common import bench_args, maybe_profile, print_series, reactor_app
 
 STRATEGIES = ["bfs", "bfs+slbd", "slbd", "slbd+bfs"]
 CORES = [24, 48, 96, 192]
@@ -52,3 +52,10 @@ def test_fig13b_priority_strategies_unstructured(benchmark):
         assert max(vals) / min(vals) < 1.5, (
             f"spread too large at {CORES[i]} cores: {vals}"
         )
+if __name__ == "__main__":
+    args = bench_args("Fig. 13b: priority strategies (unstructured)")
+    out = maybe_profile(run_fig13b, "fig13b", args.profile)
+    rows = [[c] + [out[s][i] for s in STRATEGIES]
+            for i, c in enumerate(CORES)]
+    print_series("Fig. 13b - priority strategies (unstructured)",
+                 ["cores"] + list(STRATEGIES), rows)

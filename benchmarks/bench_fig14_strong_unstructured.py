@@ -14,17 +14,27 @@ core multiples.
 
 import pytest
 
-from _common import ball_app, print_series
+from _common import (
+    ball_app, bench_args, check_hb, maybe_profile, print_series,
+    write_chrome_trace,
+)
 
 
-def _strong(resolution: int, cores_list: list[int], patch_size: int):
+def _strong(resolution: int, cores_list: list[int], patch_size: int,
+            trace_dir=None, hb=None):
     rows = []
     base = None
     ncells = None
+    traced = trace_dir is not None or hb is not None
     for cores in cores_list:
         app = ball_app(resolution, cores, patch_size=patch_size)
         ncells = app.solver.mesh.num_cells
-        rep = app.sweep_report(cores)
+        rep = app.sweep_report(cores, trace=traced)
+        if traced:
+            label = f"fig14-ball{resolution}-c{cores}"
+            if trace_dir is not None:
+                write_chrome_trace(rep, label, trace_dir)
+            check_hb(rep, label, hb)
         if base is None:
             base = (cores, rep.makespan)
         sp = base[1] / rep.makespan
@@ -67,3 +77,35 @@ def test_fig14b_large_ball(benchmark):
     times = [r[1] for r in rows]
     assert all(a > b for a, b in zip(times, times[1:]))
     assert 0.25 <= rows[-1][3] <= 0.9
+
+
+_HDR = ["cores", "time_ms", "speedup", "efficiency", "idle_frac"]
+
+if __name__ == "__main__":
+    args = bench_args("Fig. 14: strong scaling of JSNT-U (ball meshes)")
+    _tr, _hb = args.trace, args.check_hb
+    if args.smoke:
+        ncells, rows = maybe_profile(
+            lambda: _strong(
+                14, [24, 48], patch_size=120, trace_dir=_tr, hb=_hb
+            ),
+            "fig14a_smoke", args.profile,
+        )
+        print_series(f"Fig. 14a (smoke, {ncells} tets)", _HDR, rows)
+    else:
+        ncells, rows = maybe_profile(
+            lambda: _strong(
+                14, [24, 48, 96, 192, 384], patch_size=120,
+                trace_dir=_tr, hb=_hb,
+            ),
+            "fig14a", args.profile,
+        )
+        print_series(f"Fig. 14a - small ball ({ncells} tets)", _HDR, rows)
+        ncells, rows = maybe_profile(
+            lambda: _strong(
+                20, [48, 96, 192, 384, 768], patch_size=120,
+                trace_dir=_tr, hb=_hb,
+            ),
+            "fig14b", args.profile,
+        )
+        print_series(f"Fig. 14b - large ball ({ncells} tets)", _HDR, rows)

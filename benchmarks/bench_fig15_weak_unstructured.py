@@ -13,7 +13,7 @@ the largest scale (shorter critical-path growth).
 
 import pytest
 
-from _common import ball_app, print_series, reactor_app
+from _common import ball_app, bench_args, maybe_profile, print_series, reactor_app
 
 CORES = [24, 48, 96, 192]
 REACTOR_RES = {24: 20, 48: 28, 96: 40, 192: 56}  # ~ sqrt(cores)
@@ -63,3 +63,9 @@ def test_fig15_weak_scaling(benchmark):
     for rows in (reactor_rows, ball_rows):
         assert rows[-1][4] < 0.85
         assert rows[-1][4] < rows[1][4] * 1.05
+if __name__ == "__main__":
+    args = bench_args("Fig. 15: weak scaling (unstructured)")
+    reactor_rows, ball_rows = maybe_profile(run_fig15, "fig15", args.profile)
+    header = ["cores", "cells", "cells/core", "time_ms", "weak_eff"]
+    print_series("Fig. 15 - weak scaling, reactor", header, reactor_rows)
+    print_series("Fig. 15 - weak scaling, ball", header, ball_rows)

@@ -23,7 +23,10 @@ import pytest
 
 from repro.runtime import CATEGORIES
 
-from _common import bench_args, check_hb, koba_app, print_series, write_chrome_trace
+from _common import (
+    bench_args, check_hb, koba_app, maybe_profile, print_series,
+    write_chrome_trace,
+)
 
 CORES = [24, 48, 96, 192]
 N = 20
@@ -80,5 +83,8 @@ def test_fig16_runtime_breakdown(benchmark):
 if __name__ == "__main__":
     args = bench_args("Fig. 16 runtime breakdown (use --trace to export "
                       "Chrome-trace JSON per run)")
-    rows, _ = run_fig16(trace_dir=args.trace, hb=args.check_hb)
+    rows, _ = maybe_profile(
+        lambda: run_fig16(trace_dir=args.trace, hb=args.check_hb),
+        "fig16", args.profile,
+    )
     _print(rows)

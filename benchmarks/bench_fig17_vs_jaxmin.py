@@ -16,7 +16,7 @@ relative gap in (b).
 
 import pytest
 
-from _common import ball_app, koba_app, print_series
+from _common import ball_app, bench_args, koba_app, maybe_profile, print_series
 
 KOBA_CORES = [24, 48, 96, 192]
 BALL_CORES = [24, 48, 96, 192]
@@ -71,3 +71,11 @@ def test_fig17b_vs_jaumin_unstructured(benchmark):
         assert r[3] > 1.0
     # The comparative advantage grows (slightly) with core count.
     assert rows[-1][3] > rows[0][3]
+if __name__ == "__main__":
+    args = bench_args("Fig. 17: JSweep (hybrid) vs MPI-only baseline")
+    rows = maybe_profile(run_fig17a, "fig17a", args.profile)
+    print_series("Fig. 17a - Kobayashi",
+                 ["cores", "jasmin_ms", "jsweep_ms", "gap"], rows)
+    rows = maybe_profile(run_fig17b, "fig17b", args.profile)
+    print_series("Fig. 17b - ball",
+                 ["cores", "jaumin_ms", "jsweep_ms", "gap"], rows)

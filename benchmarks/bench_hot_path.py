@@ -1,0 +1,175 @@
+"""Hot-path wall-clock benchmark: the lean event core refactor.
+
+Times the paper's strong-scaling benchmarks (Fig. 12 structured,
+Fig. 14 unstructured) end to end on the host clock and compares
+against the pre-refactor seed baselines measured on this container at
+identical scales.  Also reports ``RunReport.perf_summary()`` for one
+representative configuration per mesh family (events per host-second,
+peak event-heap occupancy, per-layer event counts) and asserts the
+vectorized-kernel floor: ``fast-level`` must beat the scalar ``fast``
+sweep on wall clock (their bitwise identity is pinned in
+``tests/test_kernels_level.py``).
+
+Writes ``BENCH_hot_path.json`` at the repo root (override with
+``--json``).  ``--smoke`` runs the CI-sized configurations; the
+committed JSON carries the full-scale numbers.
+
+Wall times are stamped *here*, never inside ``src/repro`` - the
+simulation is a pure function of its inputs and must not read the
+host clock (lint rule DET001).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from _common import KOBA_MIDDLE, ball_app, bench_args, koba_app, print_series
+from bench_fig12_strong_structured import (
+    run_fig12a, run_fig12a_smoke, run_fig12b,
+)
+from bench_fig14_strong_unstructured import _strong, run_fig14a, run_fig14b
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_hot_path.json")
+
+#: Pre-refactor wall clock (seconds) of the same entry points at the
+#: same scales, measured on this container at the seed revision before
+#: the lean-event-core refactor landed.
+SEED_BASELINE_S = {
+    "fig12a": 11.77,
+    "fig12b": 27.82,
+    "fig14a": 22.62,
+    "fig14b": 76.91,
+}
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _perf_summary(app, cores: int) -> dict:
+    """One representative DES run with the wall clock stamped around it."""
+    t0 = time.perf_counter()
+    rep = app.sweep_report(cores)
+    rep.wall_time = time.perf_counter() - t0
+    return rep.perf_summary()
+
+
+def kernel_floor(n: int = 14) -> dict:
+    """Scalar vs level-vectorized sweep kernel; the vectorized path
+    (the ``sweep_once`` default) must win on wall clock."""
+    from repro.framework import PatchSet
+    from repro.mesh import cube_structured
+    from repro.sweep import Material, MaterialMap, SnSolver, level_symmetric
+
+    mesh = cube_structured(n, float(n) / 2.0)
+    ps = PatchSet.single_patch(mesh)
+    mm = MaterialMap.uniform(
+        Material.isotropic(1.0, 0.5, groups=2), mesh.num_cells
+    )
+    s = SnSolver(ps, level_symmetric(4), mm, np.ones((mesh.num_cells, 2)))
+    s.sweep_once(mode="fast")  # warm topology/adjacency caches
+    s.sweep_once(mode="fast-level")
+    t_scalar = _timed(lambda: s.sweep_once(mode="fast"))
+    t_vec = _timed(lambda: s.sweep_once(mode="fast-level"))
+    assert t_vec < t_scalar, (
+        f"vectorized kernel floor violated: fast-level {t_vec:.3f}s vs "
+        f"fast {t_scalar:.3f}s"
+    )
+    return {
+        "cells": mesh.num_cells,
+        "scalar_s": round(t_scalar, 4),
+        "vectorized_s": round(t_vec, 4),
+        "speedup": round(t_scalar / t_vec, 2),
+    }
+
+
+def run_hot_path(smoke: bool = False) -> dict:
+    if smoke:
+        benches = {
+            "fig12a_smoke": run_fig12a_smoke,
+            "fig14a_smoke": lambda: _strong(14, [24, 48], patch_size=120),
+        }
+    else:
+        benches = {
+            "fig12a": run_fig12a,
+            "fig12b": run_fig12b,
+            "fig14a": run_fig14a,
+            "fig14b": run_fig14b,
+        }
+    timings = {}
+    for name, fn in benches.items():
+        dt = _timed(fn)
+        base = SEED_BASELINE_S.get(name)
+        timings[name] = {
+            "baseline_s": base,
+            "after_s": round(dt, 2),
+            "speedup": round(base / dt, 2) if base else None,
+        }
+    # Representative events/sec, one configuration per mesh family.
+    if smoke:
+        perf = {
+            "fig12a@48": _perf_summary(koba_app(KOBA_MIDDLE, 48), 48),
+            "fig14a@48": _perf_summary(
+                ball_app(14, 48, patch_size=120), 48
+            ),
+        }
+    else:
+        perf = {
+            "fig12a@384": _perf_summary(koba_app(KOBA_MIDDLE, 384), 384),
+            "fig14a@384": _perf_summary(
+                ball_app(14, 384, patch_size=120), 384
+            ),
+        }
+    return {
+        "benchmark": "hot_path",
+        "smoke": smoke,
+        "timings": timings,
+        "perf": perf,
+        "kernel_floor": kernel_floor(10 if smoke else 14),
+    }
+
+
+def main(argv=None) -> None:
+    args = bench_args(
+        "Hot-path wall clock: lean event core vs seed baselines",
+        argv,
+        extra=lambda ap: ap.add_argument(
+            "--json", default=JSON_PATH, metavar="PATH",
+            help="where to write the JSON summary",
+        ),
+    )
+    result = run_hot_path(smoke=args.smoke)
+    rows = [
+        [name, t["baseline_s"] or float("nan"), t["after_s"],
+         t["speedup"] or float("nan")]
+        for name, t in result["timings"].items()
+    ]
+    print_series(
+        "Hot path: wall clock vs seed baseline",
+        ["bench", "seed_s", "after_s", "speedup"],
+        rows,
+    )
+    for label, p in result["perf"].items():
+        print(
+            f"{label}: {p['events']} events, "
+            f"{p['events_per_sec']:.0f} events/s, "
+            f"peak heap {p['peak_heap']}"
+        )
+    kf = result["kernel_floor"]
+    print(
+        f"kernel floor: scalar {kf['scalar_s']}s vs vectorized "
+        f"{kf['vectorized_s']}s ({kf['speedup']}x, {kf['cells']} cells)"
+    )
+    with open(args.json, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"json: {os.path.abspath(args.json)}")
+
+
+if __name__ == "__main__":
+    main()

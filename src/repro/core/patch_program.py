@@ -79,6 +79,18 @@ class PatchProgram(ABC):
 
     # -- optional hooks used by the runtime --------------------------------------
 
+    def drain_outputs(self) -> list[Stream]:
+        """All pending outgoing streams, in emission (FIFO) order.
+
+        Semantically ``[s for s in iter(self.output, None)]``; programs
+        that buffer emissions in a list override this to hand the
+        buffer over wholesale instead of popping one stream per call.
+        """
+        out: list[Stream] = []
+        while (s := self.output()) is not None:
+            out.append(s)
+        return out
+
     def remaining_workload(self) -> int | None:
         """Remaining work units, when known a priori (sweeps: un-solved
         vertices).  Enables the no-negotiation termination fast path of

@@ -22,10 +22,26 @@ class ProgramId:
 
     ``task`` is application-defined; the Sn sweep component uses the
     sweeping-angle index, giving patch-angle parallelism for free.
+
+    Program ids key every hot dictionary of the runtime (route table,
+    run state, priority queues, workload tracker), so the field-tuple
+    hash the dataclass machinery would generate per lookup is cached
+    once at construction instead.
     """
 
     patch: int
     task: Hashable
+
+    def __post_init__(self):
+        object.__setattr__(self, "_hash", hash((self.patch, self.task)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is ProgramId:
+            return self.patch == other.patch and self.task == other.task
+        return NotImplemented
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"({self.patch},{self.task})"
@@ -51,6 +67,10 @@ class Stream:
     stamped at send time on reliable paths; receivers recompute it and
     NACK on mismatch, turning silent in-flight corruption into a fast
     retransmit.  ``None`` means integrity checking is off.
+
+    ``dsti`` caches the runtime's dense index of ``dst`` (see
+    ``Router.index_of``); it is stamped on first routing so repeated
+    hops skip the id-keyed lookup.  ``-1`` means not yet resolved.
     """
 
     src: ProgramId
@@ -61,6 +81,7 @@ class Stream:
     seq: int | None = None
     epoch: int = 0
     checksum: int | None = None
+    dsti: int = -1
 
     def __post_init__(self):
         if self.items < 0 or self.nbytes < 0:

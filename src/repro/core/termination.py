@@ -158,15 +158,17 @@ class MisraMarkerRing:
         return self.hops - start
 
 
-def verify_quiescent(progs, states, tracker: WorkloadTracker) -> None:
+def verify_quiescent(pids, progs, states, tracker: WorkloadTracker) -> None:
     """Post-run invariant: quiescence must mean *completion*.
 
-    Every program is INACTIVE with zero remaining workload, and the
-    shared workload ledger is drained - an empty event heap with any of
-    these violated means the run silently lost work.
+    ``pids``, ``progs`` and ``states`` are parallel sequences (the
+    runtime's dense-index program arrays).  Every program must be
+    INACTIVE with zero remaining workload, and the shared workload
+    ledger drained - an empty event heap with any of these violated
+    means the run silently lost work.
     """
-    for pid, prog in progs.items():
-        if states[pid] is not ProgramState.INACTIVE:
+    for pid, prog, state in zip(pids, progs, states):
+        if state is not ProgramState.INACTIVE:
             raise ReproError(f"{pid!r} still active at quiescence")
         rem = prog.remaining_workload()
         if rem is not None and rem != 0:

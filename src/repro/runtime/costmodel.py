@@ -48,22 +48,41 @@ class CostModel:
     t_exec_fixed: float = 1.5e-6  # per-run fixed overhead on the worker
     groups: int = 1  # energy groups swept together
 
-    def run_cost(
+    def run_cost_parts(
         self, counters: dict[str, int], remote_streams: int, remote_items: int
-    ) -> dict[str, float]:
-        """Virtual-time breakdown of one worker run of a patch-program."""
+    ) -> tuple[float, float, float, float]:
+        """``(kernel, graph_op, pack, fixed)`` of one worker run.
+
+        The tuple form of :meth:`run_cost` (which wraps it): the
+        scheduler's hot path sums the four parts directly instead of
+        building and re-iterating a dict per execution.
+        """
         v = counters.get("vertices", 0)
         e = counters.get("edges", 0)
         inp = counters.get("input_items", 0)
         # Ready-queue pops default to one per vertex; coarsened-graph
         # programs pop whole clusters and report the coarse count.
         pops = counters.get("pops", v)
-        return {
-            "kernel": v * self.t_vertex * self.groups,
-            "graph_op": e * self.t_edge + pops * self.t_pop + inp * self.t_input_item,
-            "pack": remote_streams * self.t_pack_fixed
+        return (
+            v * self.t_vertex * self.groups,
+            e * self.t_edge + pops * self.t_pop + inp * self.t_input_item,
+            remote_streams * self.t_pack_fixed
             + remote_items * self.t_pack_item * self.groups,
-            "fixed": self.t_exec_fixed,
+            self.t_exec_fixed,
+        )
+
+    def run_cost(
+        self, counters: dict[str, int], remote_streams: int, remote_items: int
+    ) -> dict[str, float]:
+        """Virtual-time breakdown of one worker run of a patch-program."""
+        kernel, graph_op, pack, fixed = self.run_cost_parts(
+            counters, remote_streams, remote_items
+        )
+        return {
+            "kernel": kernel,
+            "graph_op": graph_op,
+            "pack": pack,
+            "fixed": fixed,
         }
 
     def unpack_cost(self, streams: int, items: int) -> float:

@@ -2,26 +2,17 @@
 composition root over the layered simulator substrate.
 
 Executes patch-programs with the exact semantics of the serial engine,
-but on a simulated multicore cluster: each MPI process has a master
-thread (stream routing, program dispatch, termination) and worker
-threads (program execution), per Fig. 8.  Because the *real* algorithm
-runs, every schedule-level phenomenon of the paper emerges rather than
-being modeled; only the time axis is synthetic (see DESIGN.md).
-The machinery lives in five layers, composed here and each documented
-in its own module:
-
-* :mod:`repro.runtime.simulator` - event heap, core timelines, virtual
-  clock, quiescence counter (the DES core, S10);
-* :mod:`repro.runtime.router`    - route table, owner map, failover
-  re-assignment (S9 routing plane);
-* :mod:`repro.runtime.transport` - wire times plus seq/ack/retransmit/
-  dedup reliable delivery with the fault-injection hook (S20);
-* :mod:`repro.runtime.scheduler` - per-process priority queues, worker
-  pools, and the ``hybrid`` vs ``mpi_only`` core layouts as policy
-  objects (S9 dispatch plane; see :mod:`repro.runtime.cluster`);
-* :mod:`repro.runtime.recovery`  - incremental checkpoints, delivery
-  logs, crash failover orchestration (S20; armed per
-  :mod:`repro.runtime.faults`).
+but on a simulated multicore cluster (master thread routing streams,
+worker threads executing programs, per Fig. 8).  Because the *real*
+algorithm runs, every schedule-level phenomenon of the paper emerges
+rather than being modeled; only the time axis is synthetic (DESIGN.md).
+The machinery lives in layers, composed here and each documented in
+its own module: ``simulator`` (event heap, core timelines, virtual
+clock, quiescence), ``router`` (route table, owner map), ``transport``
+(wire times, reliable delivery, fault injection), ``scheduler``
+(queues, worker pools, core-layout policies), ``recovery``
+(checkpoints, crash failover), and ``fastloop`` (the batched
+clean-run event loop).
 
 :class:`DataDrivenRuntime` validates the run, wires the layers
 together, drives the master event loop (Alg. 1), and negotiates
@@ -38,6 +29,7 @@ from ..core.patch_program import PatchProgram, ProgramState
 from ..core.termination import MisraMarkerRing, WorkloadTracker, verify_quiescent
 from .cluster import Machine, TIANHE2
 from .costmodel import CostModel
+from .fastloop import clean_loop
 from .faults import (
     AdaptiveConfig, FaultInjector, FaultPlan, RecoveryConfig, arm_recovery,
 )
@@ -51,11 +43,9 @@ from .transport import Transport
 
 __all__ = ["DataDrivenRuntime", "DeadlineExceeded"]
 
-#: Event kinds that represent actual forward progress of the run; the
-#: simulator counts how many are outstanding to recognize quiescence.
-_PROGRESS = frozenset(
-    ("run_start", "run_end", "msg_arrive", "deliver", "failover", "requeue")
-)
+#: Forward-progress event kinds (their outstanding count is the simulator's
+#: quiescence detector).
+_PROGRESS = frozenset(("run_start", "run_end", "msg_arrive", "deliver", "failover", "requeue"))
 
 
 class DataDrivenRuntime:
@@ -95,11 +85,9 @@ class DataDrivenRuntime:
     ) -> RunReport:
         """Execute ``programs`` to global termination; returns the report.
 
-        ``patch_proc[p]`` is the owning process of patch ``p`` and must
-        be consistent with the layout's process count and with the
-        patches the programs reference.  ``deadline`` is an optional
-        virtual-time budget: the first event past it cancels the run
-        cleanly with :class:`DeadlineExceeded`; ``None`` changes nothing.
+        ``patch_proc[p]`` is the owning process of patch ``p``;
+        ``deadline`` is an optional virtual-time budget (the first
+        event past it raises :class:`DeadlineExceeded`).
         """
         if deadline is not None and deadline <= 0:
             raise ReproError("run deadline must be positive")
@@ -121,7 +109,7 @@ class DataDrivenRuntime:
         sim = Simulator(
             _PROGRESS,
             trace_hook=report.trace_events.append if self.trace else None,
-            trace_fields=trace_fields,
+            trace_fields=lambda k, d: trace_fields(k, d, router.pids),
             note_hook=report.hb_events.append if self.trace else None,
         )
         st = RunState()
@@ -139,16 +127,17 @@ class DataDrivenRuntime:
             self.cost, report, bd, slow, transport, tracker,
             sanitizer=san, adaptive=acfg,
         )
+        # No injector: slowdown hook is 1.0; skip per-run calls/scalings.
+        sched.unit_slow = inj is None
         rec = RecoveryManager(
-            sim, router, transport, sched, rcfg, report, bd, st, slow,
-            sanitizer=san,
+            sim, router, transport, sched, rcfg, report, bd, st, slow, sanitizer=san
         ) if ft else None
         if ft and rcfg.watchdog_horizon > 0:
             sim.arm_watchdog(rcfg.watchdog_horizon, transport.stall_snapshot)
 
         # -- seed: every program starts active -------------------------------------
-        for pid in st.progs:
-            sched.enqueue(pid)
+        for i in range(len(st.progs)):
+            sched.enqueue(i)
         for p in range(lay.nprocs):
             sched.dispatch(p, 0.0)
         cascaded: set[int] = set()  # procs whose crash was cascade-induced
@@ -160,12 +149,20 @@ class DataDrivenRuntime:
 
         # -- the master event loop (Alg. 1) ----------------------------------------
         cm = self.cost
+        if not ft and deadline is None:
+            # Fault-free, unbudgeted runs see only the four data-plane
+            # kinds and never hit the staleness filters, retraction, or
+            # control-plane dispatch below (crashes always arm
+            # recovery): take the batched lean loop (fastloop module).
+            report.events = clean_loop(
+                sim, sched, transport, st, router, cm, slow, bd, unit=inj is None
+            )
+            return self._finish(sim, sched, st, router, tracker, san, report, bd)
         while sim:
             now, kind, data = sim.pop()
 
             if deadline is not None and now > deadline:
-                # Events pop in time order: the first one past the
-                # budget proves nothing more can happen within it.
+                # Events pop in time order: first past the budget ends the run.
                 report.makespan = sim.makespan
                 bd.finalize_idle(sim.makespan, sched.cores())
                 raise DeadlineExceeded(deadline, now, report)
@@ -183,7 +180,7 @@ class DataDrivenRuntime:
                 continue  # receiver is down; the sender will retry
             elif kind == "requeue":
                 pid, ep = data
-                if ep != st.epoch[pid] or router.proc_of[pid] in router.dead:
+                if ep != st.epoch[st.index[pid]] or router.proc_of[pid] in router.dead:
                     continue
             elif kind in ("crash", "ckpt", "health") and (
                 data in router.dead or rec.quiescent()
@@ -205,24 +202,23 @@ class DataDrivenRuntime:
                 dur = cm.unpack_cost(1, s.items) * slow(p, now)
                 _, end = sched.masters[p].book(now, dur)
                 bd.add(sched.masters[p].core, "unpack", dur)
-                sim.push(end, "deliver", (s.dst, s))
+                sim.push(end, "deliver", (s.dsti if s.dsti >= 0 else st.index[s.dst], s))
             elif kind == "deliver":
-                pid, s = data
-                st.inbox[pid].append(s)
+                i, s = data
+                st.inbox[i].append(s)
                 if ft:
-                    rec.log_delivery(pid, s)
-                if st.state[pid] is ProgramState.INACTIVE:
-                    st.state[pid] = ProgramState.ACTIVE
-                if pid not in sched.running:
-                    sched.enqueue(pid)
-                    sched.dispatch(router.proc_of[pid], now)
+                    rec.log_delivery(st.pids[i], s)
+                if st.state[i] is ProgramState.INACTIVE:
+                    st.state[i] = ProgramState.ACTIVE
+                if i not in sched.running:
+                    sched.enqueue(i)
+                    sched.dispatch(router.proc_idx[i], now)
             elif kind == "crash":
                 rec.on_crash(data, now)
                 if data in cascaded:
                     report.cascade_crashes += 1
                 if inj is not None:
-                    # Correlated failure: a seeded subset of survivors
-                    # follows a plan crash within its cascade window.
+                    # Correlated failure: seeded survivors follow suit.
                     alive = [q for q in range(lay.nprocs)
                              if q not in router.dead]
                     for q, t_q in inj.cascade_after(data, alive, now):
@@ -231,9 +227,9 @@ class DataDrivenRuntime:
             elif kind == "failover":
                 rec.on_failover(data, now)
             elif kind == "requeue":
-                pid, _ = data
-                sched.enqueue(pid)
-                sched.dispatch(router.proc_of[pid], now)
+                i = st.index[data[0]]
+                sched.enqueue(i)
+                sched.dispatch(router.proc_idx[i], now)
             elif kind == "ckpt":
                 rec.on_ckpt(data, now)
             elif kind == "health":
@@ -241,19 +237,23 @@ class DataDrivenRuntime:
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown event kind {kind!r}")
 
-        # -- post-run checks and termination negotiation ---------------------------
-        verify_quiescent(st.progs, st.state, tracker)
-        if san is not None:
-            san.check_final(st.progs)
-            report.sanitizer_checks = san.checks
+        return self._finish(sim, sched, st, router, tracker, san, report, bd)
 
+    def _finish(self, sim, sched, st, router, tracker, san, report, bd) -> RunReport:
+        """Post-run checks, termination negotiation, final accounting."""
+        verify_quiescent(st.pids, st.progs, st.state, tracker)
+        if san is not None:
+            san.check_final(dict(zip(st.pids, st.progs)))
+            report.sanitizer_checks = san.checks
         makespan = sim.makespan
         if self.termination == "consensus":
-            hops = MisraMarkerRing.all_idle_hops(lay.nprocs - len(router.dead))
+            hops = MisraMarkerRing.all_idle_hops(router.nprocs - len(router.dead))
             report.termination_hops = hops
             report.termination_time = hops * self.machine.latency_inter
             makespan += report.termination_time
 
         report.makespan = makespan
+        report.peak_heap = sim.peak_heap
+        report.event_counts = sim.event_counts()
         bd.finalize_idle(makespan, sched.cores())
         return report

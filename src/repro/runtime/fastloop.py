@@ -1,0 +1,169 @@
+"""Batched master event loop for clean runs (the hot path).
+
+Fault-free runs (no :class:`~repro.runtime.faults.RecoveryConfig`
+armed) only ever see the four data-plane event kinds - ``run_start``,
+``run_end``, ``msg_arrive``, ``deliver`` - and never trigger the
+staleness filters, progress retraction, or control-plane dispatch of
+the general loop in :mod:`repro.runtime.engine_des`.  This module is
+that loop with everything unreachable stripped out and the remainder
+specialized:
+
+* whole same-timestamp batches are drained per iteration via
+  :meth:`~repro.runtime.simulator.Simulator.pop_batch` (one heap
+  access pattern, one makespan update per batch);
+* dispatch compares interned kind *ids* (ints) instead of strings.
+
+Batching is sound because events pushed while a batch is being
+processed carry strictly larger tie-break sequences: they sort after
+every event already drained even at the same timestamp, so the
+interleaving is identical to one-at-a-time ``pop``.  Per-event
+accounting (progress clock, quiescence counter, trace hook, pop
+counts) happens inside ``pop_batch`` in pop order.  Golden
+fingerprints are bitwise identical to the general loop.
+"""
+
+from __future__ import annotations
+
+import gc
+from heapq import heappop as _heappop
+
+from .._util import ReproError
+from ..core.patch_program import ProgramState
+
+__all__ = ["clean_loop"]
+
+
+def clean_loop(sim, sched, transport, st, router, cm, slow, bd, unit) -> int:
+    """Drain the event heap to quiescence on the clean fast path.
+
+    Returns the number of events processed; the engine owns the
+    ``RunReport`` counters and stamps them (PROTO002 layering).
+    Deadline-budgeted runs stay on the general loop - the per-event
+    budget check belongs to the composition root.
+
+    ``unit`` is True when the slowdown hook is the constant 1.0 (no
+    fault injector); the ``* 1.0`` scalings it guards are bitwise
+    no-ops on IEEE doubles, so skipping them cannot perturb times.
+    """
+    k_rs = sched._k_run_start
+    k_re = sched._k_run_end
+    k_dl = sched._k_deliver
+    k_ma = transport._k_msg_arrive
+    execute, complete = sched.execute, sched.complete
+    receive = transport.receive
+    masters = sched.masters
+    inbox, state = st.inbox, st.state
+    running = sched.running
+    enqueue, dispatch = sched.enqueue, sched.dispatch
+    idle, pq, epoch = sched.idle_workers, sched.pq, st.epoch
+    proc_idx = router.proc_idx
+    index_of = router.index_of
+    unpack_cost = cm.unpack_cost
+    push_id = sim.push_id
+    bd_add = bd.add
+    pop_batch = sim.pop_batch
+    active = ProgramState.ACTIVE
+    events = 0
+    # All four clean-run kinds are progress kinds, so when no trace
+    # hook is armed the batch drain inlines below with slab locals
+    # bound once for the whole run (pop_batch rebinds them per call -
+    # pure overhead at the tiny batch sizes unstructured runs produce)
+    # and the quiescence count is simply the batch length.  Accounting
+    # is line-for-line pop_batch's; fingerprints are bitwise identical.
+    fast = sim.trace_hook is None and all(
+        sim._progress_mask[k] for k in (k_rs, k_re, k_dl, k_ma)
+    )
+    heap = sim._events
+    slab_kind, slab_data = sim._slab_kind, sim._slab_data
+    free_append = sim._free.append
+    counts = sim._pop_counts
+    heappop = _heappop
+    # The drain loop allocates only short-lived tuples/lists that
+    # refcounting alone reclaims; generational GC passes are pure
+    # overhead here, so pause collection for the drain (restored even
+    # on StallError/deadline exits).
+    gc_was = gc.isenabled()
+    if gc_was:
+        gc.disable()
+    try:
+        while heap:
+            if fast:
+                n = len(heap)
+                if n > sim.peak_heap:
+                    sim.peak_heap = n
+                now, _, slot = heappop(heap)
+                batch = []
+                append_batch = batch.append
+                while True:
+                    kid = slab_kind[slot]
+                    counts[kid] += 1
+                    append_batch((kid, slab_data[slot]))
+                    slab_data[slot] = None
+                    free_append(slot)
+                    if not heap or heap[0][0] != now:
+                        break
+                    _, _, slot = heappop(heap)
+                nb = len(batch)
+                sim.live -= nb
+                sim._prev_progress = now if nb > 1 else sim.last_progress
+                sim.last_progress = now
+                if now > sim.makespan:
+                    sim.makespan = now
+                sim._turn_t = now
+                sim._turn_batch = batch
+            else:
+                now, batch = pop_batch()
+            # NB: the loop below iterates a list that pop_batch's
+            # same-time turnaround may grow mid-flight (push_id appends
+            # events landing at exactly ``now``); list iteration picks
+            # the appends up in order, and the count is taken after.
+            for kid, data in batch:
+                if kid == k_rs:
+                    execute(data, now)
+                elif kid == k_re:
+                    complete(data, now)
+                elif kid == k_dl:
+                    i, s = data
+                    inbox[i].append(s)
+                    if state[i] is not active:
+                        state[i] = active
+                    if i not in running:
+                        p = proc_idx[i]
+                        iw = idle[p]
+                        if iw and not pq[p]:
+                            # Queue bypass (see Scheduler.complete):
+                            # dispatch would pop exactly this program
+                            # onto exactly this worker; skipping the
+                            # queue round trip only renumbers sequence
+                            # ticks, never reorders events.
+                            running.add(i)
+                            push_id(now, k_rs, (p, iw.pop(), i, epoch[i]))
+                        else:
+                            enqueue(i)
+                            dispatch(p, now)
+                elif kid == k_ma:
+                    p, s, wid = data
+                    # Unstamped streams always deliver (dedup/checksum
+                    # machinery only exists on reliable runs).
+                    receive(s, p, now, wid)
+                    dur = unpack_cost(1, s.items)
+                    if not unit:
+                        dur *= slow(p, now)
+                    m = masters[p]
+                    _, end = m.book(now, dur)
+                    bd_add(m.core, "unpack", dur)
+                    di = s.dsti
+                    push_id(
+                        end, k_dl, (di if di >= 0 else index_of[s.dst], s)
+                    )
+                else:  # pragma: no cover - defensive
+                    raise ReproError(
+                        f"unexpected event kind in clean run (id {kid})"
+                    )
+            events += len(batch)
+    finally:
+        sim._turn_t = -1.0
+        sim._turn_batch = None
+        if gc_was:
+            gc.enable()
+    return events

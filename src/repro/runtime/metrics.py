@@ -17,6 +17,24 @@ from .costmodel import CATEGORIES
 __all__ = ["Breakdown", "DeadlineExceeded", "RunReport", "trace_fields"]
 
 
+#: Which runtime layer owns each event kind (perf_summary grouping).
+_EVENT_LAYER = {
+    "run_start": "scheduler",
+    "run_end": "scheduler",
+    "requeue": "scheduler",
+    "msg_arrive": "transport",
+    "deliver": "transport",
+    "ack": "transport",
+    "nack": "transport",
+    "timer": "transport",
+    "hedge": "transport",
+    "crash": "recovery",
+    "failover": "recovery",
+    "ckpt": "recovery",
+    "health": "recovery",
+}
+
+
 class Breakdown:
     """Busy-time accumulator over a set of cores."""
 
@@ -31,6 +49,23 @@ class Breakdown:
             self.by_category.get(category, 0.0) + seconds
         )
         self.core_busy[core] = self.core_busy.get(core, 0.0) + seconds
+
+    def add_run(self, core: tuple, kernel: float, graph_op: float,
+                pack: float, sched: float) -> None:
+        """Fused hot-path form of four :meth:`add` calls for one run.
+
+        Per-category accumulation is identical to four ``add`` calls;
+        the per-core busy total folds the four parts in one update.
+        """
+        by = self.by_category
+        by["kernel"] = by.get("kernel", 0.0) + kernel
+        by["graph_op"] = by.get("graph_op", 0.0) + graph_op
+        by["pack"] = by.get("pack", 0.0) + pack
+        by["sched"] = by.get("sched", 0.0) + sched
+        cb = self.core_busy
+        # Fold the parts one at a time: the identical left-to-right
+        # float sequence as four separate ``add`` calls.
+        cb[core] = cb.get(core, 0.0) + kernel + graph_op + pack + sched
 
     def finalize_idle(self, makespan: float, cores: list[tuple]) -> None:
         """Charge (makespan - busy) of every core to the idle category."""
@@ -88,6 +123,16 @@ class RunReport:
     events: int = 0
     termination_hops: int = 0
     termination_time: float = 0.0
+
+    # -- hot-path performance accounting (perf_summary) -----------------
+    #: Host seconds of the event loop.  Stamped by the *caller* (the
+    #: bench harness), never inside src/repro: the simulation itself is
+    #: a pure function of (mesh, partition, seed) and must not read the
+    #: host clock (lint rule DET001).  0.0 = not measured.
+    wall_time: float = 0.0
+    peak_heap: int = 0  # high-water event-heap occupancy
+    #: Events processed by kind (from ``Simulator.event_counts``).
+    event_counts: dict = field(default_factory=dict)
 
     #: Structured event trace (populated when the runtime is built with
     #: ``trace=True``): one TraceEvent per processed simulator event.
@@ -181,6 +226,28 @@ class RunReport:
             ),
         }
 
+    def perf_summary(self) -> dict:
+        """Hot-path performance view of the run (a first-class artifact).
+
+        Events per host-second, peak event-heap occupancy, and event
+        counts grouped by owning runtime layer.  ``events_per_sec`` is
+        0.0 unless the caller stamped :attr:`wall_time` around the run.
+        """
+        per_layer: dict[str, int] = {}
+        for kind, n in self.event_counts.items():
+            layer = _EVENT_LAYER.get(kind, "other")
+            per_layer[layer] = per_layer.get(layer, 0) + n
+        return {
+            "events": self.events,
+            "wall_time_s": self.wall_time,
+            "events_per_sec": (
+                self.events / self.wall_time if self.wall_time > 0 else 0.0
+            ),
+            "peak_heap": self.peak_heap,
+            "event_counts": dict(self.event_counts),
+            "per_layer_events": per_layer,
+        }
+
     def avg_seconds_per_core(self) -> dict[str, float]:
         """Fig. 16's y-axis: average time per core, by category."""
         return {
@@ -229,14 +296,24 @@ class RunReport:
         return {"traceEvents": evs, "displayTimeUnit": "ms"}
 
 
-def trace_fields(kind: str, data) -> tuple:
+def trace_fields(kind: str, data, pids=None) -> tuple:
     """(proc, core, program) of one runtime event, for the structured
-    trace (the engine passes this to the simulator's trace hook)."""
+    trace (the engine passes this to the simulator's trace hook).
+
+    ``pids`` maps the dense program indices carried by hot-path event
+    payloads (run_start/run_end/deliver) back to their ProgramId, so
+    trace labels keep the stable ``(patch,task)`` form regardless of
+    the interning.  Requeue payloads carry the ProgramId itself.
+    """
     if kind in ("run_start", "run_end"):
-        return data[0], ("w", data[0], data[1]), str(data[2])
+        i = data[2]
+        return data[0], ("w", data[0], data[1]), str(pids[i] if pids else i)
     if kind == "msg_arrive":
         return data[0], None, str(data[1].dst)
-    if kind in ("deliver", "requeue"):
+    if kind == "deliver":
+        i = data[0]
+        return None, None, str(pids[i] if pids else i)
+    if kind == "requeue":
         return None, None, str(data[0])
     if kind in ("crash", "failover", "ckpt"):
         return data, None, None

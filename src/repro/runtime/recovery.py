@@ -97,9 +97,9 @@ class RecoveryManager:
         self.slow = slow
         self.san = sanitizer
         self.ckpt: dict[ProgramId, Checkpoint | None] = {
-            pid: None for pid in st.progs
+            pid: None for pid in st.pids
         }
-        self.dlog: dict[ProgramId, list[Stream]] = {pid: [] for pid in st.progs}
+        self.dlog: dict[ProgramId, list[Stream]] = {pid: [] for pid in st.pids}
         self.dirty: set[ProgramId] = set()  # changed since last snapshot
         self.crash_time: dict[int, float] = {}
         self._strikes: dict[int, int] = {}  # proc -> consecutive flags
@@ -162,35 +162,36 @@ class RecoveryManager:
         moved_set = set(moved)
         install_end = now
         for pid in moved:
+            i = st.index[pid]
             new_p = self.router.proc_of[pid]
-            st.epoch[pid] += 1
+            st.epoch[i] += 1
             self.sim.note(
-                now, "hb_migrate", (str(pid), src, new_p, st.epoch[pid])
+                now, "hb_migrate", (str(pid), src, new_p, st.epoch[i])
             )
-            self.scheduler.drop(pid)
-            prog = st.progs[pid]
+            self.scheduler.drop(i)
+            prog = st.progs[i]
             ck = self.ckpt[pid]
             if ck is None:
                 prog.init()  # never checkpointed: restart fresh
             else:
                 prog.restore(ck.state)
-            st.inited.add(pid)
+            st.inited[i] = True
             # Replay: checkpointed unconsumed inbox + everything
             # delivered since the snapshot.  The log is NOT cleared -
             # it belongs to the snapshot, and this formula must stay
             # valid for a second failover.
             base = list(ck.inbox) if ck is not None else []
-            st.inbox[pid] = base + list(self.dlog[pid])
-            st.state[pid] = ProgramState.ACTIVE
+            st.inbox[i] = base + list(self.dlog[pid])
+            st.state[i] = ProgramState.ACTIVE
             if self.san is not None:
-                self.san.on_failover(pid, st.inbox[pid])
+                self.san.on_failover(pid, st.inbox[i])
             dur = self.rcfg.t_failover_program * self.slow(new_p, now)
             master = self.scheduler.masters[new_p]
             start, end = master.book(now, dur)
             if self.san is not None:
                 self.san.on_booking(master.core, start, end)
             self.bd.add(master.core, "recovery", dur)
-            self.sim.push(end, "requeue", (pid, st.epoch[pid]))
+            self.sim.push(end, "requeue", (pid, st.epoch[i]))
             install_end = max(install_end, end)
         self.transport.rearm_after_failover(moved_set, self.ckpt, now)
         return install_end
@@ -251,11 +252,12 @@ class RecoveryManager:
         # streams since their last snapshot - a quiet program's
         # existing recovery point is still exact, so checkpoint cost
         # tracks activity, not residency.
+        st = self.st
         own = [
             pid for pid in self.router.owned[p]
             if pid in self.dirty
-            and pid not in self.scheduler.running
-            and pid in self.st.inited
+            and st.index[pid] not in self.scheduler.running
+            and st.inited[st.index[pid]]
         ]
         if own:
             dur = (
@@ -269,9 +271,10 @@ class RecoveryManager:
             self.bd.add(master.core, "recovery", dur)
             self.sim.observe(end)
             for pid in own:
+                i = st.index[pid]
                 self.ckpt[pid] = Checkpoint(
-                    self.st.progs[pid].checkpoint(),
-                    list(self.st.inbox[pid]),
+                    st.progs[i].checkpoint(),
+                    list(st.inbox[i]),
                     self.transport.pending_of(pid),
                 )
                 self.dlog[pid] = []

@@ -64,10 +64,24 @@ class Router:
                 )
         self.nprocs = nprocs
         self.proc_of: dict[ProgramId, int] = {}  # the route table
+        # Interned program ids: every program gets a dense index at
+        # route-table build, so per-message bookkeeping above (e.g. the
+        # transport's per-sender sequence counters) can live in flat
+        # arrays keyed by ``index_of[pid]`` instead of per-id dicts.
+        self.pids: list[ProgramId] = []
+        self.index_of: dict[ProgramId, int] = {}
+        #: ``proc_idx[index_of[pid]] == proc_of[pid]`` - the route table
+        #: as a flat array over interned indices (the hot-path view;
+        #: kept in sync by :meth:`reassign`).
+        self.proc_idx: list[int] = []
         for prog in programs:
             if prog.id in self.proc_of:
                 raise ReproError(f"duplicate program {prog.id!r}")
-            self.proc_of[prog.id] = int(patch_proc[prog.id.patch])
+            p = int(patch_proc[prog.id.patch])
+            self.proc_of[prog.id] = p
+            self.index_of[prog.id] = len(self.pids)
+            self.pids.append(prog.id)
+            self.proc_idx.append(p)
         self.patch_owner = patch_proc.astype(np.int64).copy()
         self.owned: dict[int, list[ProgramId]] = {p: [] for p in range(nprocs)}
         for pid, p in self.proc_of.items():
@@ -118,5 +132,6 @@ class Router:
         for pid in moved:
             new_p = int(self.patch_owner[pid.patch])
             self.proc_of[pid] = new_p
+            self.proc_idx[self.index_of[pid]] = new_p
             self.owned[new_p].append(pid)
         return moved

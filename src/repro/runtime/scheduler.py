@@ -74,19 +74,33 @@ __all__ = [
 
 @dataclass
 class RunState:
-    """Shared per-run program-execution state (Alg. 1's bookkeeping)."""
+    """Shared per-run program-execution state (Alg. 1's bookkeeping).
 
-    progs: dict[ProgramId, PatchProgram] = field(default_factory=dict)
-    state: dict[ProgramId, ProgramState] = field(default_factory=dict)
-    inbox: dict[ProgramId, list[Stream]] = field(default_factory=dict)
-    inited: set[ProgramId] = field(default_factory=set)
-    epoch: dict[ProgramId, int] = field(default_factory=dict)
+    All fields are parallel arrays over the *dense program index*
+    minted by :meth:`add` in registration order - the same order the
+    :class:`~repro.runtime.router.Router` interns ``index_of``, so the
+    scheduler, router and transport agree on every index.  Hot-path
+    bookkeeping (state machine, inboxes, epochs) is therefore flat list
+    indexing; ``index`` maps a :class:`ProgramId` back to its slot for
+    cold-path callers (recovery, requeue handling, reports).
+    """
+
+    pids: list[ProgramId] = field(default_factory=list)
+    index: dict[ProgramId, int] = field(default_factory=dict)
+    progs: list[PatchProgram] = field(default_factory=list)
+    state: list[ProgramState] = field(default_factory=list)
+    inbox: list[list[Stream]] = field(default_factory=list)
+    inited: list[bool] = field(default_factory=list)
+    epoch: list[int] = field(default_factory=list)  # bumped on failover
 
     def add(self, prog: PatchProgram) -> None:
-        self.progs[prog.id] = prog
-        self.state[prog.id] = ProgramState.ACTIVE
-        self.inbox[prog.id] = []
-        self.epoch[prog.id] = 0  # execution epoch (bumped on failover)
+        self.index[prog.id] = len(self.pids)
+        self.pids.append(prog.id)
+        self.progs.append(prog)
+        self.state.append(ProgramState.ACTIVE)
+        self.inbox.append([])
+        self.inited.append(False)
+        self.epoch.append(0)
 
 
 class SchedulerPolicy:
@@ -181,8 +195,9 @@ class Scheduler:
             list(range(len(self.workers[p])))[::-1] for p in range(nprocs)
         ]
         self.pq: list[list] = [[] for _ in range(nprocs)]
-        self.queued: set[ProgramId] = set()
-        self.running: set[ProgramId] = set()
+        # Queue/run membership over dense program indices (see RunState).
+        self.queued: set[int] = set()
+        self.running: set[int] = set()
         # -- adaptive straggler machinery (dormant when ``adaptive`` is
         # None or speculation/demotion are off) --------------------------
         self.acfg = adaptive
@@ -193,18 +208,27 @@ class Scheduler:
         #: EWMA of each process's observed slowdown factor; the
         #: recovery layer's health probe reads this for demotion.
         self.proc_slow_ewma: list[float] = [1.0] * nprocs
+        # -- hot-path caches ---------------------------------------------
+        #: Set by the composition root when the slowdown hook is the
+        #: constant 1.0 (no fault injector): execute/complete then skip
+        #: the per-run hook call and the ``* 1.0`` scalings, which are
+        #: bitwise no-ops on IEEE doubles.
+        self.unit_slow = False
+        self._k_run_start = sim.kind_id("run_start")
+        self._k_run_end = sim.kind_id("run_end")
+        self._k_deliver = sim.kind_id("deliver")
 
     # -- queueing and dispatch -----------------------------------------------------
 
-    def enqueue(self, pid: ProgramId) -> None:
-        """Push a program onto its owner's shared priority queue."""
-        if pid in self.queued or pid in self.running:
+    def enqueue(self, i: int) -> None:
+        """Push a program (by dense index) onto its owner's queue."""
+        if i in self.queued or i in self.running:
             return
-        self.queued.add(pid)
+        self.queued.add(i)
         seq = self.sim.next_seq()
         heapq.heappush(
-            self.pq[self.router.proc_of[pid]],
-            (-self.st.progs[pid].priority(), seq, pid),
+            self.pq[self.router.proc_idx[i]],
+            (-self.st.progs[i].priority(), seq, i),
         )
 
     def dispatch(self, p: int, now: float) -> None:
@@ -216,32 +240,34 @@ class Scheduler:
         if p in self.router.dead:
             return
         while self.idle_workers[p] and self.pq[p]:
-            _, _, pid = heapq.heappop(self.pq[p])
-            if self.router.proc_of[pid] != p:
+            _, _, i = heapq.heappop(self.pq[p])
+            if self.router.proc_idx[i] != p:
                 continue  # stale entry: the program migrated away
-            self.queued.discard(pid)
-            if self.st.state[pid] is not ProgramState.ACTIVE or pid in self.running:
+            self.queued.discard(i)
+            if self.st.state[i] is not ProgramState.ACTIVE or i in self.running:
                 continue
             w = self.idle_workers[p].pop()
-            self.running.add(pid)
-            self.sim.push(now, "run_start", (p, w, pid, self.st.epoch[pid]))
+            self.running.add(i)
+            self.sim.push_id(
+                now, self._k_run_start, (p, w, i, self.st.epoch[i])
+            )
 
     def release(self, p: int, w: int, now: float) -> None:
         """Return worker ``w`` to the idle pool and re-dispatch."""
         self.idle_workers[p].append(w)
         self.dispatch(p, now)
 
-    def drop(self, pid: ProgramId) -> None:
+    def drop(self, i: int) -> None:
         """Forget a migrating program's queue/run residue (failover)."""
-        self.running.discard(pid)
-        self.queued.discard(pid)
+        self.running.discard(i)
+        self.queued.discard(i)
 
     def stale_run(self, data: tuple, now: float) -> bool:
         """Filter superseded run events (only faults ever trigger this)."""
-        p, w, pid, ep = data[0], data[1], data[2], data[-1]
+        p, w, i, ep = data[0], data[1], data[2], data[-1]
         if p in self.router.dead:
             return True  # executed on a crashed process: lost
-        if ep != self.st.epoch[pid]:
+        if ep != self.st.epoch[i]:
             # Superseded execution on a live process (defensive;
             # reachable only through failover races): free the worker,
             # drop the run.
@@ -253,46 +279,67 @@ class Scheduler:
 
     def execute(self, data: tuple, now: float) -> None:
         """Run one program on its assigned worker; books virtual time."""
-        p, w, pid, ep = data
+        p, w, i, ep = data
         st = self.st
-        prog = st.progs[pid]
-        sf = self.slow(p, now)
+        prog = st.progs[i]
+        unit = self.unit_slow
+        sf = 1.0 if unit else self.slow(p, now)
+        report = self.report
         if ep > 0:
-            self.report.reexecutions += 1
-        if pid not in st.inited:
+            report.reexecutions += 1
+        if not st.inited[i]:
             prog.init()
-            st.inited.add(pid)
-        box = st.inbox[pid]
+            st.inited[i] = True
+        box = st.inbox[i]
         if box:
             for s in box:
                 prog.input(s)
             box.clear()
         prog.compute()
-        outputs: list[Stream] = []
-        while (s := prog.output()) is not None:
-            outputs.append(s)
+        outputs = prog.drain_outputs()
         counters = prog.last_run_counters()
-        self.report.vertices_solved += counters.get("vertices", 0)
-        remote = [s for s in outputs if self.router.proc_of[s.dst] != p]
-        cost = self.cm.run_cost(
-            counters,
-            remote_streams=len(remote),
-            remote_items=sum(s.items for s in remote),
+        report.vertices_solved += counters.get("vertices", 0)
+        index_of = self.router.index_of
+        proc_idx = self.router.proc_idx
+        remote_streams = remote_items = 0
+        for s in outputs:
+            di = s.dsti
+            if di < 0:
+                di = index_of[s.dst]
+                s.dsti = di
+            if proc_idx[di] != p:
+                remote_streams += 1
+                remote_items += s.items
+        cm = self.cm
+        kernel, graph_op, pack, fixed = cm.run_cost_parts(
+            counters, remote_streams, remote_items
         )
-        duration = sum(cost.values())
-        duration += self.cm.t_sched  # queue pop / dispatch, on the worker
+        t_sched = cm.t_sched
+        # Left-to-right sum in the parts' (dict-insertion) order, then
+        # the queue pop / dispatch charge: the same float-accumulation
+        # sequence as ``sum(run_cost(...).values()) + t_sched``.
+        duration = kernel + graph_op + pack + fixed + t_sched
         wres = self.workers[p][w]
-        start, end = wres.book(now, duration * sf)
-        if self.san is not None:
-            self.san.on_booking(wres.core, start, end)
-        self.bd.add(wres.core, "kernel", cost["kernel"] * sf)
-        self.bd.add(wres.core, "graph_op", (cost["graph_op"] + cost["fixed"]) * sf)
-        self.bd.add(wres.core, "pack", cost["pack"] * sf)
-        self.bd.add(wres.core, "sched", self.cm.t_sched * sf)
-        self.report.executions += 1
+        core = wres.core
+        if unit:
+            start, end = wres.book(now, duration)
+            if self.san is not None:
+                self.san.on_booking(core, start, end)
+            self.bd.add_run(core, kernel, graph_op + fixed, pack, t_sched)
+        else:
+            start, end = wres.book(now, duration * sf)
+            if self.san is not None:
+                self.san.on_booking(core, start, end)
+            self.bd.add_run(
+                core, kernel * sf, (graph_op + fixed) * sf, pack * sf,
+                t_sched * sf,
+            )
+        report.executions += 1
         self._run_serial += 1
         serial = self._run_serial
-        self.sim.push(end, "run_end", (p, w, pid, outputs, serial, False, ep))
+        self.sim.push_id(
+            end, self._k_run_end, (p, w, i, outputs, serial, False, ep)
+        )
         a = self.acfg
         if a is not None and (a.speculation or a.demotion):
             # Slowdown telemetry: cheap EWMA per process, fed to the
@@ -300,12 +347,12 @@ class Scheduler:
             self.proc_slow_ewma[p] = 0.8 * self.proc_slow_ewma[p] + 0.2 * sf
         if a is not None and a.speculation:
             self._maybe_speculate(
-                p, pid, outputs, serial, ep, duration, duration * sf, end, now
+                p, i, outputs, serial, ep, duration, duration * sf, end, now
             )
             self._recent.append(duration * sf)
 
     def _maybe_speculate(
-        self, p, pid, outputs, serial, ep, duration, scaled, end, now
+        self, p, i, outputs, serial, ep, duration, scaled, end, now
     ) -> None:
         """Book a backup execution when this run looks like a straggler.
 
@@ -347,7 +394,7 @@ class Scheduler:
         if self.sim.note_hook is not None:
             self.sim.note(now, "hb_spec", (serial, p, q))
         self.sim.push(
-            end_q, "run_end", (q, w_q, pid, outputs, serial, True, ep)
+            end_q, "run_end", (q, w_q, i, outputs, serial, True, ep)
         )
 
     def complete(self, data: tuple, now: float) -> None:
@@ -358,7 +405,8 @@ class Scheduler:
         second only frees its worker (its outputs are byte-identical,
         so dropping them is safe and keeps results bitwise-exact).
         """
-        p, w, pid, outputs, serial, is_backup, ep = data
+        p, w, i, outputs, serial, is_backup, ep = data
+        st = self.st
         note = self.sim.note_hook is not None
         if serial in self._spec:
             if serial in self._done:
@@ -368,7 +416,7 @@ class Scheduler:
                 if note:
                     self.sim.note(
                         now, "hb_complete",
-                        (str(pid), p, serial, is_backup, False),
+                        (str(st.pids[i]), p, serial, is_backup, False),
                     )
                 self.release(p, w, now)
                 return
@@ -377,42 +425,63 @@ class Scheduler:
                 self.report.speculative_wins += 1
         if note:
             self.sim.note(
-                now, "hb_complete", (str(pid), p, serial, is_backup, True)
+                now, "hb_complete",
+                (str(st.pids[i]), p, serial, is_backup, True),
             )
-        st = self.st
-        prog = st.progs[pid]
+        prog = st.progs[i]
+        unit = self.unit_slow
+        proc_idx = self.router.proc_idx
+        master = self.masters[p]
         for s in outputs:
             self.report.stream_items += s.items
-            dst_p = self.router.proc_of[s.dst]
+            dst_p = proc_idx[s.dsti]
             if dst_p == p:
                 # Local routing through the master thread.
-                dur = self.cm.t_route * self.slow(p, now)
-                start, end = self.masters[p].book(now, dur)
+                dur = (
+                    self.cm.t_route if unit
+                    else self.cm.t_route * self.slow(p, now)
+                )
+                start, end = master.book(now, dur)
                 if self.san is not None:
-                    self.san.on_booking(self.masters[p].core, start, end)
-                self.bd.add(self.masters[p].core, "comm", dur)
+                    self.san.on_booking(master.core, start, end)
+                self.bd.add(master.core, "comm", dur)
                 self.report.local_streams += 1
-                self.sim.push(end, "deliver", (s.dst, s))
+                self.sim.push_id(end, self._k_deliver, (s.dsti, s))
             else:
-                self.transport.send(s, pid, ep, now, p, dst_p)
-        self.running.discard(pid)
+                self.transport.send(s, st.pids[i], ep, now, p, dst_p)
+        self.running.discard(i)
         if self.recovery is not None:
-            self.recovery.mark_dirty(pid)
+            self.recovery.mark_dirty(st.pids[i])
         rem = prog.remaining_workload()
         if rem is not None:
             # Workload-commit fast path; epoch-keyed so a stale
             # execution cannot overwrite a migrated program's fresher
-            # commit.
+            # commit.  Tracker keys are the dense indices.
             if self.san is not None:
-                self.san.on_commit(pid, rem, ep)
+                self.san.on_commit(st.pids[i], rem, ep)
             if note:
-                self.sim.note(now, "hb_commit", (str(pid), p, ep, serial))
-            self.tracker.commit(pid, rem, epoch=ep)
-        if prog.vote_to_halt() and not st.inbox[pid]:
-            st.state[pid] = ProgramState.INACTIVE
+                self.sim.note(
+                    now, "hb_commit", (str(st.pids[i]), p, ep, serial)
+                )
+            self.tracker.commit(i, rem, epoch=ep)
+        if prog.vote_to_halt() and not st.inbox[i]:
+            st.state[i] = ProgramState.INACTIVE
         else:
-            st.state[pid] = ProgramState.ACTIVE
-            self.enqueue(pid)
+            st.state[i] = ProgramState.ACTIVE
+            if not self.pq[p] and proc_idx[i] == p and p not in self.router.dead:
+                # Queue bypass: the freed worker immediately re-runs the
+                # only runnable program of its process.  Equivalent to
+                # enqueue + release: dispatch would pop exactly this
+                # entry and hand it exactly this worker (the idle pool
+                # is LIFO and ``w`` would be the most recent append),
+                # and renumbering the sequence counter over the skipped
+                # queue entry preserves every relative event order.
+                self.running.add(i)
+                self.sim.push_id(
+                    now, self._k_run_start, (p, w, i, st.epoch[i])
+                )
+                return
+            self.enqueue(i)
         self.release(p, w, now)
 
     # -- reporting -----------------------------------------------------------------

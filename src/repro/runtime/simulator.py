@@ -33,6 +33,8 @@ from .._util import ReproError
 
 __all__ = [
     "Resource",
+    "ResourceBank",
+    "BankedResource",
     "Simulator",
     "TraceEvent",
     "WaitEdge",
@@ -54,6 +56,61 @@ class Resource:
         start = max(now, self.free)
         end = start + duration
         self.free = end
+        return start, end
+
+
+class ResourceBank:
+    """Struct-of-arrays backing store for a family of serial timelines.
+
+    One bank per run holds every core's free-time in a flat array
+    (``free[slot]``) with the core label alongside; :class:`
+    BankedResource` views share the storage, so two views of the same
+    slot alias one timeline (how ``mpi_only`` shares a core between
+    master duties and the worker).  Standalone :class:`Resource`
+    remains for callers that need a single detached timeline.
+    """
+
+    __slots__ = ("free", "cores")
+
+    def __init__(self):
+        self.free: list[float] = []
+        self.cores: list[tuple] = []
+
+    def add(self, core: tuple) -> int:
+        """Reserve one timeline slot; returns its index."""
+        slot = len(self.free)
+        self.free.append(0.0)
+        self.cores.append(core)
+        return slot
+
+    def view(self, slot: int) -> "BankedResource":
+        return BankedResource(self, slot)
+
+
+class BankedResource:
+    """A serial server whose timeline lives in a shared ResourceBank.
+
+    Same contract as :class:`Resource` (``book``, ``free``, ``core``);
+    booking arithmetic is kept textually identical so swapping the
+    backing store cannot perturb virtual times.
+    """
+
+    __slots__ = ("bank", "slot", "core")
+
+    def __init__(self, bank: ResourceBank, slot: int):
+        self.bank = bank
+        self.slot = slot
+        self.core = bank.cores[slot]
+
+    @property
+    def free(self) -> float:
+        return self.bank.free[self.slot]
+
+    def book(self, now: float, duration: float) -> tuple[float, float]:
+        free = self.bank.free
+        start = max(now, free[self.slot])
+        end = start + duration
+        free[self.slot] = end
         return start, end
 
 
@@ -211,7 +268,11 @@ class Simulator:
     __slots__ = ("_events", "_seq", "live", "makespan", "_progress",
                  "trace_hook", "trace_fields", "note_hook",
                  "last_progress", "_prev_progress", "_wd_horizon",
-                 "_wd_snapshot", "_wd_kinds")
+                 "_wd_snapshot", "_wd_kinds",
+                 "_slab_time", "_slab_seq", "_slab_kind", "_slab_data",
+                 "_free", "_kind_ids", "_kind_names", "_progress_mask",
+                 "_wd_mask", "_pop_counts", "peak_heap",
+                 "_turn_t", "_turn_batch")
 
     def __init__(
         self,
@@ -233,6 +294,31 @@ class Simulator:
         self._wd_horizon = 0.0  # 0 = watchdog disarmed
         self._wd_snapshot: Callable[[float], StallReport | None] | None = None
         self._wd_kinds: frozenset = frozenset()
+        # Slab storage: heap entries are scalar 3-tuples (t, seq, slot);
+        # kind/data live in struct-of-arrays slabs indexed by slot, and
+        # popped slots are recycled through the free list.  Event kinds
+        # are interned to dense integer ids; the progress / watchdog
+        # frozensets are projected onto per-id masks so the hot loop
+        # tests a list index instead of a set membership.
+        self._slab_time: list[float] = []
+        self._slab_seq: list[int] = []
+        self._slab_kind: list[int] = []
+        self._slab_data: list[Any] = []
+        self._free: list[int] = []
+        self._kind_ids: dict[str, int] = {}
+        self._kind_names: list[str] = []
+        self._progress_mask: list[bool] = []
+        self._wd_mask: list[bool] = []
+        self._pop_counts: list[int] = []
+        self.peak_heap = 0  # high-water heap occupancy (perf_summary)
+        # Same-time turnaround (armed by pop_batch, cleared by its
+        # callers): while the batch for timestamp ``_turn_t`` is being
+        # processed the heap holds no events at that time, so a push
+        # at exactly ``_turn_t`` would be popped next in push order
+        # anyway - it joins the in-flight batch without touching the
+        # heap or the slab.
+        self._turn_t = -1.0
+        self._turn_batch: list | None = None
 
     def arm_watchdog(
         self,
@@ -249,6 +335,24 @@ class Simulator:
         self._wd_horizon = horizon
         self._wd_snapshot = snapshot
         self._wd_kinds = frozenset(watch_kinds)
+        self._wd_mask = [k in self._wd_kinds for k in self._kind_names]
+
+    def kind_id(self, kind: str) -> int:
+        """Intern an event kind, minting a dense id on first sight.
+
+        Ids are stable for the simulator's lifetime; the progress and
+        watchdog masks are extended in lock-step so id-indexed checks
+        agree with the string-set semantics of :meth:`push`/:meth:`pop`.
+        """
+        kid = self._kind_ids.get(kind)
+        if kid is None:
+            kid = len(self._kind_names)
+            self._kind_ids[kind] = kid
+            self._kind_names.append(kind)
+            self._progress_mask.append(kind in self._progress)
+            self._wd_mask.append(kind in self._wd_kinds)
+            self._pop_counts.append(0)
+        return kid
 
     def note(self, t: float, kind: str, detail: tuple) -> None:
         """Record one out-of-band structured note (e.g. an ``hb_*``
@@ -272,21 +376,71 @@ class Simulator:
 
     def push(self, t: float, kind: str, data: Any) -> None:
         """Schedule one event at virtual time ``t``."""
+        self.push_id(t, self.kind_id(kind), data)
+
+    def push_id(self, t: float, kid: int, data: Any) -> None:
+        """Schedule one event by interned kind id (hot path).
+
+        Callers that push the same kind repeatedly intern it once via
+        :meth:`kind_id` and skip the per-push dict lookup.
+        """
+        if t == self._turn_t:
+            # Turnaround: join the in-flight same-timestamp batch in
+            # push order (== the order heap tie-breaking would yield;
+            # skipping a sequence tick renumbers but never reorders).
+            # Push/pop quiescence accounting cancels; pop accounting
+            # (counts, progress clock, trace) runs here instead.
+            self._pop_counts[kid] += 1
+            if self._progress_mask[kid]:
+                self._prev_progress = self.last_progress
+                self.last_progress = t
+            if self.trace_hook is not None:
+                proc = core = program = None
+                kind = self._kind_names[kid]
+                if self.trace_fields is not None:
+                    proc, core, program = self.trace_fields(kind, data)
+                self.trace_hook(TraceEvent(t, kind, proc, core, program))
+            self._turn_batch.append((kid, data))
+            return
         self._seq += 1
-        if kind in self._progress:
+        seq = self._seq
+        if self._progress_mask[kid]:
             self.live += 1
-        heapq.heappush(self._events, (t, self._seq, kind, data))
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._slab_time[slot] = t
+            self._slab_seq[slot] = seq
+            self._slab_kind[slot] = kid
+            self._slab_data[slot] = data
+        else:
+            slot = len(self._slab_kind)
+            self._slab_time.append(t)
+            self._slab_seq.append(seq)
+            self._slab_kind.append(kid)
+            self._slab_data.append(data)
+        heapq.heappush(self._events, (t, seq, slot))
 
     def pop(self) -> tuple[float, str, Any]:
         """Pop the earliest event; fires the trace hook when armed."""
-        t, _, kind, data = heapq.heappop(self._events)
-        if kind in self._progress:
+        events = self._events
+        n = len(events)
+        if n > self.peak_heap:
+            self.peak_heap = n
+        t, _, slot = heapq.heappop(events)
+        kid = self._slab_kind[slot]
+        data = self._slab_data[slot]
+        self._slab_data[slot] = None
+        self._free.append(slot)
+        self._pop_counts[kid] += 1
+        kind = self._kind_names[kid]
+        if self._progress_mask[kid]:
             self.live -= 1
             self._prev_progress = self.last_progress
             self.last_progress = t
         elif (
             self._wd_horizon > 0.0
-            and kind in self._wd_kinds
+            and self._wd_mask[kid]
             and self.live == 0
             and t - self.last_progress > self._wd_horizon
         ):
@@ -301,6 +455,86 @@ class Simulator:
                 proc, core, program = self.trace_fields(kind, data)
             self.trace_hook(TraceEvent(t, kind, proc, core, program))
         return t, kind, data
+
+    def pop_batch(self) -> tuple[float, list[tuple[int, Any]]]:
+        """Drain every event sharing the earliest timestamp (hot path).
+
+        Returns ``(t, [(kind_id, data), ...])`` in exact pop order.
+        Safe to batch because events pushed while the batch is being
+        *processed* carry strictly larger sequence numbers, so they
+        sort after every event already drained here even at the same
+        timestamp - the interleaving is identical to one-at-a-time
+        :meth:`pop`.  Per-event accounting (progress clock, quiescence
+        counter, watchdog, trace hook, pop counts) runs per drained
+        event, in pop order, exactly as :meth:`pop` would.  The batch
+        also advances the makespan high-water mark to ``t``, replacing
+        the caller's per-event :meth:`observe`.
+        """
+        events = self._events
+        n = len(events)
+        if n > self.peak_heap:
+            self.peak_heap = n
+        heappop = heapq.heappop
+        slab_kind = self._slab_kind
+        slab_data = self._slab_data
+        free = self._free
+        append_free = free.append
+        counts = self._pop_counts
+        pmask = self._progress_mask
+        trace = self.trace_hook
+        wd = self._wd_horizon > 0.0
+        t0, _, slot = heappop(events)
+        batch: list[tuple[int, Any]] = []
+        append_batch = batch.append
+        nprog = 0
+        while True:
+            kid = slab_kind[slot]
+            data = slab_data[slot]
+            slab_data[slot] = None
+            append_free(slot)
+            counts[kid] += 1
+            if pmask[kid]:
+                nprog += 1
+            elif (
+                wd
+                and self._wd_mask[kid]
+                and self.live - nprog == 0
+                and t0 - (t0 if nprog else self.last_progress) > self._wd_horizon
+            ):
+                report = self._wd_snapshot(t0)
+                if report is not None:
+                    raise StallError(report)
+            if trace is not None:
+                proc = core = program = None
+                kind = self._kind_names[kid]
+                if self.trace_fields is not None:
+                    proc, core, program = self.trace_fields(kind, data)
+                trace(TraceEvent(t0, kind, proc, core, program))
+            append_batch((kid, data))
+            if not events or events[0][0] != t0:
+                break
+            _, _, slot = heappop(events)
+        if nprog:
+            self.live -= nprog
+            self._prev_progress = t0 if nprog > 1 else self.last_progress
+            self.last_progress = t0
+        if t0 > self.makespan:
+            self.makespan = t0
+        self._turn_t = t0
+        self._turn_batch = batch
+        return t0, batch
+
+    def peek_time(self) -> float:
+        """Virtual time of the earliest pending event (heap non-empty)."""
+        return self._events[0][0]
+
+    def event_counts(self) -> dict[str, int]:
+        """Events processed so far, by kind (perf accounting)."""
+        return {
+            k: c
+            for k, c in zip(self._kind_names, self._pop_counts)
+            if c
+        }
 
     def retract_progress(self) -> None:
         """Undo the last pop's progress stamp.

@@ -184,11 +184,25 @@ class Transport:
         self.rcfg = rcfg
         self.san = sanitizer
         self.acfg = rcfg.adaptive if rcfg is not None else None
-        self.out_seq: dict[ProgramId, int] = {}  # next seq per sending program
+        # Next seq per sending program, keyed by the router's interned
+        # program index (minted at route-table build) - a flat array
+        # instead of a ProgramId-keyed dict on the reliable send path.
+        self.out_seq: list[int] = [0] * len(router.pids)
         # Per-copy wire ids for the happens-before trace.  Deliberately
         # NOT the simulator's tie-break sequence: allocating sim seqs
         # here would shift event ordering and break golden fingerprints.
         self._wire_seq = 0
+        # Hot-path tables: node id per process (so clean-path wire time
+        # is two list reads + one divide, no method dispatch) and the
+        # interned event-kind ids this layer pushes.
+        self._node = [machine.node_of(p, layout) for p in range(layout.nprocs)]
+        self._lat_intra = machine.latency_intra
+        self._lat_inter = machine.latency_inter
+        self._bandwidth = machine.bandwidth
+        self._k_msg_arrive = sim.kind_id("msg_arrive")
+        self._k_ack = sim.kind_id("ack")
+        self._k_nack = sim.kind_id("nack")
+        self._k_timer = sim.kind_id("timer")
         self.pending: dict[tuple, PendingSend] = {}  # uid -> un-acked send
         self.seen: set[tuple] = set()  # uids already delivered (dup discard)
         self.rtt: dict[tuple[int, int], RttEstimator] = {}  # per link
@@ -231,7 +245,7 @@ class Transport:
                 self._wire_seq, src_proc, dst_proc,
                 str(s.uid) if s.uid is not None else None,
             ))
-        self.sim.push(arrive, "msg_arrive", (dst_proc, s, self._wire_seq))
+        self.sim.push_id(arrive, self._k_msg_arrive, (dst_proc, s, self._wire_seq))
 
     def send(self, s: Stream, src_pid: ProgramId, ep: int, now: float,
              src_proc: int, dst_proc: int) -> None:
@@ -240,15 +254,22 @@ class Transport:
         self.report.messages += 1
         self.report.message_bytes += s.nbytes
         if self.rcfg is None:
-            wire = self.machine.message_time(
-                src_proc, dst_proc, s.nbytes, self.layout
+            # Inlined Machine.message_time over the precomputed node
+            # table: same latency pick, same division, bitwise-equal.
+            node = self._node
+            lat = (
+                self._lat_intra
+                if node[src_proc] == node[dst_proc]
+                else self._lat_inter
             )
+            wire = lat + s.nbytes / self._bandwidth
             self._wire_push(now, now + wire, src_proc, dst_proc, s)
             return
         # Stamp a unique message id and the end-to-end checksum, and
         # track the send until the receiver acknowledges it.
-        s.seq = self.out_seq.get(s.src, 0)
-        self.out_seq[s.src] = s.seq + 1
+        idx = self.router.index_of[s.src]
+        s.seq = self.out_seq[idx]
+        self.out_seq[idx] = s.seq + 1
         s.epoch = ep
         s.checksum = stream_checksum(s)
         ps = PendingSend(s, src_pid, self._initial_rto(src_proc, dst_proc))
@@ -283,7 +304,7 @@ class Transport:
             )
         ps.sent_at = now
         self.transmit(ps, now)
-        self.sim.push(now + ps.timeout, "timer", (s.uid, ps.attempt))
+        self.sim.push_id(now + ps.timeout, self._k_timer, (s.uid, ps.attempt))
         if a is not None and a.hedging:
             self.sim.push(
                 now + a.hedge_factor * ps.timeout,
@@ -405,7 +426,7 @@ class Transport:
             # Destination is down: hold the message (without burning
             # retries) until failover re-routes it.
             ps.attempt += 1
-            self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+            self.sim.push_id(now + ps.timeout, self._k_timer, (uid, ps.attempt))
             return
         if ps.retries >= self.rcfg.max_retries:
             raise ReproError(
@@ -420,7 +441,7 @@ class Transport:
         # long partition would arm a timer beyond the watchdog horizon
         # and the run would be declared stalled instead of recovering.
         ps.timeout = min(ps.timeout * self.rcfg.backoff, self.rcfg.max_rto)
-        self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+        self.sim.push_id(now + ps.timeout, self._k_timer, (uid, ps.attempt))
 
     def on_nack(self, uid: tuple, now: float) -> None:
         """Checksum-mismatch report from the receiver: retransmit
@@ -438,7 +459,7 @@ class Transport:
             return  # sender's owner crashed; failover re-arms
         ps.attempt += 1
         self.transmit(ps, now)
-        self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+        self.sim.push_id(now + ps.timeout, self._k_timer, (uid, ps.attempt))
 
     # -- receive path --------------------------------------------------------------
 
@@ -483,7 +504,7 @@ class Transport:
                 self.report.partition_drops += 1  # NACK black-holed too
             else:
                 t = self.machine.control_time(proc, src_proc, self.layout)
-                self.sim.push(now + t, "nack", uid)
+                self.sim.push_id(now + t, self._k_nack, uid)
             return False
         # A verified arrival frees its flow-control credit (dups and
         # forwarded hops release at most once: the charge map pops).
@@ -511,7 +532,7 @@ class Transport:
             self.report.partition_drops += 1  # ack black-holed by the cut
         elif self.inj is None or not self.inj.ack_dropped():
             ack_t = self.machine.control_time(proc, src_proc, self.layout)
-            self.sim.push(now + ack_t, "ack", uid)
+            self.sim.push_id(now + ack_t, self._k_ack, uid)
         if uid in self.seen:
             self._note_recv(now, wid, proc, False, uid)
             return False
@@ -585,7 +606,7 @@ class Transport:
                 ps.sent_at = None  # Karn: a re-armed send is ambiguous
                 ps.parked = None  # failover overrides flow control
                 self.transmit(ps, now)
-                self.sim.push(now + ps.timeout, "timer", (uid, ps.attempt))
+                self.sim.push_id(now + ps.timeout, self._k_timer, (uid, ps.attempt))
 
     # -- liveness diagnosis -------------------------------------------------------
 

@@ -302,7 +302,9 @@ class CoarsenedSweepProgram(PatchProgram):
         return self.static_priority
 
     def last_run_counters(self) -> dict[str, int]:
-        out = dict(self._last)
+        # Hand the live dict over (see SweepPatchProgram): the caller
+        # reads it before the next input/compute can touch ``_last``.
+        out = self._last
         self._last = {"vertices": 0, "edges": 0, "remote_items": 0,
                       "input_items": 0, "streams": 0}
         return out

@@ -188,10 +188,15 @@ class PatchAngleGraph:
     dr_patch: np.ndarray
     dr_local: np.ndarray
     vertex_prio: np.ndarray | None = None  # set by the priority module
+    # Encoded ready-heap keys ``int(prio[v]) * n_local + v`` (same
+    # order as the (prio, v) pair; see SweepPatchProgram.init), set
+    # alongside ``vertex_prio`` by the batched priority pass.
+    vertex_keys: np.ndarray | None = None
 
     # Lazily-built Python-list adjacency (hot-loop form, cached because
     # the topology is reused across iterations, groups and runs).
     _adj_cache: tuple | None = field(default=None, repr=False)
+    _flat_cache: tuple | None = field(default=None, repr=False)
 
     @property
     def num_local_edges(self) -> int:
@@ -223,24 +228,48 @@ class PatchAngleGraph:
         cached on the graph because topology outlives any one sweep.
         """
         if self._adj_cache is None:
+            # One whole-array tolist per CSR array plus Python-list
+            # slicing: identical contents to a per-vertex numpy
+            # slice-and-convert, at a fraction of the build cost
+            # (per-vertex ndarray views and .tolist() calls dominate on
+            # million-edge topologies).
+            lptr = self.dl_indptr.tolist()
+            ltgt = self.dl_target.tolist()
             local = [
-                self.dl_target[self.dl_indptr[i] : self.dl_indptr[i + 1]].tolist()
-                for i in range(self.n_local)
+                ltgt[lptr[i] : lptr[i + 1]] for i in range(self.n_local)
             ]
-            remote = []
-            for i in range(self.n_local):
-                lo, hi = int(self.dr_indptr[i]), int(self.dr_indptr[i + 1])
-                remote.append(
-                    list(
-                        zip(
-                            self.dr_patch[lo:hi].tolist(),
-                            self.dr_local[lo:hi].tolist(),
-                            range(lo, hi),
-                        )
-                    )
+            rptr = self.dr_indptr.tolist()
+            rows = list(
+                zip(
+                    self.dr_patch.tolist(),
+                    self.dr_local.tolist(),
+                    range(len(self.dr_local)),
                 )
+            )
+            remote = [
+                rows[rptr[i] : rptr[i + 1]] for i in range(self.n_local)
+            ]
             self._adj_cache = (local, remote)
         return self._adj_cache
+
+    def adjacency_flat(self):
+        """Flat-CSR adjacency as plain Python lists (the collect loop's
+        working form): ``(lptr, ltgt, rptr, rpat, rloc)``.
+
+        Identical content to :meth:`adjacency_lists` without
+        materializing a list/tuple per vertex: the collect loop slices
+        ``ltgt[lptr[v]:lptr[v + 1]]`` lazily and reads remote edges by
+        CSR position, whose index *is* the stable ``edge_id``.
+        """
+        if self._flat_cache is None:
+            self._flat_cache = (
+                self.dl_indptr.tolist(),
+                self.dl_target.tolist(),
+                self.dr_indptr.tolist(),
+                self.dr_patch.tolist(),
+                self.dr_local.tolist(),
+            )
+        return self._flat_cache
 
 
 def _csr_by_source(
@@ -304,6 +333,14 @@ class SweepTopology:
         cell_patch = pset.cell_patch
         cell_local = pset.cell_local
         patch_sizes = np.array([p.num_cells for p in pset.patches])
+        npat = pset.num_patches
+        # One global stable sort per angle on the composite
+        # (patch, local) key replaces a pair of per-patch argsorts:
+        # sorting by ``pu * stride + lu`` with a stable kind yields
+        # exactly the (patch, src_local, original-order) edge order the
+        # old per-patch ``_csr_by_source`` produced, so every CSR array
+        # is bitwise identical.
+        stride = int(patch_sizes.max()) + 1 if npat else 1
 
         for a in range(self.num_angles):
             u, v = directed_edges(
@@ -328,53 +365,54 @@ class SweepTopology:
             pu, pv = cell_patch[u], cell_patch[v]
             lu, lv = cell_local[u], cell_local[v]
 
-            # Patch-level digraph (unique cross-patch edges).
+            # Patch-level digraph (unique cross-patch edges).  Unique
+            # over the scalar composite key sorts in the same (pu, pv)
+            # lexicographic order as ``np.unique(..., axis=0)`` at a
+            # fraction of its cost.
             cross = pu != pv
-            pairs = (
-                np.unique(np.stack([pu[cross], pv[cross]], axis=1), axis=0)
-                if np.any(cross)
-                else np.zeros((0, 2), dtype=np.int64)
-            )
+            if np.any(cross):
+                ck = pu[cross] * npat + pv[cross]
+                uk = np.unique(ck)
+                pairs = np.stack([uk // npat, uk % npat], axis=1)
+            else:
+                pairs = np.zeros((0, 2), dtype=np.int64)
             self.patch_dag[a] = pairs
 
-            # In-degree counts per patch: group all edges by target patch.
-            order_v = np.argsort(pv, kind="stable")
-            pv_s = pv[order_v]
-            lv_s = lv[order_v]
-            bounds_v = np.searchsorted(pv_s, np.arange(pset.num_patches + 1))
+            # In-degree counts of every patch in one global bincount.
+            counts_all = np.bincount(
+                pv * stride + lv, minlength=npat * stride
+            ).astype(np.int64)
 
-            # Outgoing edges grouped by source patch.
-            order_u = np.argsort(pu, kind="stable")
-            pu_s = pu[order_u]
-            lu_s = lu[order_u]
-            lv_u = lv[order_u]
-            pv_u = pv[order_u]
-            local_mask = pu_s == pv_u
-            bounds_u = np.searchsorted(pu_s, np.arange(pset.num_patches + 1))
+            # All edges in (src patch, src local, original) order.
+            order = np.argsort(pu * stride + lu, kind="stable")
+            pu_s = pu[order]
+            lu_s = lu[order]
+            lv_o = lv[order]
+            pv_o = pv[order]
+            local = pu_s == pv_o
+            remote = ~local
+            l_lu, l_lv = lu_s[local], lv_o[local]
+            r_lu, r_pv, r_lv = lu_s[remote], pv_o[remote], lv_o[remote]
+            lb = np.searchsorted(pu_s[local], np.arange(npat + 1))
+            rb = np.searchsorted(pu_s[remote], np.arange(npat + 1))
 
-            for p in range(pset.num_patches):
+            for p in range(npat):
                 nloc = int(patch_sizes[p])
-                counts = np.bincount(
-                    lv_s[bounds_v[p] : bounds_v[p + 1]], minlength=nloc
-                ).astype(np.int64)
-
-                s, e = bounds_u[p], bounds_u[p + 1]
-                lm = local_mask[s:e]
-                src_loc = lu_s[s:e]
-                dl_indptr, dl_target = _csr_by_source(
-                    src_loc[lm], nloc, lv_u[s:e][lm]
-                )
-                dr_indptr, dr_patch, dr_local = _csr_by_source(
-                    src_loc[~lm], nloc, pv_u[s:e][~lm], lv_u[s:e][~lm]
-                )
+                counts = counts_all[p * stride : p * stride + nloc].copy()
+                ls, le = lb[p], lb[p + 1]
+                rs, re = rb[p], rb[p + 1]
                 self.graphs[(p, a)] = PatchAngleGraph(
                     patch=p,
                     angle=a,
                     n_local=nloc,
                     init_counts=counts,
-                    dl_indptr=dl_indptr,
-                    dl_target=dl_target,
-                    dr_indptr=dr_indptr,
-                    dr_patch=dr_patch,
-                    dr_local=dr_local,
+                    dl_indptr=np.searchsorted(
+                        l_lu[ls:le], np.arange(nloc + 1)
+                    ).astype(np.int64),
+                    dl_target=l_lv[ls:le],
+                    dr_indptr=np.searchsorted(
+                        r_lu[rs:re], np.arange(nloc + 1)
+                    ).astype(np.int64),
+                    dr_patch=r_pv[rs:re],
+                    dr_local=r_lv[rs:re],
                 )

@@ -237,14 +237,21 @@ class AngleKernel:
 
         starts = self.in_indptr[cells]
         lens = self.in_indptr[cells + 1] - starts
-        pos = np.repeat(starts, lens) + _ragged_arange(lens)
-        seg = np.repeat(np.arange(len(cells)), lens)
         ng = psi_faces.shape[1]
+        # Inflow accumulation, grouped by in-degree: each group's
+        # batched ``(1,k) @ (k,ng)`` matmul runs the same BLAS dot per
+        # cell as ``solve_cells``'s ``in_coeff @ psi_faces[isl]``, so
+        # the sum order - and the result - is bitwise identical
+        # (verified by tests/test_kernels_level.py).
         acc = np.zeros((len(cells), ng))
-        np.add.at(
-            acc, seg,
-            self.in_coeff[pos, None] * psi_faces[self.in_slot[pos]],
-        )
+        for k in np.unique(lens):
+            if k == 0:
+                continue
+            sel = np.nonzero(lens == k)[0]
+            pos = starts[sel, None] + np.arange(k)
+            coeff = self.in_coeff[pos]
+            flux = psi_faces[self.in_slot[pos]]
+            acc[sel] = np.matmul(coeff[:, None, :], flux)[:, 0]
         num = src_v[cells] + two * acc
         den = sigma_t_v[cells] + two * self.out_coeff_sum[cells, None]
         psi = num / den

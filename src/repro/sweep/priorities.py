@@ -39,6 +39,7 @@ from .dag import PatchAngleGraph, SweepTopology
 __all__ = [
     "PriorityStrategy",
     "vertex_priorities",
+    "batched_vertex_priorities",
     "patch_priorities",
     "apply_priorities",
     "ANGLE_FACTOR",
@@ -82,15 +83,15 @@ def _local_topo_order(graph: PatchAngleGraph) -> list[int]:
     """Topological order of the patch-local subgraph (local edges only)."""
     n = graph.n_local
     indeg = np.bincount(graph.dl_target, minlength=n).tolist()
-    indptr = graph.dl_indptr
-    target = graph.dl_target
+    indptr = graph.dl_indptr.tolist()
+    target = graph.dl_target.tolist()
     q = deque(v for v in range(n) if indeg[v] == 0)
     order = []
     while q:
         v = q.popleft()
         order.append(v)
         for i in range(indptr[v], indptr[v + 1]):
-            w = int(target[i])
+            w = target[i]
             indeg[w] -= 1
             if indeg[w] == 0:
                 q.append(w)
@@ -100,40 +101,50 @@ def _local_topo_order(graph: PatchAngleGraph) -> list[int]:
 
 
 def vertex_priorities(graph: PatchAngleGraph, strategy: str) -> np.ndarray:
-    """Min-heap keys per local vertex for the chosen strategy."""
+    """Min-heap keys per local vertex for the chosen strategy.
+
+    The propagation loops run over plain Python lists: the subgraphs
+    are patch-local (tens to hundreds of vertices), where per-element
+    ndarray indexing costs more than the arithmetic itself.  All values
+    are integer-valued float64 (plus the exact ``_FAR`` sentinel), so
+    list-float and ndarray arithmetic are bitwise-identical.
+    """
     n = graph.n_local
     if strategy == "fifo":
         return np.zeros(n)
     order = _local_topo_order(graph)
-    indptr, target = graph.dl_indptr, graph.dl_target
+    indptr = graph.dl_indptr.tolist()
+    target = graph.dl_target.tolist()
 
     if strategy == "bfs":
         # Dependency depth from local sources (schedule shallow first).
-        level = np.zeros(n)
+        level = [0.0] * n
         for v in order:
-            lv = level[v]
+            lv = level[v] + 1
             for i in range(indptr[v], indptr[v + 1]):
                 w = target[i]
-                if level[w] < lv + 1:
-                    level[w] = lv + 1
-        return level
+                if level[w] < lv:
+                    level[w] = lv
+        return np.asarray(level)
 
     if strategy == "ldcp":
         # Longest downstream chain; schedule the longest first.
-        height = np.zeros(n)
+        height = [0.0] * n
         for v in reversed(order):
             h = 0.0
             for i in range(indptr[v], indptr[v + 1]):
-                h = max(h, height[target[i]] + 1)
+                hw = height[target[i]] + 1
+                if hw > h:
+                    h = hw
             height[v] = h
-        return -height
+        return -np.asarray(height)
 
     if strategy == "slbd":
         # Downstream distance to the nearest vertex with a remote
         # downwind edge; schedule the closest-to-boundary first.
-        dist = np.full(n, _FAR)
-        bnd = graph.boundary_vertices()
-        dist[bnd] = 0.0
+        dist = [_FAR] * n
+        for b in graph.boundary_vertices().tolist():
+            dist[b] = 0.0
         for v in reversed(order):
             if dist[v] == 0.0:
                 continue
@@ -143,9 +154,116 @@ def vertex_priorities(graph: PatchAngleGraph, strategy: str) -> np.ndarray:
                 if d < best:
                     best = d
             dist[v] = best
-        return dist
+        return np.asarray(dist)
 
     raise ReproError(f"unknown vertex strategy {strategy!r}")
+
+
+def _multi_slice(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Indices of the concatenation of ``[s, s+c)`` ranges (CSR gather)."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    base = np.repeat(starts - np.concatenate(([0], ends[:-1])), counts)
+    return base + np.arange(total, dtype=np.int64)
+
+
+def batched_vertex_priorities(
+    graphs: list[PatchAngleGraph], strategy: str
+) -> None:
+    """Set ``vertex_prio`` on every graph in one vectorized pass.
+
+    The per-graph propagation loops of :func:`vertex_priorities` become
+    a single level-synchronous relaxation over the *disjoint union* of
+    all patch-local subgraphs: vertices are grouped into Kahn fronts
+    (every predecessor of a front-``L`` vertex sits in a front ``< L``),
+    then each strategy's recurrence is applied one front at a time with
+    ``np.maximum.at`` / ``np.minimum.at`` scatter reductions.  All
+    priority values are integer-valued float64 (plus the exact ``_FAR``
+    sentinel), so the reduction order cannot perturb them: the result
+    is bitwise-identical to the scalar reference, per graph.
+    """
+    if strategy not in STRATEGIES:
+        raise ReproError(f"unknown vertex strategy {strategy!r}")
+    if not graphs:
+        return
+    ns = np.array([g.n_local for g in graphs], dtype=np.int64)
+    offs = np.zeros(len(ns) + 1, dtype=np.int64)
+    np.cumsum(ns, out=offs[1:])
+    n = int(offs[-1])
+    # Vertex index within each graph, over the whole union: the fifo
+    # heap key, and the tie-break term of every other strategy's key.
+    varr = np.arange(n, dtype=np.int64) - np.repeat(offs[:-1], ns)
+    if strategy == "fifo":
+        zeros = np.zeros(n)
+        for g, a, b in zip(graphs, offs[:-1], offs[1:]):
+            g.vertex_prio = zeros[a:b]
+            g.vertex_keys = varr[a:b]
+        return
+
+    # Disjoint union in global numbering (graph-major, CSR source order).
+    deg = np.concatenate([np.diff(g.dl_indptr) for g in graphs])
+    tgt = np.concatenate([g.dl_target for g in graphs])
+    tgt = tgt + np.repeat(offs[:-1], [len(g.dl_target) for g in graphs])
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(deg, out=indptr[1:])
+
+    # Kahn fronts, peeled across every graph simultaneously.
+    indeg = np.bincount(tgt, minlength=n)
+    front_of = np.zeros(n, dtype=np.int64)
+    cur = np.nonzero(indeg == 0)[0]
+    ready = np.zeros(n, dtype=bool)
+    seen, lvl = 0, 0
+    while cur.size:
+        front_of[cur] = lvl
+        seen += cur.size
+        t = tgt[_multi_slice(indptr[cur], deg[cur])]
+        if t.size == 0:
+            break
+        indeg -= np.bincount(t, minlength=n)
+        # Flag-array dedup: same ascending-unique front as
+        # ``np.unique(...)`` without the per-level sort.
+        ready[t[indeg[t] == 0]] = True
+        cur = np.nonzero(ready)[0]
+        ready[cur] = False
+        lvl += 1
+    if seen != n:
+        raise ReproError("patch-local sweep subgraph is cyclic")
+    nfronts = lvl + 1
+
+    # Edges grouped by their source's front.
+    esrc = np.repeat(np.arange(n, dtype=np.int64), deg)
+    eorder = np.argsort(front_of[esrc], kind="stable")
+    esrc, etgt = esrc[eorder], tgt[eorder]
+    ebounds = np.searchsorted(
+        front_of[esrc], np.arange(nfronts + 1)
+    )
+
+    if strategy == "bfs":
+        val = np.zeros(n)
+        for f in range(nfronts):  # forward: settle sources, push depth
+            s, e = ebounds[f], ebounds[f + 1]
+            np.maximum.at(val, etgt[s:e], val[esrc[s:e]] + 1.0)
+    elif strategy == "ldcp":
+        val = np.zeros(n)
+        for f in range(nfronts - 1, -1, -1):  # backward: pull heights
+            s, e = ebounds[f], ebounds[f + 1]
+            np.maximum.at(val, esrc[s:e], val[etgt[s:e]] + 1.0)
+        val = -val
+    else:  # slbd
+        val = np.full(n, _FAR)
+        rdeg = np.concatenate([np.diff(g.dr_indptr) for g in graphs])
+        val[rdeg > 0] = 0.0
+        for f in range(nfronts - 1, -1, -1):  # backward: pull distances
+            s, e = ebounds[f], ebounds[f + 1]
+            np.minimum.at(val, esrc[s:e], val[etgt[s:e]] + 1.0)
+    # Every strategy above yields integer-valued float64 (incl. the
+    # exact ``_FAR`` sentinel), so the encoded heap key is exact.
+    keys = val.astype(np.int64) * np.repeat(ns, ns) + varr
+    for g, a, b in zip(graphs, offs[:-1], offs[1:]):
+        g.vertex_prio = val[a:b]
+        g.vertex_keys = keys[a:b]
 
 
 # -- patch level -----------------------------------------------------------------------
@@ -215,6 +333,7 @@ def apply_priorities(
     for (p, a), prior_p in patch_term.items():
         prior_a = float(na - a)  # earlier angles strictly dominate
         static[(p, a)] = prior_a * angle_factor + prior_p
-    for key, graph in topology.graphs.items():
-        graph.vertex_prio = vertex_priorities(graph, strategy.vertex)
+    batched_vertex_priorities(
+        list(topology.graphs.values()), strategy.vertex
+    )
     return static

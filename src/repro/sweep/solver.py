@@ -286,12 +286,15 @@ class SnSolver:
     def sweep_once(
         self,
         scatter: np.ndarray | None = None,
-        mode: str = "fast",
+        mode: str = "fast-level",
         record_clusters: bool = False,
     ):
         """One full sweep of all angles; returns ``(phi, leakage, stats)``.
 
         ``stats`` is the :class:`EngineStats` of engine mode, or None.
+        The default ``fast-level`` mode vectorizes each wavefront level
+        with batched-BLAS kernels; it is bitwise identical to the
+        scalar ``fast`` mode (enforced by tests/test_kernels_level.py).
         """
         ng = self.num_groups
         ncells = self.mesh.num_cells
@@ -473,7 +476,7 @@ class SnSolver:
         self,
         tol: float = 1e-6,
         max_iterations: int = 200,
-        mode: str = "fast",
+        mode: str = "fast-level",
         accelerate: bool = False,
     ) -> SweepResult:
         """Iterate sweeps with lagged scattering until the flux converges.

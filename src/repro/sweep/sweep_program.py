@@ -65,7 +65,7 @@ class SweepPatchProgram(PatchProgram):
 
         # Local context (Listing 1, part 1), created by init().
         self._counts: list[int] = []
-        self._heap: list[tuple[float, int]] = []
+        self._heap: list = []
         self._outstreams: list[Stream] = []
         self._solved = 0
         self._last = {"vertices": 0, "edges": 0, "remote_items": 0,
@@ -75,14 +75,37 @@ class SweepPatchProgram(PatchProgram):
 
     def init(self) -> None:
         g = self.graph
+        n = g.n_local
         self._counts = g.init_counts.tolist()
-        prio = (
-            g.vertex_prio.tolist()
-            if g.vertex_prio is not None
-            else [0.0] * g.n_local
-        )
+        pa = g.vertex_prio
+        prio = pa.tolist() if pa is not None else [0.0] * n
         self._prio = prio
-        self._heap = [(prio[v], v) for v in np.nonzero(g.init_counts == 0)[0]]
+        # Heap keys.  Every priority strategy yields integer-valued
+        # float64 (incl. the exact ``_FAR`` sentinel), so the pair
+        # ``(prio[v], v)`` orders identically to the single integer
+        # ``int(prio[v]) * n + v`` - and a heap of small ints is far
+        # cheaper to sift than one of (float, int) tuples.  Vertices
+        # decode as ``key % n`` (exact for negative priorities too).
+        # Non-integer priorities (user-supplied) fall back to prebuilt
+        # tuples; both paths push ``keys[v]`` and never allocate.
+        self._n = n
+        vk = g.vertex_keys
+        if vk is not None:
+            self._intkeys = True
+            keys = vk.tolist()
+        elif pa is None:
+            self._intkeys = True
+            keys = list(range(n))
+        elif bool(np.array_equal(pa, np.trunc(pa))):
+            self._intkeys = True
+            keys = (
+                pa.astype(np.int64) * n + np.arange(n, dtype=np.int64)
+            ).tolist()
+        else:
+            self._intkeys = False
+            keys = [(p, v) for v, p in enumerate(prio)]
+        self._keys = keys
+        self._heap = [keys[v] for v in np.nonzero(g.init_counts == 0)[0]]
         self._heap.sort()
         self._solved = 0
         self._outstreams = []
@@ -93,7 +116,7 @@ class SweepPatchProgram(PatchProgram):
 
     def input(self, stream: Stream) -> None:
         counts = self._counts
-        prio = self._prio
+        keys = self._keys
         heap = self._heap
         n = 0
         if self.resilient_input:
@@ -103,15 +126,18 @@ class SweepPatchProgram(PatchProgram):
                 if e in applied:
                     continue  # duplicate delivery (retry or replay)
                 applied.add(e)
-                counts[v] -= 1
-                if counts[v] == 0:
-                    heappush(heap, (prio[v], v))
+                c = counts[v] - 1
+                counts[v] = c
+                if not c:
+                    heappush(heap, keys[v])
         else:
-            for v in stream.payload:
-                counts[v] -= 1
-                if counts[v] == 0:
-                    heappush(heap, (prio[v], v))
-                n += 1
+            payload = stream.payload.tolist()
+            n = len(payload)
+            for v in payload:
+                c = counts[v] - 1
+                counts[v] = c
+                if not c:
+                    heappush(heap, keys[v])
         self._last["input_items"] += n
 
     def compute(self) -> None:
@@ -121,30 +147,51 @@ class SweepPatchProgram(PatchProgram):
                           "input_items": self._last["input_items"],
                           "streams": 0}
             return
-        local_adj, remote_adj = self.graph.adjacency_lists()
+        lptr, ltgt, rptr, rpat, rloc = self.graph.adjacency_flat()
         counts = self._counts
-        prio = self._prio
+        keys = self._keys
         grain = self.grain
         popped: list[int] = []
+        append = popped.append
         out: dict[int, list[int]] = {}
         edges = 0
         remote_items = 0
+        mod = self._n if self._intkeys else 0
+        budget = grain
+        while heap and budget:
+            budget -= 1
+            k = heappop(heap)
+            v = k % mod if mod else k[1]
+            append(v)
+            s, e = lptr[v], lptr[v + 1]
+            edges += e - s
+            for w in ltgt[s:e]:
+                c = counts[w] - 1
+                counts[w] = c
+                if not c:
+                    heappush(heap, keys[w])
+        # Remote edges never feed the ready heap, so they are gathered
+        # after the pop loop: iterating ``popped`` in order preserves
+        # both the first-encounter order of target patches and the
+        # per-target item order of the fused form.
         resilient = self.resilient_input
-        while heap and len(popped) < grain:
-            _, v = heappop(heap)
-            popped.append(v)
-            for w in local_adj[v]:
-                counts[w] -= 1
-                edges += 1
-                if counts[w] == 0:
-                    heappush(heap, (prio[w], w))
-            for dp, dl, eid in remote_adj[v]:
-                if resilient:
-                    out.setdefault(dp, []).append((dl, eid))
-                else:
-                    out.setdefault(dp, []).append(dl)
-                edges += 1
-                remote_items += 1
+        dp = -1
+        items: list = []
+        for v in popped:
+            rs, re = rptr[v], rptr[v + 1]
+            if rs == re:
+                continue
+            # Remote CSR position doubles as the stable edge_id.
+            for j in range(rs, re):
+                p = rpat[j]
+                if p != dp:
+                    items = out.get(p)
+                    if items is None:
+                        items = out[p] = []
+                    dp = p
+                items.append((rloc[j], j) if resilient else rloc[j])
+            edges += re - rs
+            remote_items += re - rs
 
         if self.solve_fn is not None:
             self.solve_fn(self.cells_global[popped], self.graph.angle)
@@ -176,6 +223,13 @@ class SweepPatchProgram(PatchProgram):
             return self._outstreams.pop(0)
         return None
 
+    def drain_outputs(self) -> list[Stream]:
+        # Hand the emission buffer over wholesale (same FIFO order as
+        # popping via ``output`` until None, without O(n^2) pop(0)s).
+        out = self._outstreams
+        self._outstreams = []
+        return out
+
     def vote_to_halt(self) -> bool:
         return not self._heap
 
@@ -195,11 +249,14 @@ class SweepPatchProgram(PatchProgram):
         if self.dynamic_priority and self._heap:
             # Prefer programs whose best ready vertex is most urgent
             # (smallest vertex key); scaled to act as a tie-breaker only.
-            p -= 1e-3 * self._heap[0][0]
+            k = self._heap[0]
+            p -= 1e-3 * (self._prio[k % self._n] if self._intkeys else k[0])
         return p
 
     def last_run_counters(self) -> dict[str, int]:
-        out = dict(self._last)
+        # Hand the live dict over and start a fresh one: the caller
+        # reads it before the next input/compute can touch ``_last``.
+        out = self._last
         self._last = {"vertices": 0, "edges": 0, "remote_items": 0,
                       "input_items": 0, "streams": 0}
         return out

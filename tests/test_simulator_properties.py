@@ -1,0 +1,139 @@
+"""Property tests: the slab event heap is observationally identical
+to a plain ``heapq`` of ``(t, seq, kind, data)`` tuples.
+
+The simulator stores events in struct-of-arrays slabs with recycled
+slots, interns kinds to dense ids, drains same-timestamp batches in
+one call, and lets pushes landing at exactly the in-flight batch's
+timestamp join it without touching the heap (same-time turnaround).
+Every one of those mechanics is an *optimization* of the reference
+semantics - pop strictly by ``(t, seq)``, sequence numbers handed out
+one per push (or per :meth:`next_seq` consumer) - so randomized
+schedules with timestamp ties, interleaved external sequence
+consumers, and mid-batch pushes must pop in exactly the reference
+order, payload for payload.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.simulator import Simulator
+
+# Small delta pool so schedules collide on identical timestamps often;
+# 0.0 lands mid-batch pushes on the in-flight batch's own time.
+DELTAS = (0.0, 0.25, 1.0, 3.0)
+KINDS = ("advance", "aux")  # progress / non-progress
+PROGRESS = frozenset(("advance",))
+
+
+class RefHeap:
+    """The reference: one heap of (t, seq, kind, data) 4-tuples."""
+
+    def __init__(self):
+        self.h = []
+        self.seq = 0
+
+    def push(self, t, kind, data):
+        self.seq += 1
+        heapq.heappush(self.h, (t, self.seq, kind, data))
+
+    def next_seq(self):
+        self.seq += 1
+        return self.seq
+
+
+# One push op: (time delta from "now", kind, burn-a-seq-first flag).
+# The flag models external queues sharing the tie-break sequence via
+# next_seq between pushes - renumbering must never reorder.
+_op = st.tuples(
+    st.sampled_from(DELTAS), st.sampled_from(KINDS), st.booleans()
+)
+
+
+@st.composite
+def schedules(draw):
+    pre = draw(st.lists(_op, min_size=1, max_size=12))
+    rounds = draw(st.lists(st.lists(_op, max_size=4), max_size=10))
+    return pre, rounds
+
+
+def _push_both(sim, ref, now, ops, start):
+    n = start
+    for delta, kind, burn in ops:
+        if burn:
+            sim.next_seq()
+            ref.next_seq()
+        sim.push(now + delta, kind, n)
+        ref.push(now + delta, kind, n)
+        n += 1
+    return n
+
+
+@given(sched=schedules())
+@settings(max_examples=80, deadline=None)
+def test_single_pop_matches_reference(sched):
+    pre, rounds = sched
+    sim = Simulator(progress_kinds=PROGRESS)
+    ref = RefHeap()
+    n = _push_both(sim, ref, 0.0, pre, 0)
+    rit = iter(rounds)
+    while sim:
+        t, kind, data = sim.pop()
+        rt, _, rkind, rdata = heapq.heappop(ref.h)
+        assert (t, kind, data) == (rt, rkind, rdata)
+        # Pushes between pops happen at or after the current time.
+        n = _push_both(sim, ref, t, next(rit, []), n)
+    assert not ref.h
+    assert sim.live == 0
+
+
+@given(sched=schedules())
+@settings(max_examples=80, deadline=None)
+def test_pop_batch_matches_reference(sched):
+    """Batch drains, including same-time turnaround joins, pop in
+    reference order: mid-batch pushes carry strictly larger sequence
+    numbers, so they sort after every drained event even at the same
+    timestamp."""
+    pre, rounds = sched
+    sim = Simulator(progress_kinds=PROGRESS)
+    ref = RefHeap()
+    n = _push_both(sim, ref, 0.0, pre, 0)
+    rit = iter(rounds)
+    sim_order, ref_order = [], []
+    names = sim._kind_names
+    while sim:
+        t0, batch = sim.pop_batch()
+        # Mid-batch pushes: a 0.0 delta lands at exactly t0 and must
+        # join the in-flight batch (the list grows in push order).
+        n = _push_both(sim, ref, t0, next(rit, []), n)
+        sim_order.extend((t0, names[kid], data) for kid, data in batch)
+        while ref.h and ref.h[0][0] == t0:
+            rt, _, rkind, rdata = heapq.heappop(ref.h)
+            ref_order.append((rt, rkind, rdata))
+    assert sim_order == ref_order
+    assert not ref.h
+    assert sim.live == 0
+    if sim_order:
+        assert sim.makespan == max(t for t, _, _ in sim_order)
+
+
+@given(sched=schedules())
+@settings(max_examples=40, deadline=None)
+def test_slot_recycling_preserves_payloads(sched):
+    """Popping then pushing reuses slab slots; payloads must never
+    cross-contaminate between recycled slots."""
+    pre, rounds = sched
+    sim = Simulator(progress_kinds=PROGRESS)
+    ref = RefHeap()
+    n = _push_both(sim, ref, 0.0, pre, 0)
+    rit = iter(rounds)
+    seen_sim, seen_ref = [], []
+    while sim:
+        t, kind, data = sim.pop()
+        seen_sim.append(data)
+        seen_ref.append(heapq.heappop(ref.h)[3])
+        n = _push_both(sim, ref, t, next(rit, []), n)
+    # Every payload delivered exactly once, in the same order.
+    assert seen_sim == seen_ref
+    assert sorted(seen_sim) == list(range(n))
