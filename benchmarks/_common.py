@@ -140,6 +140,17 @@ def bench_args(
         "`python -m repro.analysis check-trace`",
     )
     ap.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="arm durable-execution instrumentation: DES benches "
+        "snapshot the runtime every N popped events (running each "
+        "configuration twice to measure the cadence overhead); the "
+        "service bench journals every transition to a write-ahead "
+        "log.  Count/bytes/overhead land in the bench's JSON artifact",
+    )
+    ap.add_argument(
         "--profile",
         nargs="?",
         const=".",
@@ -153,6 +164,54 @@ def bench_args(
     if extra is not None:
         extra(ap)
     return ap.parse_args(argv)
+
+
+def snapshot_cadence_run(run, label: str, every: int, stats: list):
+    """Measure one configuration's snapshot-cadence overhead.
+
+    ``run(persist)`` must execute the DES run and return its report.
+    Runs it twice - snapshotting off, then armed at ``every`` popped
+    events into a throwaway directory - and appends one stats row
+    (count, bytes, wall-time overhead %) to ``stats``.  Returns the
+    armed run's report: snapshot-armed runs are bitwise-identical to
+    unarmed ones, so the caller's series is unchanged.
+    """
+    import tempfile
+    import time
+
+    from repro.persist import SnapshotManager
+
+    t0 = time.perf_counter()
+    run(None)
+    off = time.perf_counter() - t0
+    with tempfile.TemporaryDirectory() as d:
+        mgr = SnapshotManager(d, every=every, fsync=False)
+        t0 = time.perf_counter()
+        rep = run(mgr)
+        on = time.perf_counter() - t0
+    stats.append({
+        "label": label,
+        "every": every,
+        "snapshots": rep.snapshots,
+        "snapshot_bytes": rep.snapshot_bytes,
+        "wall_off_s": off,
+        "wall_armed_s": on,
+        "overhead_pct": 100.0 * (on - off) / off if off > 0 else 0.0,
+    })
+    return rep
+
+
+def write_snapshot_json(bench: str, every: int, stats: list) -> str:
+    """Publish a bench's durability stats as ``BENCH_<bench>_snapshots.json``."""
+    path = os.path.join(
+        os.path.dirname(__file__), os.pardir,
+        f"BENCH_{bench}_snapshots.json",
+    )
+    path = os.path.normpath(path)
+    with open(path, "w") as fh:
+        json.dump({"every": every, "rows": stats}, fh, indent=1)
+    print(f"snapshots: {path} ({len(stats)} configurations)")
+    return path
 
 
 def maybe_profile(fn, label: str, opt):

@@ -1,0 +1,230 @@
+"""Durability campaign: kill-resume exactness and snapshot overhead.
+
+Runs the durable-execution harness over a small scenario matrix
+(structured / unstructured mesh, hybrid / mpi_only layout, fault-free /
+faulty): for each cell one uninterrupted reference run pins the
+fingerprint, one snapshot-armed run measures the overhead of the
+cadence (count, bytes, wall-time %), and a sweep of seeded host-crash
+cut points each kill the run mid-loop and restart it from disk,
+asserting the resumed outcome is **bitwise-identical** to the
+reference (makespan, breakdown, fault counters, flux).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py
+
+Writes ``BENCH_durability.json`` at the repo root (override with
+``--json``).  ``--smoke`` runs the CI-sized campaign (fewer cells and
+cut points).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.framework import PatchSet
+from repro.mesh import cube_structured, disk_tri_mesh
+from repro.persist import SnapshotManager, kill_and_resume, report_fingerprint
+from repro.persist.snapshot import FluxArrayState
+from repro.runtime import CrashFault, DataDrivenRuntime, FaultPlan, Machine
+from repro.sweep import level_symmetric
+from repro.sweep.materials import Material, MaterialMap
+from repro.sweep.solver import SnSolver
+
+import numpy as np
+
+from _common import bench_args, print_series
+
+JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_durability.json")
+
+MACHINE = Machine(cores_per_proc=4)
+
+#: cell name -> (mesh kind, mode, faults on)
+FULL_CELLS = {
+    "structured-hybrid-clean": ("structured", "hybrid", False),
+    "structured-hybrid-faulty": ("structured", "hybrid", True),
+    "structured-mpi_only-faulty": ("structured", "mpi_only", True),
+    "unstructured-hybrid-clean": ("unstructured", "hybrid", False),
+    "unstructured-mpi_only-faulty": ("unstructured", "mpi_only", True),
+}
+SMOKE_CELLS = {
+    "structured-hybrid-faulty": ("structured", "hybrid", True),
+    "unstructured-hybrid-clean": ("unstructured", "hybrid", False),
+}
+
+FULL_FRACS = (0.05, 0.25, 0.5, 0.75, 0.95)
+SMOKE_FRACS = (0.1, 0.6)
+
+
+def _fault_plan():
+    return FaultPlan(
+        crashes=(CrashFault(proc=1, time=150e-6),),
+        p_drop=0.05, p_duplicate=0.05, seed=7,
+    )
+
+
+def _solver(kind, nprocs):
+    if kind == "structured":
+        mesh = cube_structured(8, length=4.0)
+        pset = PatchSet.from_structured(mesh, (4, 4, 4), nprocs=nprocs)
+        sn = 2
+    else:
+        mesh = disk_tri_mesh(8)
+        pset = PatchSet.from_unstructured(mesh, 20, nprocs=nprocs)
+        sn = 4
+    mm = MaterialMap.uniform(
+        Material.isotropic(1.0, 0.5), mesh.num_cells
+    )
+    q = np.ones((mesh.num_cells, 1))
+    return pset, SnSolver(pset, level_symmetric(sn), mm, q, grain=16)
+
+
+def _factory(kind, mode, faulty):
+    cores = 16 if mode == "hybrid" else 8
+    nprocs = MACHINE.layout(cores, mode).nprocs
+    plan = _fault_plan() if faulty else None
+
+    def factory():
+        pset, s = _solver(kind, nprocs)
+        progs, faces = s.build_programs(resilient=faulty)
+        rt = DataDrivenRuntime(cores, machine=MACHINE, mode=mode, faults=plan)
+        factory.extra = (s, faces)
+        return rt, progs, pset.patch_proc, FluxArrayState(faces)
+
+    return factory
+
+
+def _fingerprint(factory, report):
+    s, faces = factory.extra
+    phi, _ = s.accumulate(faces)
+    return report_fingerprint(report, flux=phi)
+
+
+def run_cell(name, kind, mode, faulty, fracs):
+    f = _factory(kind, mode, faulty)
+    # Reference: uninterrupted, snapshotting off.
+    rt, progs, pp, _app = f()
+    t0 = time.perf_counter()
+    ref = rt.run(progs, pp)
+    ref_wall = time.perf_counter() - t0
+    ref_fp = _fingerprint(f, ref)
+    every = max(20, ref.events // 6)
+    # Snapshot-armed run (no kill): the cadence overhead.
+    rt, progs, pp, app = f()
+    with tempfile.TemporaryDirectory() as d:
+        mgr = SnapshotManager(d, every=every, app_state=app, fsync=False)
+        t0 = time.perf_counter()
+        rep = rt.run(progs, pp, persist=mgr)
+        armed_wall = time.perf_counter() - t0
+    if _fingerprint(f, rep) != ref_fp:
+        raise SystemExit(f"{name}: snapshot-armed run diverged")
+    # The kill campaign: seeded cuts, restart from disk, compare.
+    cuts = []
+    for frac in fracs:
+        kill_at = max(1, int(frac * ref.events))
+        with tempfile.TemporaryDirectory() as d:
+            t0 = time.perf_counter()
+            rep2, _mgr, killed = kill_and_resume(
+                f, kill_at=kill_at, every=every, workdir=d
+            )
+            wall = time.perf_counter() - t0
+        exact = _fingerprint(f, rep2) == ref_fp
+        cuts.append({
+            "kill_at": kill_at, "killed": killed, "exact": exact,
+            "wall_s": wall,
+        })
+    return {
+        "cell": name,
+        "events": ref.events,
+        "every": every,
+        "ref_wall_s": ref_wall,
+        "armed_wall_s": armed_wall,
+        "overhead_pct": (
+            100.0 * (armed_wall - ref_wall) / ref_wall if ref_wall > 0
+            else 0.0
+        ),
+        "snapshots": rep.snapshots,
+        "snapshot_bytes": rep.snapshot_bytes,
+        "cuts": cuts,
+    }
+
+
+def run_campaign(smoke=False):
+    cells = SMOKE_CELLS if smoke else FULL_CELLS
+    fracs = SMOKE_FRACS if smoke else FULL_FRACS
+    return [
+        run_cell(name, *cfg, fracs) for name, cfg in sorted(cells.items())
+    ]
+
+
+def report(rows):
+    table = [
+        [
+            r["cell"], r["events"], r["snapshots"],
+            f"{r['snapshot_bytes'] / 1024:.0f}KiB",
+            f"{r['overhead_pct']:+.0f}%",
+            sum(1 for c in r["cuts"] if c["killed"]),
+            "yes" if all(c["exact"] for c in r["cuts"]) else "NO",
+        ]
+        for r in rows
+    ]
+    print_series(
+        "Durability - snapshot cadence overhead and kill-resume "
+        "exactness (bitwise vs the uninterrupted reference)",
+        ["cell", "events", "snaps", "bytes", "overhead", "kills", "exact"],
+        table,
+    )
+
+
+def check(rows):
+    for r in rows:
+        for c in r["cuts"]:
+            assert c["killed"], (
+                f"{r['cell']}: kill at {c['kill_at']} never fired"
+            )
+            assert c["exact"], (
+                f"{r['cell']}: resume from cut {c['kill_at']} diverged "
+                "from the uninterrupted reference"
+            )
+        assert r["snapshots"] >= 2, f"{r['cell']}: cadence never fired"
+        assert r["snapshot_bytes"] > 0
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone invocation
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="durability")
+    def test_durability_campaign(benchmark):
+        rows = benchmark.pedantic(
+            run_campaign, kwargs={"smoke": True}, rounds=1, iterations=1
+        )
+        report(rows)
+        check(rows)
+
+
+if __name__ == "__main__":
+    args = bench_args(
+        "Durability campaign: snapshot overhead and seeded kill-resume "
+        "exactness across the scenario matrix",
+        extra=lambda ap: (
+            ap.add_argument("--json", metavar="PATH", default=JSON_PATH,
+                            help="where to write the JSON summary"),
+        ),
+    )
+    rows = run_campaign(smoke=args.smoke)
+    report(rows)
+    check(rows)
+    out = os.path.normpath(args.json)
+    with open(out, "w") as fh:
+        json.dump({"rows": rows}, fh, indent=1)
+    print(f"\nsummary: {out}")
+    kills = sum(1 for r in rows for c in r["cuts"] if c["killed"])
+    print(f"durability: OK ({kills} seeded host crashes, every resume "
+          "bitwise-exact)")

@@ -13,22 +13,30 @@ import pytest
 
 from _common import (
     KOBA_LARGE, KOBA_MIDDLE, bench_args, check_hb, koba_app, maybe_profile,
-    print_series, write_chrome_trace,
+    print_series, snapshot_cadence_run, write_chrome_trace,
+    write_snapshot_json,
 )
 
 
 def _strong_scaling(
     n: int, cores_list: list[int], patch: int,
-    trace_dir=None, hb=None,
+    trace_dir=None, hb=None, snap_every=None, snap_stats=None,
 ) -> list[list]:
     rows = []
     base = None
     traced = trace_dir is not None or hb is not None
     for cores in cores_list:
         app = koba_app(n, cores, patch=patch)
-        rep = app.sweep_report(cores, coarsened=False, trace=traced)
+        label = f"fig12-koba{n}-c{cores}"
+        if snap_every:
+            rep = snapshot_cadence_run(
+                lambda mgr: app.sweep_report(cores, coarsened=False,
+                                             persist=mgr),
+                label, snap_every, snap_stats,
+            )
+        else:
+            rep = app.sweep_report(cores, coarsened=False, trace=traced)
         if traced:
-            label = f"fig12-koba{n}-c{cores}"
             if trace_dir is not None:
                 write_chrome_trace(rep, label, trace_dir)
             check_hb(rep, label, hb)
@@ -91,10 +99,18 @@ _HDR = ["cores", "time_ms", "speedup", "efficiency", "idle_frac"]
 if __name__ == "__main__":
     args = bench_args("Fig. 12: strong scaling of JSNT-S (Kobayashi)")
     _tr, _hb = args.trace, args.check_hb
+    _snap = args.snapshot_every
+    if _snap and (_tr is not None or _hb is not None):
+        raise SystemExit(
+            "--snapshot-every is incompatible with --trace/--check-hb "
+            "(trace buffers are not part of the snapshot schema)"
+        )
+    _stats: list = []
     if args.smoke:
         rows = maybe_profile(
             lambda: _strong_scaling(
-                KOBA_MIDDLE, [24, 48], patch=6, trace_dir=_tr, hb=_hb
+                KOBA_MIDDLE, [24, 48], patch=6, trace_dir=_tr, hb=_hb,
+                snap_every=_snap, snap_stats=_stats,
             ),
             "fig12a_smoke", args.profile,
         )
@@ -103,7 +119,7 @@ if __name__ == "__main__":
         rows = maybe_profile(
             lambda: _strong_scaling(
                 KOBA_MIDDLE, [24, 48, 96, 192, 384], patch=6,
-                trace_dir=_tr, hb=_hb,
+                trace_dir=_tr, hb=_hb, snap_every=_snap, snap_stats=_stats,
             ),
             "fig12a", args.profile,
         )
@@ -111,8 +127,10 @@ if __name__ == "__main__":
         rows = maybe_profile(
             lambda: _strong_scaling(
                 KOBA_LARGE, [48, 96, 192, 384, 768], patch=8,
-                trace_dir=_tr, hb=_hb,
+                trace_dir=_tr, hb=_hb, snap_every=_snap, snap_stats=_stats,
             ),
             "fig12b", args.profile,
         )
         print_series(f"Fig. 12b - Kobayashi-{KOBA_LARGE}", _HDR, rows)
+    if _snap:
+        write_snapshot_json("fig12", _snap, _stats)

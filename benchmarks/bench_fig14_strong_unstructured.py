@@ -16,12 +16,12 @@ import pytest
 
 from _common import (
     ball_app, bench_args, check_hb, maybe_profile, print_series,
-    write_chrome_trace,
+    snapshot_cadence_run, write_chrome_trace, write_snapshot_json,
 )
 
 
 def _strong(resolution: int, cores_list: list[int], patch_size: int,
-            trace_dir=None, hb=None):
+            trace_dir=None, hb=None, snap_every=None, snap_stats=None):
     rows = []
     base = None
     ncells = None
@@ -29,9 +29,15 @@ def _strong(resolution: int, cores_list: list[int], patch_size: int,
     for cores in cores_list:
         app = ball_app(resolution, cores, patch_size=patch_size)
         ncells = app.solver.mesh.num_cells
-        rep = app.sweep_report(cores, trace=traced)
+        label = f"fig14-ball{resolution}-c{cores}"
+        if snap_every:
+            rep = snapshot_cadence_run(
+                lambda mgr: app.sweep_report(cores, persist=mgr),
+                label, snap_every, snap_stats,
+            )
+        else:
+            rep = app.sweep_report(cores, trace=traced)
         if traced:
-            label = f"fig14-ball{resolution}-c{cores}"
             if trace_dir is not None:
                 write_chrome_trace(rep, label, trace_dir)
             check_hb(rep, label, hb)
@@ -84,10 +90,18 @@ _HDR = ["cores", "time_ms", "speedup", "efficiency", "idle_frac"]
 if __name__ == "__main__":
     args = bench_args("Fig. 14: strong scaling of JSNT-U (ball meshes)")
     _tr, _hb = args.trace, args.check_hb
+    _snap = args.snapshot_every
+    if _snap and (_tr is not None or _hb is not None):
+        raise SystemExit(
+            "--snapshot-every is incompatible with --trace/--check-hb "
+            "(trace buffers are not part of the snapshot schema)"
+        )
+    _stats: list = []
     if args.smoke:
         ncells, rows = maybe_profile(
             lambda: _strong(
-                14, [24, 48], patch_size=120, trace_dir=_tr, hb=_hb
+                14, [24, 48], patch_size=120, trace_dir=_tr, hb=_hb,
+                snap_every=_snap, snap_stats=_stats,
             ),
             "fig14a_smoke", args.profile,
         )
@@ -96,7 +110,7 @@ if __name__ == "__main__":
         ncells, rows = maybe_profile(
             lambda: _strong(
                 14, [24, 48, 96, 192, 384], patch_size=120,
-                trace_dir=_tr, hb=_hb,
+                trace_dir=_tr, hb=_hb, snap_every=_snap, snap_stats=_stats,
             ),
             "fig14a", args.profile,
         )
@@ -104,8 +118,10 @@ if __name__ == "__main__":
         ncells, rows = maybe_profile(
             lambda: _strong(
                 20, [48, 96, 192, 384, 768], patch_size=120,
-                trace_dir=_tr, hb=_hb,
+                trace_dir=_tr, hb=_hb, snap_every=_snap, snap_stats=_stats,
             ),
             "fig14b", args.profile,
         )
         print_series(f"Fig. 14b - large ball ({ncells} tets)", _HDR, rows)
+    if _snap:
+        write_snapshot_json("fig14", _snap, _stats)

@@ -32,7 +32,10 @@ import os
 
 import numpy as np
 
-from repro.service import JobExecutor, JobSpec, JobStatus, ServiceConfig, SweepService
+from repro.service import (
+    JobExecutor, JobSpec, JobStatus, ServiceConfig, SweepService,
+    WriteAheadLog,
+)
 
 from _common import bench_args, print_series
 
@@ -92,17 +95,34 @@ def _percentile(xs: list[float], q: float) -> float:
 
 
 def run_regime(name: str, seed: int, jobs: int,
-               executor: JobExecutor) -> dict:
+               executor: JobExecutor, wal_dir: str | None = None) -> dict:
     overload = name != "baseline"
+    wal = None
+    if wal_dir is not None:
+        # Durability instrumentation: journal every service transition
+        # (submission, attempt, commit, terminal, reject) to a
+        # write-ahead log and report its record/byte cost per regime.
+        wal = WriteAheadLog(
+            os.path.join(wal_dir, f"{name.replace('+', '_')}.wal"),
+            fsync=False,
+        )
     svc = SweepService(_config(degrade=name == "overload+degrade"),
-                       executor=executor)
+                       executor=executor, wal=wal)
     for at, spec in _arrivals(seed, jobs, overload):
         svc.submit(spec, at=at)
     results = svc.run_until_idle()
     done = [r for r in results if r.status == JobStatus.COMPLETED]
     lat = [r.latency for r in done]
     m = svc.metrics()
+    wal_cost = {}
+    if wal is not None:
+        wal_cost = {
+            "wal_records": wal.records,
+            "wal_bytes": wal.bytes_written,
+        }
+        wal.close()
     return {
+        **wal_cost,
         "regime": name,
         "jobs": jobs,
         "completed": len(done),
@@ -118,10 +138,11 @@ def run_regime(name: str, seed: int, jobs: int,
     }
 
 
-def run_matrix(jobs: int = FULL_JOBS, seed: int = 0) -> list[dict]:
+def run_matrix(jobs: int = FULL_JOBS, seed: int = 0,
+               wal_dir: str | None = None) -> list[dict]:
     executor = JobExecutor()  # scenario cache shared across regimes
     return [
-        run_regime(name, seed, jobs, executor)
+        run_regime(name, seed, jobs, executor, wal_dir=wal_dir)
         for name in ("baseline", "overload", "overload+degrade")
     ]
 
@@ -203,7 +224,17 @@ if __name__ == "__main__":
                             help="where to write the JSON summary"),
         ),
     )
-    rows = run_matrix(jobs=SMOKE_JOBS if args.smoke else FULL_JOBS)
+    jobs = SMOKE_JOBS if args.smoke else FULL_JOBS
+    if args.snapshot_every:
+        # The service's durability unit is the WAL record, not an event
+        # cadence: the flag arms journaling and the JSON rows carry
+        # wal_records / wal_bytes per regime.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as wal_dir:
+            rows = run_matrix(jobs=jobs, wal_dir=wal_dir)
+    else:
+        rows = run_matrix(jobs=jobs)
     report(rows)
     check(rows)
     out = os.path.normpath(args.json)

@@ -17,6 +17,7 @@ from .determinism import (
     UnseededRngRule,
     WallClockRule,
 )
+from .persist import SnapshotCodecRule
 from .protocol import (
     COUNTER_OWNERS,
     SERVICE_FACADE_ALLOWED,
@@ -42,6 +43,7 @@ ALL_RULES: list[Rule] = [
     TransportBypassRule(),
     CounterOwnershipRule(),
     ServiceFacadeRule(),
+    SnapshotCodecRule(),
 ]
 
 

@@ -1,0 +1,140 @@
+"""Durability rule: PERSIST001.
+
+Snapshot bytes must be a pure function of runtime state: the resumed
+run's bitwise-identity guarantee rests on every snapshot of the same
+state encoding to the same bytes.  Two things break that silently:
+
+* ``pickle`` (and ``marshal``): byte output depends on memo ids,
+  protocol defaults and interpreter version, and unpickling executes
+  reduce hooks - the snapshot codec exists precisely to avoid it;
+* iterating an unordered set into the snapshot stream: element order
+  depends on ``PYTHONHASHSEED``, so the "same" snapshot differs
+  between hosts (DET003's sibling, scoped to serialization instead of
+  event machinery).
+
+Scope: every module under ``repro.persist``, plus every
+``state_dict`` / ``load_state_dict`` implementation anywhere (they
+feed the snapshot stream by contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import ModuleInfo, Violation
+from .base import Rule, dotted_name, walk_functions
+from .determinism import (
+    _collect_set_attrs,
+    _collect_set_names,
+    _is_sorted_wrapped,
+    _set_expr,
+)
+
+__all__ = ["SnapshotCodecRule"]
+
+#: Serializers whose bytes are not a pure function of the value.
+_BANNED_SERIALIZERS = {
+    "pickle.dumps", "pickle.dump", "pickle.loads", "pickle.load",
+    "cPickle.dumps", "cPickle.dump", "cPickle.loads", "cPickle.load",
+    "marshal.dumps", "marshal.dump", "marshal.loads", "marshal.load",
+}
+
+_STATE_FNS = ("state_dict", "load_state_dict")
+
+
+class SnapshotCodecRule(Rule):
+    """PERSIST001: snapshot bytes must use the versioned codec."""
+
+    id = "PERSIST001"
+    title = "non-deterministic bytes in the snapshot stream"
+    hint = (
+        "serialize through repro.persist.codec (encode/frame: versioned, "
+        "CRC-framed, deterministic) - never pickle/marshal - and iterate "
+        "`sorted(the_set)` when a set's members enter a state dict"
+    )
+
+    def check(self, mod: ModuleInfo) -> Iterator[Violation]:
+        in_persist = mod.module.startswith("repro.persist")
+        set_attrs = _collect_set_attrs(mod.tree)
+        seen: set[tuple] = set()  # nested functions are walked twice
+        if in_persist:
+            # Whole-module sweep for banned serializers (module level
+            # included); iterations are checked per function below so
+            # provably-set local names are known.
+            yield from self._dedup(
+                self._check_scope(mod, mod.tree, set(), set_attrs,
+                                  iterations=False),
+                seen,
+            )
+        for fn, _cls in walk_functions(mod.tree):
+            if not (in_persist or fn.name in _STATE_FNS):
+                continue
+            yield from self._dedup(
+                self._check_scope(
+                    mod, fn, _collect_set_names(fn), set_attrs,
+                    calls=not in_persist,
+                ),
+                seen,
+            )
+
+    @staticmethod
+    def _dedup(
+        violations: Iterator[Violation], seen: set[tuple]
+    ) -> Iterator[Violation]:
+        for v in violations:
+            key = (v.line, v.col, v.message)
+            if key not in seen:
+                seen.add(key)
+                yield v
+
+    def _check_scope(
+        self,
+        mod: ModuleInfo,
+        root: ast.AST,
+        set_names: set[str],
+        set_attrs: set[str],
+        calls: bool = True,
+        iterations: bool = True,
+    ) -> Iterator[Violation]:
+        for node in ast.walk(root):
+            if not iterations and not isinstance(node, ast.Call):
+                continue
+            if calls and isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _BANNED_SERIALIZERS:
+                    yield self.violation(
+                        mod, node,
+                        f"`{name}()` in the snapshot path - its bytes "
+                        "are not a pure function of the value",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._unordered(
+                    mod, node, node.iter, set_names, set_attrs
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    yield from self._unordered(
+                        mod, node, gen.iter, set_names, set_attrs
+                    )
+
+    def _unordered(
+        self,
+        mod: ModuleInfo,
+        node: ast.AST,
+        it: ast.expr,
+        set_names: set[str],
+        set_attrs: set[str],
+    ) -> Iterator[Violation]:
+        if _is_sorted_wrapped(it):
+            return
+        why = _set_expr(it, set_names, set_attrs)
+        if why is not None:
+            yield self.violation(
+                mod, node,
+                f"iteration over {why} serializes in hash order - "
+                "snapshot bytes now depend on PYTHONHASHSEED",
+            )

@@ -85,7 +85,7 @@ class TransportBypassRule(Rule):
 #: layering violation: a counter written from two layers can no longer
 #: be reconciled against that layer's invariants (e.g. retries vs
 #: timeouts, crashes vs failover_time).
-COUNTER_OWNERS: dict[str, str] = {
+COUNTER_OWNERS: dict[str, str | tuple[str, ...]] = {
     # transport-owned: the wire plane
     "messages": "repro.runtime.transport",
     "message_bytes": "repro.runtime.transport",
@@ -114,13 +114,17 @@ COUNTER_OWNERS: dict[str, str] = {
     "crashes": "repro.runtime.recovery",
     "failover_time": "repro.runtime.recovery",
     "demotions": "repro.runtime.recovery",
-    # engine-owned: the composition root
-    "events": "repro.runtime.engine_des",
-    "cascade_crashes": "repro.runtime.engine_des",
+    # engine-owned: the composition root and its event loops (the
+    # master loop lives in generalloop, composed by engine_des)
+    "events": ("repro.runtime.engine_des", "repro.runtime.generalloop"),
+    "cascade_crashes": ("repro.runtime.engine_des", "repro.runtime.generalloop"),
     "sanitizer_checks": "repro.runtime.engine_des",
     "termination_hops": "repro.runtime.engine_des",
     "termination_time": "repro.runtime.engine_des",
-    "makespan": "repro.runtime.engine_des",
+    "makespan": ("repro.runtime.engine_des", "repro.runtime.generalloop"),
+    # checkpoint-owned: the durability plane (DESIGN.md §13)
+    "snapshots": "repro.runtime.checkpoint",
+    "snapshot_bytes": "repro.runtime.checkpoint",
 }
 
 #: Modules exempt from ownership (definition + test scaffolding).
@@ -156,14 +160,17 @@ class CounterOwnershipRule(Rule):
                 if not isinstance(tgt, ast.Attribute):
                     continue
                 owner = COUNTER_OWNERS.get(tgt.attr)
-                if owner is None or owner == mod.module:
+                if owner is None:
+                    continue
+                owners = (owner,) if isinstance(owner, str) else owner
+                if mod.module in owners:
                     continue
                 base = dotted_name(tgt.value)
                 if base not in _REPORT_BASES:
                     continue
                 yield self.violation(
                     mod, tgt,
-                    f"counter `{tgt.attr}` is owned by {owner}, "
+                    f"counter `{tgt.attr}` is owned by {' / '.join(owners)}, "
                     f"written from {mod.module or mod.path}",
                 )
 

@@ -59,6 +59,7 @@ class JSNTApp:
         grain: int | None = None,
         termination: str = "workload",
         trace: bool = False,
+        persist=None,
     ) -> RunReport:
         """One full sweep under the DES runtime at ``total_cores``.
 
@@ -67,7 +68,9 @@ class JSNTApp:
         first records clusters, builds CG, and times the CG sweep -
         the steady-state regime the paper reports.  With ``trace`` the
         report carries a structured event trace (see
-        ``RunReport.to_chrome_trace``).
+        ``RunReport.to_chrome_trace``).  ``persist`` is an optional
+        snapshot manager (see :mod:`repro.persist`) snapshotting the
+        runtime on its event cadence.
         """
         lay = self.machine.layout(total_cores, mode)
         if self.pset.num_procs != lay.nprocs:
@@ -92,7 +95,7 @@ class JSNTApp:
             termination=termination,
             trace=trace,
         )
-        return rt.run(programs, self.pset.patch_proc)
+        return rt.run(programs, self.pset.patch_proc, persist=persist)
 
     def procs_for(self, total_cores: int, mode: str = "hybrid") -> int:
         return self.machine.layout(total_cores, mode).nprocs

@@ -72,6 +72,19 @@ class WorkloadTracker:
     def pending_keys(self) -> list:
         return list(self._remaining.keys())
 
+    # -- durability (snapshot/restore) -----------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready tracker state (dict insertion order preserved)."""
+        return {
+            "remaining": dict(self._remaining),
+            "epoch": dict(self._epoch),
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self._remaining = dict(d["remaining"])
+        self._epoch = dict(d["epoch"])
+
 
 @dataclass
 class MisraMarkerRing:

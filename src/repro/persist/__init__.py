@@ -1,0 +1,49 @@
+"""Durable execution: crash-consistent snapshot/restore and the WAL.
+
+Three pieces make paper-scale runs and long service campaigns survive
+a host crash:
+
+* :mod:`repro.persist.codec` - the versioned, CRC-framed snapshot
+  codec (deterministic bytes, no pickle) plus atomic file publishing;
+* :mod:`repro.persist.snapshot` - generation-rotated snapshot storage
+  with corrupt-latest fallback, consumed by the runtime's ``persist``
+  hook;
+* :mod:`repro.persist.wal` - the service layer's write-ahead journal
+  with torn-tail detection;
+* :mod:`repro.persist.killer` - the host-crash injection harness the
+  durability tests and benchmarks drive.
+
+Layering: this package sits *beside* the runtime (it imports
+``repro.runtime`` types for the codec vocabulary; the runtime never
+imports it - the engine consumes the snapshot manager duck-typed).
+"""
+
+from .codec import (
+    CODEC_VERSION,
+    CodecError,
+    atomic_write,
+    decode,
+    encode,
+    frame,
+    unframe,
+)
+from .killer import kill_and_resume, report_fingerprint
+from .snapshot import FluxArrayState, SnapshotManager
+from .wal import WalError, WriteAheadLog, replay_wal
+
+__all__ = [
+    "CODEC_VERSION",
+    "CodecError",
+    "FluxArrayState",
+    "SnapshotManager",
+    "WalError",
+    "WriteAheadLog",
+    "atomic_write",
+    "decode",
+    "encode",
+    "frame",
+    "kill_and_resume",
+    "replay_wal",
+    "report_fingerprint",
+    "unframe",
+]

@@ -1,0 +1,109 @@
+"""Write-ahead journal for the service layer.
+
+Every externally-visible service transition - a submission, an attempt
+start, an exactly-once commit, a terminal (non-commit) job record, a
+rejection - is appended to the journal *before* it takes effect in
+memory.  Each record is individually CRC-framed (the same envelope as
+snapshots), so a restarted service can replay the journal and rebuild
+its committed store and in-flight set.
+
+Torn-tail semantics: a crash mid-append leaves at most one incomplete
+or CRC-bad record at the *end* of the file.  :func:`replay_wal`
+tolerates exactly that - it returns the records of the clean prefix
+plus the prefix length, and recovery truncates the file there before
+appending again.  A CRC-bad record *followed by more bytes* is not a
+torn tail but on-disk corruption, and raises.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Any
+
+from .codec import CODEC_VERSION, CodecError, MAGIC, decode, encode, frame, unframe
+
+__all__ = ["WalError", "WriteAheadLog", "replay_wal"]
+
+_LEN = struct.Struct(">4sHIQ")  # mirror of the codec frame header
+
+
+class WalError(CodecError):
+    """Corrupt (non-tail) journal contents."""
+
+
+class WriteAheadLog:
+    """Append-only CRC-framed record journal."""
+
+    def __init__(self, path: str | os.PathLike, fsync: bool = True,
+                 truncate_to: int | None = None):
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        if truncate_to is not None and os.path.exists(self.path):
+            with open(self.path, "r+b") as f:
+                f.truncate(truncate_to)
+        self._f = open(self.path, "ab")
+        self.records = 0
+        self.bytes_written = 0
+
+    def append(self, record: Any) -> int:
+        """Durably append one record; returns bytes written."""
+        data = frame(encode(record))
+        self._f.write(data)
+        self._f.flush()
+        if self.fsync:
+            os.fsync(self._f.fileno())
+        self.records += 1
+        self.bytes_written += len(data)
+        return len(data)
+
+    def close(self) -> None:
+        if not self._f.closed:
+            self._f.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def replay_wal(path: str | os.PathLike) -> tuple[list[Any], int]:
+    """Read a journal; returns ``(records, clean_prefix_length)``.
+
+    The clean prefix length is the byte offset after the last fully
+    valid record: recovery truncates the file there (dropping a record
+    torn by the crash) before re-opening it for appends.  A CRC or
+    decode failure anywhere *before* the tail raises :class:`WalError`
+    - that is silent corruption, not a torn append.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return [], 0
+    with open(path, "rb") as f:
+        buf = f.read()
+    records: list[Any] = []
+    pos = 0
+    n = len(buf)
+    while pos < n:
+        if pos + _LEN.size > n:
+            break  # torn header at the tail
+        magic, version, _crc, length = _LEN.unpack_from(buf, pos)
+        end = pos + _LEN.size + length
+        if magic != MAGIC or version > CODEC_VERSION:
+            raise WalError(
+                f"corrupt journal record header at byte {pos} of {path}"
+            )
+        if end > n:
+            break  # torn payload at the tail
+        try:
+            _, payload = unframe(buf[pos:end])
+            records.append(decode(payload))
+        except CodecError as e:
+            if end == n:
+                break  # CRC-bad final record: torn append
+            raise WalError(
+                f"corrupt journal record at byte {pos} of {path}: {e}"
+            ) from e
+        pos = end
+    return records, pos

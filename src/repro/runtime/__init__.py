@@ -15,7 +15,12 @@ above it): :mod:`~repro.runtime.simulator` (DES core) <
 
 from .cluster import TIANHE2, Layout, Machine
 from .costmodel import CATEGORIES, CostModel
-from .engine_des import DataDrivenRuntime, DeadlineExceeded
+from .engine_des import (
+    SNAPSHOT_VERSION,
+    DataDrivenRuntime,
+    DeadlineExceeded,
+    HostKilled,
+)
 from .faults import (
     AdaptiveConfig,
     CrashFault,
@@ -48,6 +53,8 @@ __all__ = [
     "CATEGORIES",
     "DataDrivenRuntime",
     "DeadlineExceeded",
+    "HostKilled",
+    "SNAPSHOT_VERSION",
     "RunReport",
     "Breakdown",
     "CrashFault",

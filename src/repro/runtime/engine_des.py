@@ -6,13 +6,11 @@ but on a simulated multicore cluster (master thread routing streams,
 worker threads executing programs, per Fig. 8).  Because the *real*
 algorithm runs, every schedule-level phenomenon of the paper emerges
 rather than being modeled; only the time axis is synthetic (DESIGN.md).
-The machinery lives in layers, composed here and each documented in
-its own module: ``simulator`` (event heap, core timelines, virtual
-clock, quiescence), ``router`` (route table, owner map), ``transport``
-(wire times, reliable delivery, fault injection), ``scheduler``
-(queues, worker pools, core-layout policies), ``recovery``
-(checkpoints, crash failover), and ``fastloop`` (the batched
-clean-run event loop).
+The machinery lives in layers, each documented in its own module:
+``simulator`` < ``router`` < ``transport`` < ``scheduler`` <
+``recovery``, with the event loops in ``fastloop`` (batched clean
+runs) and ``generalloop`` (everything else) and the snapshot schema in
+``checkpoint`` (DESIGN.md §13).
 
 :class:`DataDrivenRuntime` validates the run, wires the layers
 together, drives the master event loop (Alg. 1), and negotiates
@@ -22,17 +20,23 @@ termination.  With ``trace=True`` every processed event is recorded on
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from .._util import ReproError
-from ..core.patch_program import PatchProgram, ProgramState
+from ..core.patch_program import PatchProgram
 from ..core.termination import MisraMarkerRing, WorkloadTracker, verify_quiescent
+from .checkpoint import (
+    SNAPSHOT_VERSION, HostKilled, assemble_state, check_persist, restore_into,
+)
 from .cluster import Machine, TIANHE2
 from .costmodel import CostModel
 from .fastloop import clean_loop
 from .faults import (
     AdaptiveConfig, FaultInjector, FaultPlan, RecoveryConfig, arm_recovery,
 )
+from .generalloop import general_loop
 from .metrics import Breakdown, DeadlineExceeded, RunReport, trace_fields
 from .recovery import RecoveryManager
 from .router import Router
@@ -41,10 +45,9 @@ from .scheduler import RunState, Scheduler, make_policy
 from .simulator import Simulator
 from .transport import Transport
 
-__all__ = ["DataDrivenRuntime", "DeadlineExceeded"]
+__all__ = ["DataDrivenRuntime", "DeadlineExceeded", "HostKilled", "SNAPSHOT_VERSION"]
 
-#: Forward-progress event kinds (their outstanding count is the simulator's
-#: quiescence detector).
+#: Forward-progress kinds (outstanding count = quiescence detector).
 _PROGRESS = frozenset(("run_start", "run_end", "msg_arrive", "deliver", "failover", "requeue"))
 
 
@@ -82,15 +85,35 @@ class DataDrivenRuntime:
         programs: list[PatchProgram],
         patch_proc: np.ndarray,
         deadline: float | None = None,
+        persist=None,
     ) -> RunReport:
         """Execute ``programs`` to global termination; returns the report.
 
         ``patch_proc[p]`` is the owning process of patch ``p``;
-        ``deadline`` is an optional virtual-time budget (the first
-        event past it raises :class:`DeadlineExceeded`).
+        ``deadline`` an optional virtual-time budget; ``persist`` an
+        optional snapshot manager (see :mod:`repro.persist`).
         """
         if deadline is not None and deadline <= 0:
             raise ReproError("run deadline must be positive")
+        check_persist(self, persist)
+        ctx = self._compose(programs, patch_proc, persist)
+        self._seed(ctx)
+        self._ctx = ctx
+        try:
+            self._drive(ctx, deadline)
+        finally:
+            self._ctx = None
+        return self._finish(ctx)
+
+    # -- composition ---------------------------------------------------------------
+
+    def _compose(self, programs, patch_proc, persist=None) -> SimpleNamespace:
+        """Wire the runtime layers together (no events scheduled yet).
+
+        A pure function of configuration + program set, so a restarted
+        process composes a structurally identical stack - which is
+        what lets :meth:`restore` load a snapshot into it.
+        """
         lay = self.layout
         router = Router(programs, patch_proc, lay.nprocs)
         plan, rcfg = self.faults, self.recovery
@@ -102,8 +125,6 @@ class DataDrivenRuntime:
         acfg = rcfg.adaptive if ft else None
         if acfg is not None:
             acfg.validate_programs(programs)
-
-        # -- compose the layers ----------------------------------------------------
         bd = Breakdown()
         report = RunReport(makespan=0.0, breakdown=bd, total_cores=lay.total_cores)
         sim = Simulator(
@@ -134,120 +155,98 @@ class DataDrivenRuntime:
         ) if ft else None
         if ft and rcfg.watchdog_horizon > 0:
             sim.arm_watchdog(rcfg.watchdog_horizon, transport.stall_snapshot)
+        return SimpleNamespace(
+            router=router, plan=plan, rcfg=rcfg, inj=inj, ft=ft,
+            bd=bd, report=report, sim=sim, st=st, tracker=tracker,
+            slow=slow, san=san, transport=transport, sched=sched, rec=rec,
+            cascaded=set(),  # procs whose crash was cascade-induced
+            popped=0,  # events popped (the snapshot/kill coordinate)
+            next_snap=persist.every if persist is not None else 0,
+            persist=persist, resumed=False,
+        )
 
-        # -- seed: every program starts active -------------------------------------
-        for i in range(len(st.progs)):
-            sched.enqueue(i)
-        for p in range(lay.nprocs):
-            sched.dispatch(p, 0.0)
-        cascaded: set[int] = set()  # procs whose crash was cascade-induced
-        if plan is not None:
-            for c in plan.crashes:
-                sim.push(c.time, "crash", c.proc)
-        if ft:
-            rec.arm()
+    def _seed(self, ctx: SimpleNamespace) -> None:
+        """Schedule the initial events: every program starts active."""
+        for i in range(len(ctx.st.progs)):
+            ctx.sched.enqueue(i)
+        for p in range(self.layout.nprocs):
+            ctx.sched.dispatch(p, 0.0)
+        if ctx.plan is not None:
+            for c in ctx.plan.crashes:
+                ctx.sim.push(c.time, "crash", c.proc)
+        if ctx.ft:
+            ctx.rec.arm()
 
-        # -- the master event loop (Alg. 1) ----------------------------------------
-        cm = self.cost
-        if not ft and deadline is None:
-            # Fault-free, unbudgeted runs see only the four data-plane
-            # kinds and never hit the staleness filters, retraction, or
-            # control-plane dispatch below (crashes always arm
-            # recovery): take the batched lean loop (fastloop module).
-            report.events = clean_loop(
-                sim, sched, transport, st, router, cm, slow, bd, unit=inj is None
+    # -- the master event loop (Alg. 1) --------------------------------------------
+
+    def _drive(self, ctx: SimpleNamespace, deadline: float | None) -> None:
+        if not ctx.ft and deadline is None and ctx.persist is None and not ctx.resumed:
+            # Fault-free, unbudgeted, unsnapshotted fresh runs see
+            # only the four data-plane kinds: take the batched lean
+            # loop (crashes always arm recovery).
+            ctx.report.events = clean_loop(
+                ctx.sim, ctx.sched, ctx.transport, ctx.st, ctx.router,
+                self.cost, ctx.slow, ctx.bd, unit=ctx.inj is None,
             )
-            return self._finish(sim, sched, st, router, tracker, san, report, bd)
-        while sim:
-            now, kind, data = sim.pop()
+            return
+        general_loop(self, ctx, deadline)
 
-            if deadline is not None and now > deadline:
-                # Events pop in time order: first past the budget ends the run.
-                report.makespan = sim.makespan
-                bd.finalize_idle(sim.makespan, sched.cores())
-                raise DeadlineExceeded(deadline, now, report)
+    # -- durability (snapshot/restore/resume, see checkpoint module) ---------------
 
-            # Control-plane events never advance the makespan.
-            if kind in ("ack", "nack", "timer", "hedge"):
-                getattr(transport, "on_" + kind)(data, now)
-                continue
+    def snapshot(self) -> dict:
+        """The state dict of the currently-driving run (tests/tools);
+        raises when no run is active."""
+        ctx = getattr(self, "_ctx", None)
+        if ctx is None:
+            raise ReproError("no active run to snapshot")
+        return assemble_state(self, ctx)
 
-            # Staleness filtering (only faults ever trigger these).
-            if kind in ("run_start", "run_end"):
-                if sched.stale_run(data, now):
-                    continue
-            elif kind == "msg_arrive" and data[0] in router.dead:
-                continue  # receiver is down; the sender will retry
-            elif kind == "requeue":
-                pid, ep = data
-                if ep != st.epoch[st.index[pid]] or router.proc_of[pid] in router.dead:
-                    continue
-            elif kind in ("crash", "ckpt", "health") and (
-                data in router.dead or rec.quiescent()
-            ):
-                continue  # double fault on one proc, or the job already done
+    def restore(
+        self,
+        programs: list[PatchProgram],
+        patch_proc: np.ndarray,
+        state: dict,
+        persist=None,
+    ) -> SimpleNamespace:
+        """Compose a fresh runtime stack and load ``state`` into it
+        (see :func:`repro.runtime.checkpoint.restore_into`); returns
+        the loaded context, which :meth:`resume` drives to completion."""
+        check_persist(self, persist)
+        return restore_into(self, programs, patch_proc, state, persist)
 
-            sim.observe(now)
-            report.events += 1
+    def resume(
+        self,
+        programs: list[PatchProgram],
+        patch_proc: np.ndarray,
+        state: dict,
+        deadline: float | None = None,
+        persist=None,
+    ) -> RunReport:
+        """Restore a snapshot and drive the run to completion.
 
-            if kind == "run_start":
-                sched.execute(data, now)
-            elif kind == "run_end":
-                sched.complete(data, now)
-            elif kind == "msg_arrive":
-                p, s, wid = data
-                if not transport.receive(s, p, now, wid):
-                    sim.retract_progress()  # nothing was delivered
-                    continue
-                dur = cm.unpack_cost(1, s.items) * slow(p, now)
-                _, end = sched.masters[p].book(now, dur)
-                bd.add(sched.masters[p].core, "unpack", dur)
-                sim.push(end, "deliver", (s.dsti if s.dsti >= 0 else st.index[s.dst], s))
-            elif kind == "deliver":
-                i, s = data
-                st.inbox[i].append(s)
-                if ft:
-                    rec.log_delivery(st.pids[i], s)
-                if st.state[i] is ProgramState.INACTIVE:
-                    st.state[i] = ProgramState.ACTIVE
-                if i not in sched.running:
-                    sched.enqueue(i)
-                    sched.dispatch(router.proc_idx[i], now)
-            elif kind == "crash":
-                rec.on_crash(data, now)
-                if data in cascaded:
-                    report.cascade_crashes += 1
-                if inj is not None:
-                    # Correlated failure: seeded survivors follow suit.
-                    alive = [q for q in range(lay.nprocs)
-                             if q not in router.dead]
-                    for q, t_q in inj.cascade_after(data, alive, now):
-                        cascaded.add(q)
-                        sim.push(t_q, "crash", q)
-            elif kind == "failover":
-                rec.on_failover(data, now)
-            elif kind == "requeue":
-                i = st.index[data[0]]
-                sched.enqueue(i)
-                sched.dispatch(router.proc_idx[i], now)
-            elif kind == "ckpt":
-                rec.on_ckpt(data, now)
-            elif kind == "health":
-                rec.on_health(now)
-            else:  # pragma: no cover - defensive
-                raise ReproError(f"unknown event kind {kind!r}")
+        The continuation replays the exact event sequence, so report
+        and flux are bitwise-identical to a never-interrupted run.
+        """
+        ctx = self.restore(programs, patch_proc, state, persist=persist)
+        self._ctx = ctx
+        try:
+            self._drive(ctx, deadline)
+        finally:
+            self._ctx = None
+        return self._finish(ctx)
 
-        return self._finish(sim, sched, st, router, tracker, san, report, bd)
-
-    def _finish(self, sim, sched, st, router, tracker, san, report, bd) -> RunReport:
+    def _finish(self, ctx: SimpleNamespace) -> RunReport:
         """Post-run checks, termination negotiation, final accounting."""
-        verify_quiescent(st.pids, st.progs, st.state, tracker)
-        if san is not None:
-            san.check_final(dict(zip(st.pids, st.progs)))
-            report.sanitizer_checks = san.checks
+        sim, st, report, bd = ctx.sim, ctx.st, ctx.report, ctx.bd
+        verify_quiescent(st.pids, st.progs, st.state, ctx.tracker)
+        if ctx.san is not None:
+            ctx.san.check_final(dict(zip(st.pids, st.progs)))
+            report.sanitizer_checks = ctx.san.checks
         makespan = sim.makespan
         if self.termination == "consensus":
-            hops = MisraMarkerRing.all_idle_hops(router.nprocs - len(router.dead))
+            hops = MisraMarkerRing.all_idle_hops(
+                ctx.router.nprocs - len(ctx.router.dead)
+            )
             report.termination_hops = hops
             report.termination_time = hops * self.machine.latency_inter
             makespan += report.termination_time
@@ -255,5 +254,5 @@ class DataDrivenRuntime:
         report.makespan = makespan
         report.peak_heap = sim.peak_heap
         report.event_counts = sim.event_counts()
-        bd.finalize_idle(makespan, sched.cores())
+        bd.finalize_idle(makespan, ctx.sched.cores())
         return report

@@ -20,6 +20,13 @@ interleaving is identical to one-at-a-time ``pop``.  Per-event
 accounting (progress clock, quiescence counter, trace hook, pop
 counts) happens inside ``pop_batch`` in pop order.  Golden
 fingerprints are bitwise identical to the general loop.
+
+Snapshot-armed and resumed runs (a ``persist`` manager supplied to
+:meth:`DataDrivenRuntime.run`, or any :meth:`~repro.runtime.
+engine_des.DataDrivenRuntime.resume`) stay on the general loop: the
+snapshot cut must fall on a single-pop boundary, and the bitwise
+guarantee above is exactly what makes that safe - a run snapshotted on
+the general loop finishes identical to a clean fastloop run.
 """
 
 from __future__ import annotations

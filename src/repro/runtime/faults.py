@@ -333,6 +333,19 @@ class FaultInjector:
             return False
         return bool(self._rng.random() < self.plan.p_drop)
 
+    # -- durability (snapshot/restore) ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready injector state: only the generator advances.
+
+        The PCG64 state dict carries 128-bit integers; the snapshot
+        codec's big-int path round-trips them exactly.
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, d: dict) -> None:
+        self._rng.bit_generator.state = d["rng"]
+
     def cascade_after(
         self, proc: int, alive: list, now: float
     ) -> list[tuple[int, float]]:

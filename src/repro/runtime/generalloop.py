@@ -1,0 +1,123 @@
+"""The general master event loop (Alg. 1, full-featured variant).
+
+The fastloop module owns the batched lean loop fault-free fresh runs
+take; every other run - fault-tolerant, deadline-budgeted,
+snapshot-armed, or resumed from a snapshot - is driven here, one
+event at a time.  The two loops are bitwise-equivalent on the event
+sequences both can execute (the golden-fingerprint and durability
+suites pin this), so arming snapshots or resuming is
+observation-free.
+
+Layering: sits beside ``engine_des`` (imported by it); the runtime
+instance rides along for the cost model, layout and snapshot schema.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from .._util import ReproError
+from ..core.patch_program import ProgramState
+from .checkpoint import HostKilled, save_snapshot
+from .metrics import DeadlineExceeded
+
+__all__ = ["general_loop"]
+
+
+def general_loop(rt, ctx: SimpleNamespace, deadline: float | None) -> None:
+    """Drive ``ctx`` to quiescence (or deadline / injected host crash)."""
+    sim, st, router = ctx.sim, ctx.st, ctx.router
+    sched, transport, rec, inj = ctx.sched, ctx.transport, ctx.rec, ctx.inj
+    report, bd, slow, ft = ctx.report, ctx.bd, ctx.slow, ctx.ft
+    persist = ctx.persist
+    lay = rt.layout
+    cm = rt.cost
+    while sim:
+        if persist is not None:
+            # Snapshot BEFORE popping: the saved heap still holds the
+            # event the resumed run will pop first, so the cut falls
+            # between two handler executions and the state is
+            # crash-consistent by construction.
+            if ctx.popped >= ctx.next_snap:
+                save_snapshot(rt, ctx)
+                ctx.next_snap = ctx.popped + persist.every
+            if persist.kill_at is not None and ctx.popped == persist.kill_at:
+                raise HostKilled(ctx.popped)
+            ctx.popped += 1
+        now, kind, data = sim.pop()
+
+        if deadline is not None and now > deadline:
+            # Events pop in time order: first past the budget ends the run.
+            report.makespan = sim.makespan
+            bd.finalize_idle(sim.makespan, sched.cores())
+            raise DeadlineExceeded(deadline, now, report)
+
+        # Control-plane events never advance the makespan.
+        if kind in ("ack", "nack", "timer", "hedge"):
+            getattr(transport, "on_" + kind)(data, now)
+            continue
+
+        # Staleness filtering (only faults ever trigger these).
+        if kind in ("run_start", "run_end"):
+            if sched.stale_run(data, now):
+                continue
+        elif kind == "msg_arrive" and data[0] in router.dead:
+            continue  # receiver is down; the sender will retry
+        elif kind == "requeue":
+            pid, ep = data
+            if ep != st.epoch[st.index[pid]] or router.proc_of[pid] in router.dead:
+                continue
+        elif kind in ("crash", "ckpt", "health") and (
+            data in router.dead or rec.quiescent()
+        ):
+            continue  # double fault on one proc, or the job already done
+
+        sim.observe(now)
+        report.events += 1
+
+        if kind == "run_start":
+            sched.execute(data, now)
+        elif kind == "run_end":
+            sched.complete(data, now)
+        elif kind == "msg_arrive":
+            p, s, wid = data
+            if not transport.receive(s, p, now, wid):
+                sim.retract_progress()  # nothing was delivered
+                continue
+            dur = cm.unpack_cost(1, s.items) * slow(p, now)
+            _, end = sched.masters[p].book(now, dur)
+            bd.add(sched.masters[p].core, "unpack", dur)
+            sim.push(end, "deliver", (s.dsti if s.dsti >= 0 else st.index[s.dst], s))
+        elif kind == "deliver":
+            i, s = data
+            st.inbox[i].append(s)
+            if ft:
+                rec.log_delivery(st.pids[i], s)
+            if st.state[i] is ProgramState.INACTIVE:
+                st.state[i] = ProgramState.ACTIVE
+            if i not in sched.running:
+                sched.enqueue(i)
+                sched.dispatch(router.proc_idx[i], now)
+        elif kind == "crash":
+            rec.on_crash(data, now)
+            if data in ctx.cascaded:
+                report.cascade_crashes += 1
+            if inj is not None:
+                # Correlated failure: seeded survivors follow suit.
+                alive = [q for q in range(lay.nprocs)
+                         if q not in router.dead]
+                for q, t_q in inj.cascade_after(data, alive, now):
+                    ctx.cascaded.add(q)
+                    sim.push(t_q, "crash", q)
+        elif kind == "failover":
+            rec.on_failover(data, now)
+        elif kind == "requeue":
+            i = st.index[data[0]]
+            sched.enqueue(i)
+            sched.dispatch(router.proc_idx[i], now)
+        elif kind == "ckpt":
+            rec.on_ckpt(data, now)
+        elif kind == "health":
+            rec.on_health(now)
+        else:  # pragma: no cover - defensive
+            raise ReproError(f"unknown event kind {kind!r}")

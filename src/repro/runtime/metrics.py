@@ -8,7 +8,7 @@ core, stacked by category.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 from .._util import ReproError
@@ -82,6 +82,20 @@ class Breakdown:
         if t <= 0:
             return {c: 0.0 for c in self.by_category}
         return {c: v / t for c, v in self.by_category.items()}
+
+    # -- durability (snapshot/restore) -----------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready accumulator state (insertion order preserved -
+        it decides the left-to-right float folds of later adds)."""
+        return {
+            "by_category": dict(self.by_category),
+            "core_busy": dict(self.core_busy),
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self.by_category = dict(d["by_category"])
+        self.core_busy = dict(d["core_busy"])
 
 
 class DeadlineExceeded(ReproError):
@@ -169,6 +183,10 @@ class RunReport:
     demotions: int = 0  # slow-but-alive procs rebalanced away
     forwards: int = 0  # in-flight messages forwarded to a program's new owner
 
+    # -- durability counters (zero when snapshotting is off) -------------
+    snapshots: int = 0  # crash-consistent runtime snapshots written
+    snapshot_bytes: int = 0  # total bytes published to snapshot files
+
     @property
     def core_seconds(self) -> float:
         return self.makespan * self.total_cores
@@ -249,11 +267,41 @@ class RunReport:
         }
 
     def avg_seconds_per_core(self) -> dict[str, float]:
-        """Fig. 16's y-axis: average time per core, by category."""
+        """Fig. 16's y-axis: average time per core, by category.
+
+        A degenerate report (zero cores: an admission-rejected or
+        never-composed run) averages to zero rather than dividing by
+        zero.
+        """
+        if self.total_cores <= 0:
+            return {c: 0.0 for c in self.breakdown.by_category}
         return {
             c: v / self.total_cores
             for c, v in self.breakdown.by_category.items()
         }
+
+    # -- durability (snapshot/restore) -----------------------------------
+
+    #: Fields excluded from the snapshot stream: the breakdown nests its
+    #: own state dict; event counts are re-stamped at finish from the
+    #: simulator's (persisted) pop counters; traces are incompatible
+    #: with snapshotting (the engine rejects the combination).
+    _SKIP_STATE = ("breakdown", "trace_events", "hb_events", "event_counts")
+
+    def state_dict(self) -> dict:
+        d = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in self._SKIP_STATE
+        }
+        d["breakdown"] = self.breakdown.state_dict()
+        return d
+
+    def load_state_dict(self, d: dict) -> None:
+        for f in fields(self):
+            if f.name not in self._SKIP_STATE:
+                setattr(self, f.name, d[f.name])
+        self.breakdown.load_state_dict(d["breakdown"])
 
     def format_breakdown(self, label: str = "") -> str:
         rows = self.avg_seconds_per_core()

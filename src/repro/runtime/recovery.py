@@ -129,6 +129,46 @@ class RecoveryManager:
         and no un-acked sends (crash/checkpoint events are then inert)."""
         return self.sim.live == 0 and not self.transport.pending
 
+    # -- durability (snapshot/restore) ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready recovery state.
+
+        Checkpoints flatten to plain dicts (a ``pending`` dict's
+        insertion order is the retransmit order and round-trips
+        verbatim); delivery logs keep their append order; the
+        membership-only ``dirty`` set is sorted.
+        """
+        return {
+            "ckpt": {
+                pid: (
+                    None if ck is None else {
+                        "state": ck.state,
+                        "inbox": list(ck.inbox),
+                        "pending": dict(ck.pending),
+                    }
+                )
+                for pid, ck in self.ckpt.items()
+            },
+            "dlog": {pid: list(v) for pid, v in self.dlog.items()},
+            "dirty": sorted(self.dirty),
+            "crash_time": dict(self.crash_time),
+            "strikes": dict(self._strikes),
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self.ckpt = {
+            pid: (
+                None if ck is None
+                else Checkpoint(ck["state"], list(ck["inbox"]), dict(ck["pending"]))
+            )
+            for pid, ck in d["ckpt"].items()
+        }
+        self.dlog = {pid: list(v) for pid, v in d["dlog"].items()}
+        self.dirty = set(d["dirty"])
+        self.crash_time = {int(p): float(t) for p, t in d["crash_time"].items()}
+        self._strikes = {int(p): int(n) for p, n in d["strikes"].items()}
+
     # -- event handlers ------------------------------------------------------------
 
     def on_crash(self, proc: int, now: float) -> None:

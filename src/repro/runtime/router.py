@@ -92,6 +92,34 @@ class Router:
         #: programs and are skipped as re-assignment targets.
         self.demoted: set[int] = set()
 
+    # -- durability (snapshot/restore) ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready owner-map state.
+
+        ``owned`` lists are captured verbatim - their order drives the
+        recovery layer's per-process checkpoint iteration - while the
+        membership-only ``dead``/``demoted`` sets are sorted.  The
+        interning tables (``pids``/``index_of``) are construction-time
+        facts re-derived from the program list, not state.
+        """
+        return {
+            "proc_idx": list(self.proc_idx),
+            "patch_owner": self.patch_owner,
+            "owned": {p: list(v) for p, v in self.owned.items()},
+            "dead": sorted(self.dead),
+            "demoted": sorted(self.demoted),
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self.proc_idx = [int(x) for x in d["proc_idx"]]
+        for pid, i in self.index_of.items():
+            self.proc_of[pid] = self.proc_idx[i]
+        self.patch_owner = np.asarray(d["patch_owner"], dtype=np.int64).copy()
+        self.owned = {int(p): list(v) for p, v in d["owned"].items()}
+        self.dead = set(d["dead"])
+        self.demoted = set(d["demoted"])
+
     def alive(self) -> list[int]:
         return [q for q in range(self.nprocs) if q not in self.dead]
 

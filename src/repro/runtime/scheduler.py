@@ -102,6 +102,42 @@ class RunState:
         self.inited.append(False)
         self.epoch.append(0)
 
+    # -- durability (snapshot/restore) ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready execution state, program contexts included.
+
+        Each initialized program contributes its ``checkpoint()`` dict
+        (shared topology excluded, exactly like recovery snapshots);
+        never-initialized programs are in their pristine constructed
+        state and need nothing.  ``pids`` rides along purely as a
+        restore-time consistency check.
+        """
+        return {
+            "pids": list(self.pids),
+            "state": [s.value for s in self.state],
+            "inbox": [list(b) for b in self.inbox],
+            "inited": list(self.inited),
+            "epoch": [int(e) for e in self.epoch],
+            "progs": [
+                (p.checkpoint() if self.inited[i] else None)
+                for i, p in enumerate(self.progs)
+            ],
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        if list(d["pids"]) != self.pids:
+            raise ReproError(
+                "snapshot program set does not match this composition"
+            )
+        self.state = [ProgramState(v) for v in d["state"]]
+        self.inbox = [list(b) for b in d["inbox"]]
+        self.inited = [bool(v) for v in d["inited"]]
+        self.epoch = [int(e) for e in d["epoch"]]
+        for prog, snap, inited in zip(self.progs, d["progs"], self.inited):
+            if inited and snap is not None:
+                prog.restore(snap)
+
 
 class SchedulerPolicy:
     """Core-layout policy: how masters and workers map onto cores."""
@@ -483,6 +519,51 @@ class Scheduler:
                 return
             self.enqueue(i)
         self.release(p, w, now)
+
+    # -- durability (snapshot/restore) ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready dispatch state.
+
+        The shared priority queues and the LIFO idle pools are captured
+        *verbatim* (a heap is just a list with the heap invariant; the
+        idle pools' order decides which worker runs next), while the
+        membership-only queue/run/speculation sets are sorted.  Resource
+        timelines reduce to their ``free`` horizon - bookings in the
+        past are immutable history already folded into the breakdown.
+        """
+        return {
+            "masters_free": [r.free for r in self.masters],
+            "workers_free": [[r.free for r in row] for row in self.workers],
+            "idle_workers": [list(x) for x in self.idle_workers],
+            "pq": [list(q) for q in self.pq],
+            "queued": sorted(self.queued),
+            "running": sorted(self.running),
+            "run_serial": self._run_serial,
+            "spec": sorted(self._spec),
+            "done": sorted(self._done),
+            "recent": list(self._recent),
+            "proc_slow_ewma": list(self.proc_slow_ewma),
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        # Workers first, masters second: under ``mpi_only`` each master
+        # *is* its process's sole worker (same Resource object), and
+        # this order makes the aliased double-write idempotent.
+        for row, frees in zip(self.workers, d["workers_free"]):
+            for r, f in zip(row, frees):
+                r.free = float(f)
+        for r, f in zip(self.masters, d["masters_free"]):
+            r.free = float(f)
+        self.idle_workers = [list(x) for x in d["idle_workers"]]
+        self.pq = [[tuple(e) for e in q] for q in d["pq"]]
+        self.queued = set(d["queued"])
+        self.running = set(d["running"])
+        self._run_serial = int(d["run_serial"])
+        self._spec = set(d["spec"])
+        self._done = set(d["done"])
+        self._recent = deque(d["recent"], maxlen=128)
+        self.proc_slow_ewma = [float(x) for x in d["proc_slow_ewma"]]
 
     # -- reporting -----------------------------------------------------------------
 

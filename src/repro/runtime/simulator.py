@@ -528,6 +528,59 @@ class Simulator:
         """Virtual time of the earliest pending event (heap non-empty)."""
         return self._events[0][0]
 
+    # -- durability (snapshot/restore) ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready view of the heap, clock and interning tables.
+
+        The heap list and the slabs are captured *verbatim* (heap
+        entries are tuples, slab payloads are the live event data):
+        restoring them re-establishes the exact pop order, tie-break
+        sequences included.  ``kind_names`` is the id mapping itself -
+        its order must round-trip bit-for-bit.  Only taken between
+        events (the turnaround scratch is always idle then).
+        """
+        return {
+            "events": list(self._events),
+            "seq": self._seq,
+            "live": self.live,
+            "makespan": self.makespan,
+            "last_progress": self.last_progress,
+            "prev_progress": self._prev_progress,
+            "slab_time": list(self._slab_time),
+            "slab_seq": list(self._slab_seq),
+            "slab_kind": list(self._slab_kind),
+            "slab_data": list(self._slab_data),
+            "free": list(self._free),
+            "kind_names": list(self._kind_names),
+            "pop_counts": list(self._pop_counts),
+            "peak_heap": self.peak_heap,
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        """Restore :meth:`state_dict`; derived masks are rebuilt from
+        the progress/watchdog kind sets armed at composition."""
+        names = list(d["kind_names"])
+        self._kind_names = names
+        self._kind_ids = {k: i for i, k in enumerate(names)}
+        self._progress_mask = [k in self._progress for k in names]
+        self._wd_mask = [k in self._wd_kinds for k in names]
+        self._events = list(d["events"])
+        self._seq = d["seq"]
+        self.live = d["live"]
+        self.makespan = d["makespan"]
+        self.last_progress = d["last_progress"]
+        self._prev_progress = d["prev_progress"]
+        self._slab_time = list(d["slab_time"])
+        self._slab_seq = list(d["slab_seq"])
+        self._slab_kind = list(d["slab_kind"])
+        self._slab_data = list(d["slab_data"])
+        self._free = list(d["free"])
+        self._pop_counts = list(d["pop_counts"])
+        self.peak_heap = d["peak_heap"]
+        self._turn_t = -1.0
+        self._turn_batch = None
+
     def event_counts(self) -> dict[str, int]:
         """Events processed so far, by kind (perf accounting)."""
         return {

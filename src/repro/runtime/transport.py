@@ -608,6 +608,71 @@ class Transport:
                 self.transmit(ps, now)
                 self.sim.push_id(now + ps.timeout, self._k_timer, (uid, ps.attempt))
 
+    # -- durability (snapshot/restore) ---------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Codec-ready reliable-delivery state.
+
+        ``pending`` keeps its insertion order (``rearm_after_failover``
+        iterates it), as does the parked FIFO; ``seen`` is
+        membership-only and serialized sorted.  :class:`PendingSend`
+        and :class:`RttEstimator` flatten to plain dicts/tuples and are
+        reconstructed on load.
+        """
+        return {
+            "out_seq": list(self.out_seq),
+            "wire_seq": self._wire_seq,
+            "pending": {
+                uid: {
+                    "stream": ps.stream,
+                    "src_pid": ps.src_pid,
+                    "retries": ps.retries,
+                    "timeout": ps.timeout,
+                    "attempt": ps.attempt,
+                    "sent_at": ps.sent_at,
+                    "link": ps.link,
+                    "hedged": ps.hedged,
+                    "parked": ps.parked,
+                }
+                for uid, ps in self.pending.items()
+            },
+            "seen": sorted(self.seen),
+            "rtt": {
+                link: (est.srtt, est.rttvar, est.samples)
+                for link, est in self.rtt.items()
+            },
+            "credit_used": dict(self._credit_used),
+            "charged": dict(self._charged),
+            "parked": list(self._parked),
+        }
+
+    def load_state_dict(self, d: dict) -> None:
+        self.out_seq = [int(x) for x in d["out_seq"]]
+        self._wire_seq = d["wire_seq"]
+        pending: dict[tuple, PendingSend] = {}
+        for uid, pd in d["pending"].items():
+            ps = PendingSend(pd["stream"], pd["src_pid"], pd["timeout"])
+            ps.retries = pd["retries"]
+            ps.attempt = pd["attempt"]
+            ps.sent_at = pd["sent_at"]
+            ps.link = pd["link"]
+            ps.hedged = pd["hedged"]
+            ps.parked = pd["parked"]
+            pending[uid] = ps
+        self.pending = pending
+        self.seen = set(d["seen"])
+        rtt: dict[tuple[int, int], RttEstimator] = {}
+        for link, (srtt, rttvar, samples) in d["rtt"].items():
+            est = RttEstimator()
+            est.srtt = srtt
+            est.rttvar = rttvar
+            est.samples = samples
+            rtt[link] = est
+        self.rtt = rtt
+        self._credit_used = dict(d["credit_used"])
+        self._charged = dict(d["charged"])
+        self._parked = list(d["parked"])
+
     # -- liveness diagnosis -------------------------------------------------------
 
     def stall_snapshot(self, t: float) -> StallReport | None:

@@ -26,8 +26,16 @@ package is that layer:
 
 The whole layer runs on service virtual time with one seeded
 generator: a multi-tenant traffic day replays bit-for-bit.
+
+Durability: construct the service with a
+:class:`~repro.persist.wal.WriteAheadLog` and every submission,
+attempt start, commit and terminal record is journaled before it takes
+effect; :meth:`SweepService.recover` replays the journal after a host
+crash, truncates a torn tail, re-admits in-flight jobs and never
+commits a content hash twice.
 """
 
+from ..persist.wal import WalError, WriteAheadLog, replay_wal
 from .admission import AdmissionController
 from .breaker import CircuitBreaker
 from .chaos import (
@@ -68,4 +76,7 @@ __all__ = [
     "check_service_invariants",
     "run_service_case",
     "run_service_campaign",
+    "WalError",
+    "WriteAheadLog",
+    "replay_wal",
 ]

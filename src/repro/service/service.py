@@ -34,11 +34,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 import numpy as np
 
 from .._util import ReproError
+from ..persist.wal import WriteAheadLog, replay_wal
 from .admission import AdmissionController
 from .breaker import CircuitBreaker
 from .executor import AttemptOutcome, JobExecutor
@@ -97,6 +98,16 @@ class ServiceConfig:
             raise ReproError("default_deadline must be positive")
 
 
+def _spec_fields(spec: JobSpec) -> dict:
+    """A JobSpec as a plain field dict for the journal.
+
+    Shallow on purpose: the ``faults`` FaultPlan rides along as the
+    (codec-registered) dataclass object, so ``JobSpec(**d)`` on replay
+    rebuilds an identical spec - same content hash, same scenario.
+    """
+    return {f.name: getattr(spec, f.name) for f in fields(spec)}
+
+
 @dataclass
 class _Job:
     """Internal record of one admitted (non-cached) job."""
@@ -111,8 +122,14 @@ class SweepService:
     """Deterministic multi-tenant front end of the sweep runtime."""
 
     def __init__(self, config: ServiceConfig = ServiceConfig(),
-                 executor: JobExecutor | None = None):
+                 executor: JobExecutor | None = None,
+                 wal: WriteAheadLog | None = None):
         self.cfg = config
+        #: Optional write-ahead journal: submissions, attempt starts,
+        #: commits and terminal records are appended *before* they take
+        #: effect, so a restarted service can replay the journal and
+        #: re-admit in-flight jobs (:meth:`recover`).
+        self.wal = wal
         self.executor = (
             executor if executor is not None
             else JobExecutor(watchdog_horizon=config.watchdog_horizon)
@@ -151,11 +168,27 @@ class SweepService:
             raise ReproError(
                 f"cannot submit at {at:.6f}s: service time is {self.now:.6f}s"
             )
+        if self.wal is not None:
+            # Journal the intent before it takes effect: a crash after
+            # this append re-admits the job on replay; a crash before
+            # it means the client never got its accept and resubmits.
+            self.wal.append(
+                {"type": "submit", "at": at, "spec": _spec_fields(spec)}
+            )
         self._push(at, "submit", spec)
 
-    def run_until_idle(self) -> list[JobResult]:
-        """Drain the event plane; returns all terminal records so far."""
+    def run_until_idle(self, max_events: int | None = None) -> list[JobResult]:
+        """Drain the event plane; returns all terminal records so far.
+
+        ``max_events`` bounds the number of events processed (the
+        durability harness uses it to cut a campaign mid-flight);
+        None drains to quiescence.
+        """
+        processed = 0
         while self._events:
+            if max_events is not None and processed >= max_events:
+                break
+            processed += 1
             self.now, _, kind, payload = heapq.heappop(self._events)
             if kind == "submit":
                 self._on_submit(payload)
@@ -204,6 +237,78 @@ class SweepService:
             "scenario_builds": self.executor.scenario_builds,
         }
 
+    # -- durability (WAL replay) -------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        config: ServiceConfig,
+        wal_path,
+        executor: JobExecutor | None = None,
+        fsync: bool = True,
+    ) -> "SweepService":
+        """Restart a service from its write-ahead journal.
+
+        Replays every intact record of the journal (a torn or CRC-bad
+        tail is truncated away): journaled commits and terminal records
+        are installed as-is - no re-execution, no double commit of a
+        content hash - and submissions with no terminal record yet are
+        re-admitted onto the event plane.  The returned service has the
+        (truncated) journal re-attached and is ready for
+        :meth:`run_until_idle`.
+        """
+        records, good = replay_wal(wal_path)
+        svc = cls(config, executor=executor)  # wal attached after replay
+        # (key, tenant)-FIFO matching: each terminal-ish record settles
+        # the oldest outstanding submission of its content + tenant.
+        submits: list[list] = []  # [spec, settled?]
+        buckets: dict[tuple, deque] = {}
+        max_id = -1
+
+        def settle(key: str, tenant: str) -> None:
+            q = buckets.get((key, tenant))
+            if q:
+                submits[q.popleft()][1] = True
+
+        for rec in records:
+            svc.now = max(svc.now, float(rec["at"]))
+            t = rec["type"]
+            if t == "submit":
+                spec = JobSpec(**rec["spec"])
+                buckets.setdefault(
+                    (spec.key(), spec.tenant), deque()
+                ).append(len(submits))
+                submits.append([spec, False])
+            elif t == "attempt":
+                max_id = max(max_id, int(rec["job_id"]))
+            elif t == "commit":
+                r = JobResult.from_dict(rec["result"])
+                max_id = max(max_id, r.job_id)
+                if r.key in svc.committed:
+                    continue  # replayed duplicate: never double-commit
+                svc.committed[r.key] = r
+                svc.results.append(r)
+                settle(r.key, r.tenant)
+            elif t == "terminal":
+                r = JobResult.from_dict(rec["result"])
+                max_id = max(max_id, r.job_id)
+                svc.results.append(r)
+                settle(r.key, r.tenant)
+            elif t == "reject":
+                svc.rejections.append(dict(rec["reject"]))
+                settle(rec["key"], rec["reject"]["tenant"])
+            else:  # pragma: no cover - record kinds are closed
+                raise ReproError(f"unknown WAL record type {t!r}")
+        svc._ids = itertools.count(max_id + 1)
+        # Re-attach the journal first truncating the torn tail, then
+        # re-admit in-flight submissions *without* re-journaling them -
+        # their submit records are already in the intact prefix.
+        for spec, settled in submits:
+            if not settled:
+                svc._push(svc.now, "submit", spec)
+        svc.wal = WriteAheadLog(wal_path, fsync=fsync, truncate_to=good)
+        return svc
+
     # -- event helpers -----------------------------------------------------------
 
     def _push(self, at: float, kind: str, payload) -> None:
@@ -238,7 +343,7 @@ class SweepService:
         try:
             self.admission.admit(spec.tenant, self.now)
         except JobRejected as rej:
-            self._reject(rej)
+            self._reject(rej, key)
             return
         br = self._breaker(spec.tenant)
         if not br.allow(self.now):
@@ -248,7 +353,7 @@ class SweepService:
                 spec.tenant,
                 detail=f"breaker {br.state} after "
                        f"{br.consecutive_failures} consecutive failures",
-            ))
+            ), key)
             return
         # 3. Idempotent resubmission: same content already queued or
         #    running -> coalesce onto the primary, commit will fan out.
@@ -297,9 +402,13 @@ class SweepService:
         r.demote_note = hit.demote_note
         return r
 
-    def _reject(self, rej: JobRejected) -> None:
+    def _reject(self, rej: JobRejected, key: str) -> None:
         d = rej.to_dict()
         d["at"] = self.now
+        if self.wal is not None:
+            self.wal.append(
+                {"type": "reject", "at": self.now, "key": key, "reject": dict(d)}
+            )
         self.rejections.append(d)
 
     # -- dispatch (fair share) ---------------------------------------------------
@@ -334,6 +443,11 @@ class SweepService:
         if job.result.attempts == 0:
             job.result.started = self.now
         job.result.attempts += 1
+        if self.wal is not None:
+            self.wal.append({
+                "type": "attempt", "at": self.now, "key": job.result.key,
+                "job_id": job.result.job_id, "attempt": job.result.attempts,
+            })
         if (self.cfg.worker_crash_rate > 0.0
                 and self._rng.random() < self.cfg.worker_crash_rate):
             # The pool worker dies mid-attempt: the cluster DES never
@@ -395,6 +509,14 @@ class SweepService:
         r.flux_crc = outcome.flux_crc
         r.exact = outcome.exact
         r.fault_counters = dict(outcome.counters)
+        if self.wal is not None:
+            # Journal the commit before installing it: replay treats a
+            # journaled commit as authoritative, so the content hash
+            # can never be committed twice across a crash.
+            self.wal.append({
+                "type": "commit", "at": self.now, "key": key,
+                "result": r.to_dict(),
+            })
         self.committed[key] = r
         self._settle(job, success=True)
 
@@ -432,4 +554,11 @@ class SweepService:
             self.admission.release(fr.tenant)
 
     def _record(self, result: JobResult) -> None:
+        if self.wal is not None and self.committed.get(result.key) is not result:
+            # The primary commit already journaled itself (its commit
+            # record doubles as the terminal record); everything else -
+            # failures, cache hits, coalesced followers - journals here.
+            self.wal.append(
+                {"type": "terminal", "at": self.now, "result": result.to_dict()}
+            )
         self.results.append(result)

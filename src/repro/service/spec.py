@@ -208,6 +208,13 @@ class JobResult:
         """Submission-to-terminal service latency (the SLO metric)."""
         return self.finished - self.submitted
 
+    @staticmethod
+    def from_dict(d: dict) -> "JobResult":
+        """Rebuild a result from its :meth:`to_dict` form (WAL replay)."""
+        d = dict(d)
+        d["fault_counters"] = dict(d.get("fault_counters") or {})
+        return JobResult(**d)
+
     def to_dict(self) -> dict:
         return {
             "job_id": self.job_id,

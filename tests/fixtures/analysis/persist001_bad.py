@@ -1,0 +1,16 @@
+# repro: module=repro.persist.badsnap
+"""Fixture: pickle bytes and hash-ordered sets in the snapshot path."""
+
+import pickle
+
+
+def snapshot_payload(state):
+    return pickle.dumps(state)
+
+
+class Layer:
+    def __init__(self):
+        self.dirty = set()
+
+    def state_dict(self):
+        return {"dirty": [pid for pid in self.dirty]}

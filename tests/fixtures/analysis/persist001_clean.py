@@ -1,0 +1,18 @@
+# repro: module=repro.persist.goodsnap
+"""Fixture: deterministic snapshot bytes via the versioned codec."""
+
+
+def frame_payload(encode, frame, state):
+    return frame(encode(state))
+
+
+class Layer:
+    def __init__(self):
+        self.dirty = set()
+        self.order = []
+
+    def state_dict(self):
+        return {
+            "dirty": sorted(self.dirty),
+            "order": [pid for pid in self.order],
+        }

@@ -1,0 +1,17 @@
+# repro: module=repro.persist.oksnap
+"""Fixture: explicit opt-outs silence PERSIST001."""
+
+import pickle
+
+
+def snapshot_payload(state):
+    return pickle.dumps(state)  # repro: allow[PERSIST001]
+
+
+class Layer:
+    def __init__(self):
+        self.dirty = set()
+
+    def state_dict(self):
+        # repro: allow[PERSIST001]
+        return {"dirty": [pid for pid in self.dirty]}

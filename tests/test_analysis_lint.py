@@ -26,6 +26,7 @@ FIXTURE_STEM = {
     "PROTO001": "proto001",
     "PROTO002": "proto002",
     "PROTO003": "proto003",
+    "PERSIST001": "persist001",
 }
 
 

@@ -1,0 +1,187 @@
+"""Property tests for the durability layer (snapshot/restore identity).
+
+Three layers of the contract, each under randomized schedules:
+
+* the codec is a faithful involution - ``decode(encode(x)) == x`` and
+  the byte stream is stable across a round trip (no pickle memo ids,
+  no hash-order leakage);
+* a simulator snapshot taken between events at *any* cut point loads
+  into a fresh simulator that pops the exact remaining sequence the
+  never-snapshotted reference pops - tied timestamps, shared tie-break
+  sequences, recycled slab slots, and same-time turnaround batches
+  included;
+* a full runtime kill-resume at a random cut is bitwise-identical to
+  the uninterrupted run (the property form of the golden-matrix
+  campaign in ``test_durability``).
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persist import decode, encode, frame, unframe
+from repro.persist.killer import kill_and_resume
+from repro.runtime.simulator import Simulator
+
+# -- codec round-trip ------------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # covers the big-int (>64-bit) path
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.lists(children, max_size=5).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=5),
+        st.sets(st.integers(), max_size=6),
+        st.frozensets(st.integers(), max_size=6),
+    ),
+    max_leaves=25,
+)
+
+
+@given(x=_values)
+@settings(max_examples=150, deadline=None)
+def test_codec_roundtrip_identity(x):
+    assert decode(encode(x)) == x
+
+
+@given(x=_values)
+@settings(max_examples=150, deadline=None)
+def test_codec_byte_stream_is_stable(x):
+    """Encoding is a pure function of the value: a decoded copy
+    re-encodes to the identical bytes (set order is canonicalized)."""
+    data = encode(x)
+    assert encode(decode(data)) == data
+
+
+@given(x=_values)
+@settings(max_examples=60, deadline=None)
+def test_frame_roundtrip(x):
+    version, payload = unframe(frame(encode(x)))
+    assert decode(payload) == x
+
+
+# -- simulator snapshot/restore at random cut points -----------------------------
+
+# A small delta pool makes timestamp ties (and same-time turnaround
+# joins at delta 0.0) common rather than exceptional.
+DELTAS = (0.0, 0.25, 1.0, 3.0)
+KINDS = ("advance", "aux")
+PROGRESS = frozenset(("advance",))
+
+_op = st.tuples(st.sampled_from(DELTAS), st.sampled_from(KINDS), st.booleans())
+
+
+@st.composite
+def _schedules(draw):
+    pre = draw(st.lists(_op, min_size=2, max_size=14))
+    cut = draw(st.integers(min_value=0, max_value=len(pre)))
+    rounds = draw(st.lists(st.lists(_op, max_size=4), max_size=8))
+    return pre, cut, rounds
+
+
+def _push(sim, now, ops, start):
+    n = start
+    for delta, kind, burn in ops:
+        if burn:
+            sim.next_seq()  # external queues share the tie-break seq
+        sim.push(now + delta, kind, n)
+        n += 1
+    return n
+
+
+def _drain(sim, rounds):
+    """Pop everything, pushing each round's ops mid-drain; returns the
+    observed (t, kind, data) stream."""
+    out = []
+    rit = iter(rounds)
+    while sim:
+        t, kind, data = sim.pop()
+        out.append((t, kind, data))
+        ops = next(rit, None)
+        if ops:
+            _push(sim, t, ops, 1000 + len(out) * 100)
+    return out
+
+
+@given(sched=_schedules())
+@settings(max_examples=80, deadline=None)
+def test_simulator_restore_pops_identically(sched):
+    """Cut a random schedule at a random point, round-trip the state
+    through the codec, and finish on a fresh simulator: the remaining
+    pop stream and every public counter must match the reference."""
+    pre, cut, rounds = sched
+    ref = Simulator(progress_kinds=PROGRESS)
+    n = _push(ref, 0.0, pre, 0)
+    for _ in range(min(cut, len(ref))):
+        ref.pop()
+    state = decode(encode(ref.state_dict()))
+    restored = Simulator(progress_kinds=PROGRESS)
+    restored.load_state_dict(state)
+    assert len(restored) == len(ref)
+    got = _drain(restored, rounds)
+    want = _drain(ref, rounds)
+    assert got == want
+    for attr in ("live", "makespan", "last_progress", "peak_heap"):
+        assert getattr(restored, attr) == getattr(ref, attr)
+    assert restored.event_counts() == ref.event_counts()
+    assert restored.next_seq() == ref.next_seq()
+
+
+@given(sched=_schedules(), joins=st.lists(st.sampled_from(KINDS), max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_turnaround_batches_after_restore(sched, joins):
+    """Same-time turnaround: after a restore, ``pop_batch`` plus pushes
+    landing at exactly the in-flight batch's timestamp behaves as on
+    the never-snapshotted simulator."""
+    pre, cut, _rounds = sched
+    ref = Simulator(progress_kinds=PROGRESS)
+    _push(ref, 0.0, pre, 0)
+    for _ in range(min(cut, max(0, len(ref) - 1))):
+        ref.pop()
+    restored = Simulator(progress_kinds=PROGRESS)
+    restored.load_state_dict(decode(encode(ref.state_dict())))
+
+    def batch_with_joins(sim):
+        t0, batch = sim.pop_batch()
+        for j, kind in enumerate(joins):
+            sim.push(t0, kind, 9000 + j)  # joins the in-flight batch
+        names = [(sim._kind_names[kid], data) for kid, data in batch]
+        rest = []
+        while sim:
+            rest.append(sim.pop())
+        return t0, names, rest
+
+    assert batch_with_joins(restored) == batch_with_joins(ref)
+
+
+# -- full-runtime random-cut resume (property form) ------------------------------
+
+
+@settings(max_examples=5, deadline=None)
+@given(data=st.data())
+def test_runtime_random_cut_resume_is_exact(data):
+    from tests.test_durability import _factory, _fingerprint, _reference
+
+    cell = "structured-hybrid-clean"
+    ref_fp, events = _reference(cell)
+    kill_at = data.draw(
+        st.integers(min_value=1, max_value=events - 1), label="kill_at"
+    )
+    every = data.draw(st.sampled_from((37, 150, 400)), label="every")
+    f = _factory(cell)
+    with tempfile.TemporaryDirectory() as d:
+        rep, _mgr, killed = kill_and_resume(
+            f, kill_at=kill_at, every=every, workdir=d
+        )
+    assert killed
+    assert _fingerprint(f, rep) == ref_fp
