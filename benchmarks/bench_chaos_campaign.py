@@ -22,14 +22,19 @@ Run standalone (used by CI as a smoke job)::
 ``--json PATH`` writes the per-campaign JSON summary, ``--adaptive``
 arms every adaptive-resilience feature (RTT-estimated RTO, hedging,
 speculation, backpressure, demotion) on every case - against the same
-oracle, since adaptivity must never cost exactness.  ``--check-hb
-[DIR]`` additionally holds every completed case to the vector-clock
-happens-before checker (any race fails the cell; with DIR, each case's
-HB record stream is exported for ``repro.analysis check-trace``).
+oracle, since adaptivity must never cost exactness.  ``--flapping``
+extends the fault space with crash-restart-crash sequences and
+``--membership`` arms the elastic-membership subsystem (heartbeat
+detection instead of the oracle, incarnation fencing, restart/rejoin -
+DESIGN.md §14) on every case, again against the same oracle.
+``--check-hb [DIR]`` additionally holds every completed case to the
+vector-clock happens-before checker (any race fails the cell; with
+DIR, each case's HB record stream is exported for ``repro.analysis
+check-trace``).
 """
 
 from repro.chaos import KINDS, MODES, ChaosSpace, run_campaign
-from repro.runtime import AdaptiveConfig
+from repro.runtime import AdaptiveConfig, MembershipConfig
 
 from _common import bench_args, print_series
 
@@ -42,10 +47,14 @@ ADAPTIVE = AdaptiveConfig.all_on(inbox_credits=4)
 
 
 def run_chaos_campaign(seeds: int = FULL_SEEDS, intensity: float = 0.5,
-                       size: int = 8, adaptive: bool = False, hb=None):
+                       size: int = 8, adaptive: bool = False, hb=None,
+                       flapping: bool = False, membership: bool = False):
     return run_campaign(
-        range(seeds), space=ChaosSpace(intensity=intensity), size=size,
+        range(seeds),
+        space=ChaosSpace(intensity=intensity, flapping=flapping),
+        size=size,
         adaptive=ADAPTIVE if adaptive else None, hb=hb,
+        membership=MembershipConfig.all_on() if membership else None,
     )
 
 
@@ -80,7 +89,8 @@ def report(res) -> None:
               f"stalled={c.stalled} {c.error[:200]}")
 
 
-def check(res, adaptive: bool = False) -> None:
+def check(res, adaptive: bool = False, flapping: bool = False,
+          membership: bool = False) -> None:
     # The headline robustness claim: every seeded fault mix recovers to
     # bitwise-exact flux, with zero watchdog stalls.
     assert res.passed == res.total, (
@@ -100,6 +110,17 @@ def check(res, adaptive: bool = False) -> None:
         for key in ("rtt_samples", "hedged_sends", "speculative_launches",
                     "backpressure_stalls"):
             assert tot.get(key, 0) > 0, f"adaptive campaign never hit {key}"
+    if membership:
+        # Detection ran oracle-free; with flapping, ranks came back.
+        mtot = {}
+        for c in res.cases:
+            for k, v in c.membership.items():
+                mtot[k] = mtot.get(k, 0) + v
+        assert mtot.get("heartbeats", 0) > 0, "heartbeat plane never ran"
+        assert mtot.get("suspicions", 0) > 0, "no crash was ever detected"
+        if flapping:
+            assert mtot.get("restarts", 0) > 0, "no rank ever restarted"
+            assert mtot.get("rejoins", 0) > 0, "no rank ever rejoined"
 
 
 try:
@@ -146,18 +167,28 @@ if __name__ == "__main__":
                             help="arm all adaptive-resilience features "
                                  "(adaptive RTO, hedging, speculation, "
                                  "backpressure, demotion)"),
+            ap.add_argument("--flapping", action="store_true",
+                            help="extend the fault space with crash-"
+                                 "restart-crash (flapping) sequences"),
+            ap.add_argument("--membership", action="store_true",
+                            help="arm elastic membership on every case "
+                                 "(heartbeat detection, incarnation "
+                                 "fencing, restart/rejoin)"),
         ),
     )
     seeds = args.seeds if args.seeds is not None else (
         SMOKE_SEEDS if args.smoke else FULL_SEEDS
     )
     res = run_chaos_campaign(seeds=seeds, intensity=args.intensity,
-                             adaptive=args.adaptive, hb=args.check_hb)
+                             adaptive=args.adaptive, hb=args.check_hb,
+                             flapping=args.flapping,
+                             membership=args.membership)
     report(res)
     if args.check_hb is not None:
         print(f"hb: {res.total} campaign runs checked, "
               f"{sum(c.races for c in res.cases)} race(s)")
-    check(res, adaptive=args.adaptive)
+    check(res, adaptive=args.adaptive, flapping=args.flapping,
+          membership=args.membership)
     if args.json:
         res.to_json(args.json)
         print(f"summary: {args.json}")

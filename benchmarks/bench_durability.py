@@ -15,7 +15,10 @@ Run standalone::
 
 Writes ``BENCH_durability.json`` at the repo root (override with
 ``--json``).  ``--smoke`` runs the CI-sized campaign (fewer cells and
-cut points).
+cut points).  ``--trace`` / ``--check-hb`` arm event tracing on each
+cell's *reference* run (Chrome-trace export / vector-clock replay);
+the snapshot-armed and kill-resume runs stay untraced because the
+trace buffer is not crash-consistent (``check_persist`` enforces it).
 """
 
 import json
@@ -34,7 +37,7 @@ from repro.sweep.solver import SnSolver
 
 import numpy as np
 
-from _common import bench_args, print_series
+from _common import bench_args, check_hb, print_series, write_chrome_trace
 
 JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                          "BENCH_durability.json")
@@ -86,10 +89,11 @@ def _factory(kind, mode, faulty):
     nprocs = MACHINE.layout(cores, mode).nprocs
     plan = _fault_plan() if faulty else None
 
-    def factory():
+    def factory(trace=False):
         pset, s = _solver(kind, nprocs)
         progs, faces = s.build_programs(resilient=faulty)
-        rt = DataDrivenRuntime(cores, machine=MACHINE, mode=mode, faults=plan)
+        rt = DataDrivenRuntime(cores, machine=MACHINE, mode=mode,
+                               faults=plan, trace=trace)
         factory.extra = (s, faces)
         return rt, progs, pset.patch_proc, FluxArrayState(faces)
 
@@ -102,14 +106,21 @@ def _fingerprint(factory, report):
     return report_fingerprint(report, flux=phi)
 
 
-def run_cell(name, kind, mode, faulty, fracs):
+def run_cell(name, kind, mode, faulty, fracs, trace_dir=None, hb=None):
     f = _factory(kind, mode, faulty)
-    # Reference: uninterrupted, snapshotting off.
-    rt, progs, pp, _app = f()
+    # Reference: uninterrupted, snapshotting off.  Tracing rides the
+    # reference run only - check_persist rejects trace+persist (the
+    # trace buffer is not crash-consistent), so the snapshot-armed and
+    # kill-resume runs below always run untraced.
+    want_trace = trace_dir is not None or hb is not None
+    rt, progs, pp, _app = f(trace=want_trace)
     t0 = time.perf_counter()
     ref = rt.run(progs, pp)
     ref_wall = time.perf_counter() - t0
     ref_fp = _fingerprint(f, ref)
+    if trace_dir is not None:
+        write_chrome_trace(ref, f"durability_{name}_ref", trace_dir)
+    check_hb(ref, f"durability_{name}_ref", hb)
     every = max(20, ref.events // 6)
     # Snapshot-armed run (no kill): the cadence overhead.
     rt, progs, pp, app = f()
@@ -151,11 +162,12 @@ def run_cell(name, kind, mode, faulty, fracs):
     }
 
 
-def run_campaign(smoke=False):
+def run_campaign(smoke=False, trace_dir=None, hb=None):
     cells = SMOKE_CELLS if smoke else FULL_CELLS
     fracs = SMOKE_FRACS if smoke else FULL_FRACS
     return [
-        run_cell(name, *cfg, fracs) for name, cfg in sorted(cells.items())
+        run_cell(name, *cfg, fracs, trace_dir=trace_dir, hb=hb)
+        for name, cfg in sorted(cells.items())
     ]
 
 
@@ -218,7 +230,8 @@ if __name__ == "__main__":
                             help="where to write the JSON summary"),
         ),
     )
-    rows = run_campaign(smoke=args.smoke)
+    rows = run_campaign(smoke=args.smoke, trace_dir=args.trace,
+                        hb=args.check_hb)
     report(rows)
     check(rows)
     out = os.path.normpath(args.json)

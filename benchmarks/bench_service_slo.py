@@ -24,7 +24,9 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_service_slo.py
 
 Writes ``BENCH_service_slo.json`` at the repo root (override with
-``--json``).  ``--smoke`` runs the CI-sized traffic.
+``--json``).  ``--smoke`` runs the CI-sized traffic; ``--trace`` dumps
+one Chrome trace per executed job attempt and ``--check-hb`` replays
+each attempt through the vector-clock happens-before checker.
 """
 
 import json
@@ -37,7 +39,7 @@ from repro.service import (
     WriteAheadLog,
 )
 
-from _common import bench_args, print_series
+from _common import bench_args, check_hb, print_series, write_chrome_trace
 
 JSON_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
                          "BENCH_service_slo.json")
@@ -139,8 +141,23 @@ def run_regime(name: str, seed: int, jobs: int,
 
 
 def run_matrix(jobs: int = FULL_JOBS, seed: int = 0,
-               wal_dir: str | None = None) -> list[dict]:
-    executor = JobExecutor()  # scenario cache shared across regimes
+               wal_dir: str | None = None,
+               trace_dir: str | None = None, hb=None) -> list[dict]:
+    # Scenario cache shared across regimes.  --trace / --check-hb arm
+    # event tracing on every attempt's runtime: each clean attempt's
+    # report is exported as a Chrome trace and/or replayed through the
+    # vector-clock checker (a race aborts the benchmark).
+    executor = JobExecutor(trace=trace_dir is not None or hb is not None)
+    if executor.trace:
+        seq = iter(range(1_000_000))
+
+        def _export(spec, rep):
+            label = f"service_{spec.kind}_{spec.mode}_job{next(seq)}"
+            if trace_dir is not None:
+                write_chrome_trace(rep, label, trace_dir)
+            check_hb(rep, label, hb)
+
+        executor.on_report = _export
     return [
         run_regime(name, seed, jobs, executor, wal_dir=wal_dir)
         for name in ("baseline", "overload", "overload+degrade")
@@ -232,9 +249,11 @@ if __name__ == "__main__":
         import tempfile
 
         with tempfile.TemporaryDirectory() as wal_dir:
-            rows = run_matrix(jobs=jobs, wal_dir=wal_dir)
+            rows = run_matrix(jobs=jobs, wal_dir=wal_dir,
+                              trace_dir=args.trace, hb=args.check_hb)
     else:
-        rows = run_matrix(jobs=jobs)
+        rows = run_matrix(jobs=jobs, trace_dir=args.trace,
+                          hb=args.check_hb)
     report(rows)
     check(rows)
     out = os.path.normpath(args.json)

@@ -15,8 +15,15 @@ happens-before edge:
 * a workload commit in a post-failover epoch happens-after the
   migration that installed that epoch (``unanchored-epoch-commit`` /
   ``commit-not-after-migration``);
-* a migration happens-after the crash or demotion of the process it
-  drains (``migration-without-cause``);
+* a migration happens-after the crash, demotion or suspicion of the
+  process it drains - or targets a process whose rejoin justifies
+  pulling work from healthy donors (``migration-without-cause``);
+* a rejoin happens-after the state transfer that caught the process
+  up, and every commit on a rejoined rank is causally anchored to
+  that transfer - i.e. to the new incarnation, never the old life
+  (``rejoin-without-transfer`` / ``commit-not-after-rejoin``);
+* a restart announcement names a process that actually crashed
+  (``restart-without-crash``);
 * two same-epoch commits to one program from different processes are
   happens-before ordered unless they are the two legs of a
   speculative first-completion-wins pair (``concurrent-commit``);
@@ -42,6 +49,11 @@ time.  Record vocabulary (all fields JSON-scalar)::
     hb_requeue  (pid, proc, epoch)               re-install done (optional:
                                                  the runtime folds this into
                                                  hb_migrate's eager join)
+    hb_suspect  (proc, inc)                      fenced on missed beats [ctl]
+    hb_restart  (proc,)                          crashed proc came back [ctl]
+    hb_xfer     (proc, inc, nprogs)              state transfer begun   [ctl]
+    hb_rejoin   (proc, inc)                      incarnation live again [ctl]
+    hb_promote  (proc,)                          demotion reversed      [ctl]
 """
 
 from __future__ import annotations
@@ -103,7 +115,12 @@ class HbChecker:
         #: serial -> (launcher clock snapshot, launching proc)
         self._spec: dict[Any, tuple[Clock, Any]] = {}
         self._migrations: dict[tuple[str, int], tuple[Clock, float]] = {}
-        self._failed_procs: set[Any] = set()  # crashed or demoted
+        self._failed_procs: set[Any] = set()  # crashed, demoted or suspected
+        self._rejoined: set[Any] = set()  # rebalance targets (rejoin/promote)
+        #: (proc, inc) -> (state-transfer clock, time)
+        self._xfers: dict[tuple[Any, int], tuple[Clock, float]] = {}
+        #: proc -> (transfer clock, time, inc) of the latest rejoin
+        self._rejoin_anchor: dict[Any, tuple[Clock, float, int]] = {}
         #: (pid, epoch) -> {proc: last commit} for concurrency checks
         self._last_commit: dict[tuple[str, int], dict[Any, _Commit]] = {}
         #: serial -> list of (time, committed, pid, proc, is_backup)
@@ -201,6 +218,16 @@ class HbChecker:
             # the owner observes it before re-running the program.
             self._join(launch[1], vc)
         commit = _Commit(pid, proc, int(epoch), serial, t, vc)
+        anchor = self._rejoin_anchor.get(proc)
+        if anchor is not None and not _leq(anchor[0], vc):
+            self.races.append(HbRace(
+                "commit-not-after-rejoin", t, pid,
+                f"commit of {pid} on rejoined proc {proc} (serial "
+                f"{serial}, t={t:.6g}) is concurrent with the state "
+                f"transfer that installed incarnation {anchor[2]} "
+                f"(t={anchor[1]:.6g}): the commit is anchored to the "
+                "old life, not the new incarnation",
+            ))
         if commit.epoch > 0:
             mig = self._migrations.get((pid, commit.epoch))
             if mig is None:
@@ -246,12 +273,16 @@ class HbChecker:
 
     def _on_migrate(self, t: float, pid, old_proc, new_proc, epoch) -> None:
         self._tick(CTL)
-        if old_proc not in self._failed_procs:
+        if (
+            old_proc not in self._failed_procs
+            and new_proc not in self._rejoined
+        ):
             self.races.append(HbRace(
                 "migration-without-cause", t, pid,
                 f"migration of {pid} from proc {old_proc} to proc "
-                f"{new_proc} (epoch {epoch}) precedes any crash or "
-                f"demotion of proc {old_proc}",
+                f"{new_proc} (epoch {epoch}) precedes any crash, "
+                f"demotion or suspicion of proc {old_proc} and proc "
+                f"{new_proc} never rejoined",
             ))
         self._migrations[(pid, int(epoch))] = (self._snap(CTL), t)
         # The install runs synchronously on the new owner's master
@@ -265,6 +296,50 @@ class HbChecker:
         if mig is not None:
             self._join(proc, mig[0])
         self._tick(proc)
+
+    # -- membership plane (DESIGN.md §14) -------------------------------------------
+
+    def _on_suspect(self, t: float, proc, inc) -> None:
+        # Fencing is the control plane deciding the proc failed: it
+        # justifies draining migrations exactly like a crash does.
+        self._tick(CTL)
+        self._failed_procs.add(proc)
+
+    def _on_restart(self, t: float, proc) -> None:
+        self._tick(CTL)
+        if proc not in self._failed_procs:
+            self.races.append(HbRace(
+                "restart-without-crash", t, f"proc={proc}",
+                f"restart announcement for proc {proc} precedes any "
+                "recorded crash or suspicion of it",
+            ))
+
+    def _on_xfer(self, t: float, proc, inc, nprogs) -> None:
+        self._tick(CTL)
+        self._xfers[(proc, int(inc))] = (self._snap(CTL), t)
+
+    def _on_rejoin(self, t: float, proc, inc) -> None:
+        self._tick(CTL)
+        xfer = self._xfers.get((proc, int(inc)))
+        if xfer is None:
+            self.races.append(HbRace(
+                "rejoin-without-transfer", t, f"proc={proc}",
+                f"proc {proc} rejoined as incarnation {inc} with no "
+                "recorded state transfer for that incarnation: the new "
+                "life is not anchored to the checkpoint/delivery-log "
+                "catch-up",
+            ))
+        else:
+            self._rejoin_anchor[proc] = (xfer[0], t, int(inc))
+        self._rejoined.add(proc)
+        self._failed_procs.discard(proc)
+
+    def _on_promote(self, t: float, proc) -> None:
+        # A promoted proc never lost state: no transfer anchor, but it
+        # becomes a legitimate rebalance target and is healthy again.
+        self._tick(CTL)
+        self._rejoined.add(proc)
+        self._failed_procs.discard(proc)
 
     # -- end-of-trace checks --------------------------------------------------------
 

@@ -114,6 +114,16 @@ COUNTER_OWNERS: dict[str, str | tuple[str, ...]] = {
     "crashes": "repro.runtime.recovery",
     "failover_time": "repro.runtime.recovery",
     "demotions": "repro.runtime.recovery",
+    # recovery-owned: the elastic-membership plane (DESIGN.md §14)
+    "heartbeats": "repro.runtime.recovery",
+    "suspicions": "repro.runtime.recovery",
+    "false_suspicions": "repro.runtime.recovery",
+    "restarts": "repro.runtime.recovery",
+    "rejoins": "repro.runtime.recovery",
+    "promotions": "repro.runtime.recovery",
+    "rebalanced_patches": "repro.runtime.recovery",
+    # transport-owned: incarnation fencing happens on the receive path
+    "fenced_messages": "repro.runtime.transport",
     # engine-owned: the composition root and its event loops (the
     # master loop lives in generalloop, composed by engine_des)
     "events": ("repro.runtime.engine_des", "repro.runtime.generalloop"),
@@ -125,6 +135,12 @@ COUNTER_OWNERS: dict[str, str | tuple[str, ...]] = {
     # checkpoint-owned: the durability plane (DESIGN.md §13)
     "snapshots": "repro.runtime.checkpoint",
     "snapshot_bytes": "repro.runtime.checkpoint",
+    # perf plane (DESIGN.md §12): stamped once by the composition root
+    # from the simulator's high-water mark
+    "peak_heap": "repro.runtime.engine_des",
+    # Not listed (caller-provided context, not layer counters):
+    # total_cores is a RunReport constructor argument; wall_time is
+    # stamped by external harnesses around the whole run.
 }
 
 #: Modules exempt from ownership (definition + test scaffolding).

@@ -48,6 +48,8 @@ from .runtime import (
     FaultPlan,
     LinkPartition,
     Machine,
+    MembershipConfig,
+    RecoveryConfig,
     StallError,
     StragglerWindow,
 )
@@ -87,6 +89,12 @@ class ChaosSpace:
     drop: bool = True
     duplicate: bool = True
     corrupt: bool = True
+    #: Flapping nodes: crash victims may restart (``restart_after``)
+    #: and may crash *again* after rejoining.  Off by default - the
+    #: extra draws are appended strictly after every legacy draw, so
+    #: plans for a given ``(seed, nprocs)`` are bitwise-unchanged
+    #: whenever flapping is off.
+    flapping: bool = False
 
     def __post_init__(self):
         if not (0.0 < self.intensity <= 1.0):
@@ -152,6 +160,28 @@ def random_fault_plan(
     p_drop = float(rng.uniform(0.0, 0.08)) * i if space.drop else 0.0
     p_dup = float(rng.uniform(0.0, 0.08)) * i if space.duplicate else 0.0
     p_cor = float(rng.uniform(0.0, 0.08)) * i if space.corrupt else 0.0
+    inj_seed = int(rng.integers(0, 2**31))
+
+    if space.flapping:
+        # Appended strictly after every legacy draw: with flapping off,
+        # the (seed, nprocs) -> plan mapping above is bitwise-stable.
+        flapped: list[CrashFault] = []
+        for c in crashes:
+            if rng.random() < 0.7:
+                ra = float(rng.uniform(0.15, 0.45)) * hz
+                c = CrashFault(c.proc, c.time, cascade=c.cascade,
+                               cascade_window=c.cascade_window,
+                               cascade_max=c.cascade_max, restart_after=ra)
+                if rng.random() < 0.5 * i:
+                    # A true flapper: dies again after rejoining.
+                    t2 = c.time + ra + float(rng.uniform(0.1, 0.4)) * hz
+                    ra2 = (
+                        float(rng.uniform(0.1, 0.3)) * hz
+                        if rng.random() < 0.5 else 0.0
+                    )
+                    flapped.append(CrashFault(c.proc, t2, restart_after=ra2))
+            flapped.append(c)
+        crashes = flapped
 
     return FaultPlan(
         crashes=tuple(crashes),
@@ -160,7 +190,7 @@ def random_fault_plan(
         p_drop=p_drop,
         p_duplicate=p_dup,
         p_corrupt=p_cor,
-        seed=int(rng.integers(0, 2**31)),
+        seed=inj_seed,
     )
 
 
@@ -216,6 +246,7 @@ class CaseResult:
     makespan: float = 0.0
     faults: dict = field(default_factory=dict)  # RunReport.fault_summary()
     adaptive: dict = field(default_factory=dict)  # adaptive_summary() if armed
+    membership: dict = field(default_factory=dict)  # membership_summary() if armed
     plan: dict = field(default_factory=dict)  # plan size per fault class
 
 
@@ -256,6 +287,7 @@ def run_case(
     sanitize: bool = True,
     adaptive: AdaptiveConfig | None = None,
     hb=None,
+    membership: MembershipConfig | None = None,
     _scenario=None,
     _reference=None,
 ) -> CaseResult:
@@ -266,6 +298,9 @@ def run_case(
     exactness).  ``hb`` (``None`` | ``True`` | directory) arms event
     tracing and holds the completed run to the happens-before checker
     on top of the flux oracle - any race fails the cell.
+    ``membership`` arms the elastic-membership subsystem: crashes are
+    then discovered by missed heartbeats (no detection oracle) and
+    restarting ranks rejoin via state transfer - again, same oracle.
     ``_scenario``/``_reference`` let :func:`run_campaign` reuse the
     built scenario and fault-free reference flux across seeds.
     """
@@ -282,6 +317,10 @@ def run_case(
     rt = DataDrivenRuntime(
         cores, machine=machine, mode=mode, faults=plan,
         adaptive=adaptive, sanitize=sanitize, trace=hb is not None,
+        recovery=(
+            RecoveryConfig(membership=membership)
+            if membership is not None else None
+        ),
     )
     try:
         rep = rt.run(progs, pset.patch_proc)
@@ -307,6 +346,8 @@ def run_case(
     res.faults = rep.fault_summary()
     if adaptive is not None:
         res.adaptive = rep.adaptive_summary()
+    if membership is not None:
+        res.membership = rep.membership_summary()
     return res
 
 
@@ -367,6 +408,7 @@ def run_campaign(
     sanitize: bool = True,
     adaptive: AdaptiveConfig | None = None,
     hb=None,
+    membership: MembershipConfig | None = None,
     progress=None,
 ) -> CampaignResult:
     """Run the full (kind, mode, seed) matrix; never raises on a case.
@@ -374,7 +416,8 @@ def run_campaign(
     Scenario meshes and fault-free references are built once per
     (kind, mode) cell and shared across seeds.  ``adaptive`` arms the
     adaptive-resilience layer on every case (same oracle); ``hb`` arms
-    the happens-before checker on every case (see :func:`run_case`).
+    the happens-before checker on every case; ``membership`` arms the
+    elastic-membership subsystem on every case (see :func:`run_case`).
     ``progress``, when given, is called with each finished
     :class:`CaseResult`.
     """
@@ -386,7 +429,8 @@ def run_campaign(
             for seed in seeds:
                 case = run_case(
                     kind, mode, int(seed), space, size, sanitize, adaptive,
-                    hb=hb, _scenario=scenario, _reference=reference,
+                    hb=hb, membership=membership,
+                    _scenario=scenario, _reference=reference,
                 )
                 out.cases.append(case)
                 if progress is not None:

@@ -71,6 +71,13 @@ class Stream:
     ``dsti`` caches the runtime's dense index of ``dst`` (see
     ``Router.index_of``); it is stamped on first routing so repeated
     hops skip the id-keyed lookup.  ``-1`` means not yet resolved.
+
+    ``inc`` is the incarnation tag ``(sender_proc, incarnation)``
+    stamped when elastic membership is armed: receivers fence traffic
+    whose incarnation is older than the sender process's current life
+    (DESIGN.md §14).  ``None`` means membership is off.  Like ``seq``
+    and ``epoch`` it is delivery bookkeeping, not stream content, and
+    is excluded from the end-to-end checksum.
     """
 
     src: ProgramId
@@ -82,6 +89,7 @@ class Stream:
     epoch: int = 0
     checksum: int | None = None
     dsti: int = -1
+    inc: tuple[int, int] | None = None
 
     def __post_init__(self):
         if self.items < 0 or self.nbytes < 0:

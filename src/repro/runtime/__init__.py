@@ -27,6 +27,7 @@ from .faults import (
     FaultInjector,
     FaultPlan,
     LinkPartition,
+    MembershipConfig,
     RecoveryConfig,
     StragglerWindow,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "FaultInjector",
     "RecoveryConfig",
     "AdaptiveConfig",
+    "MembershipConfig",
     "SweepPerformanceModel",
     "SweepModelPrediction",
     "Simulator",

@@ -39,6 +39,7 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "AdaptiveConfig",
+    "MembershipConfig",
     "RecoveryConfig",
     "arm_recovery",
 ]
@@ -58,6 +59,14 @@ class CrashFault:
     the victim with probability ``cascade``, at a seeded time within
     ``cascade_window`` of the original crash, up to ``cascade_max``
     followers.  Cascaded crashes do not themselves cascade further.
+
+    ``restart_after`` models node churn rather than permanent loss:
+    when positive, the process comes back ``restart_after`` virtual
+    seconds after the crash, announces itself with a bumped incarnation
+    number and rejoins the run (snapshot state transfer plus
+    delivery-log anti-entropy; DESIGN.md §14).  ``0`` keeps the
+    fail-stop-forever semantics of PRs 1-8.  Cascade followers never
+    restart (they carry no fault object).
     """
 
     proc: int
@@ -65,6 +74,7 @@ class CrashFault:
     cascade: float = 0.0  # per-survivor follow probability
     cascade_window: float = 0.0  # followers crash within (time, time + window]
     cascade_max: int = 0  # hard cap on followers (bounds total loss)
+    restart_after: float = 0.0  # node comes back after this delay; 0 = never
 
     def __post_init__(self):
         if self.proc < 0:
@@ -79,9 +89,14 @@ class CrashFault:
             )
         if self.cascade_max < 0:
             raise ReproError("cascade_max must be non-negative")
+        if self.restart_after < 0:
+            raise ReproError("restart_after must be non-negative")
 
     def cascades(self) -> bool:
         return self.cascade > 0 and self.cascade_max > 0
+
+    def restarts(self) -> bool:
+        return self.restart_after > 0
 
 
 @dataclass(frozen=True)
@@ -165,14 +180,27 @@ class FaultPlan:
             raise ReproError(
                 "p_drop + p_duplicate + p_corrupt must stay below 1"
             )
-        seen: set[int] = set()
+        by_proc: dict[int, list] = {}
         for c in self.crashes:
-            if c.proc in seen:
-                raise ReproError(
-                    f"fault plan crashes proc {c.proc} twice; a fail-stop "
-                    "process dies at most once - merge the duplicates"
-                )
-            seen.add(c.proc)
+            by_proc.setdefault(c.proc, []).append(c)
+        for p, cs in by_proc.items():
+            cs.sort(key=lambda c: c.time)
+            for a, b in zip(cs, cs[1:]):
+                if not a.restarts():
+                    raise ReproError(
+                        f"fault plan crashes proc {p} twice but the "
+                        "earlier crash never restarts; a fail-stop "
+                        "process dies at most once per incarnation - "
+                        "give the earlier crash restart_after > 0 or "
+                        "merge the duplicates"
+                    )
+                if b.time <= a.time + a.restart_after:
+                    raise ReproError(
+                        f"per-incarnation crashes of proc {p} must be "
+                        f"strictly ordered: the next crash (t={b.time}) "
+                        "must come after the previous restart "
+                        f"(t={a.time} + {a.restart_after})"
+                    )
 
     def needs_recovery(self) -> bool:
         """True when the plan can lose work or messages (stragglers
@@ -187,6 +215,28 @@ class FaultPlan:
 
     def crashed_procs(self) -> set:
         return {c.proc for c in self.crashes}
+
+    def permanent_procs(self) -> set:
+        """Procs whose *last* planned crash never restarts (the
+        fail-stop-forever victims; flapping nodes are excluded)."""
+        last: dict[int, CrashFault] = {}
+        for c in self.crashes:
+            prev = last.get(c.proc)
+            if prev is None or c.time > prev.time:
+                last[c.proc] = c
+        return {p for p, c in last.items() if not c.restarts()}
+
+    def restart_delay(self, proc: int, time: float) -> float:
+        """``restart_after`` of the planned crash ``(proc, time)``.
+
+        0.0 when the crash never restarts or has no plan entry (a
+        cascade follower) - the lookup key is exact because planned
+        per-incarnation crashes carry distinct times.
+        """
+        for c in self.crashes:
+            if c.proc == proc and c.time == time:
+                return c.restart_after
+        return 0.0
 
     def max_casualties(self) -> int:
         """Upper bound on processes the plan can kill (crashes plus
@@ -247,10 +297,12 @@ class FaultPlan:
                     f"crash targets proc {max(crashed)} but the layout "
                     f"has only {nprocs} processes"
                 )
-            if len(crashed) >= nprocs:
+            # Flapping (restarting) victims come back; only the procs
+            # whose last crash is permanent count towards total loss.
+            if len(self.permanent_procs()) >= nprocs:
                 raise ReproError(
-                    "fault plan crashes every process; total loss is "
-                    "unrecoverable (no survivors to fail over to)"
+                    "fault plan permanently crashes every process; total "
+                    "loss is unrecoverable (no survivors to fail over to)"
                 )
             for prog in programs:
                 if not getattr(prog, "resilient_input", False):
@@ -505,6 +557,80 @@ class AdaptiveConfig:
 
 
 @dataclass(frozen=True)
+class MembershipConfig:
+    """Elastic membership: heartbeat failure detection, incarnation
+    fencing, and rank restart/rejoin (DESIGN.md §14).  Off by default.
+
+    With ``heartbeat_interval > 0`` the recovery layer probes every
+    process each interval on the control plane and replaces the
+    ``RecoveryConfig.detection_delay`` oracle: a crash is *discovered*
+    only when the victim's probe replies stop arriving.  The suspicion
+    timeout adapts per process through the transport's Jacobson/Karn
+    :class:`~repro.runtime.transport.RttEstimator` -
+    ``clamp(SRTT + suspicion_k * RTTVAR, min_timeout, max_timeout)``
+    plus one heartbeat period of tick slack - so persistently slow
+    ranks raise their own bar instead of flapping.
+
+    False suspicion is safe by construction: a suspected proc is
+    *fenced* (incarnation pre-bumped, patches drained through the
+    failover path) but keeps routing; when its probes come back
+    healthy ``rejoin_probes`` times in a row it rejoins with the new
+    incarnation and pulls up to ``rebalance_budget`` patches back.
+    Demoted procs re-promote through the same healthy-probe streak.
+
+    Every probe reply costs ``probe_cost`` virtual seconds on the
+    probed rank (scaled by active straggler windows), which is what
+    makes a hard straggler's replies late enough to suspect.
+
+    All detection inputs are observed behavior (probe reply arrival
+    times), never the fault plan; all machinery is event-free and
+    draw-free when off, so golden fingerprints are unchanged.
+    """
+
+    heartbeat_interval: float = 0.0  # probe period; 0 = membership off
+    suspicion_k: float = 4.0  # timeout = SRTT + k * RTTVAR (clamped)
+    min_timeout: float = 250e-6  # suspicion-timeout floor
+    max_timeout: float = 5e-3  # suspicion-timeout cap
+    probe_cost: float = 8e-6  # per-reply cost on the probed rank
+    rejoin_probes: int = 2  # healthy-probe streak to rejoin/re-promote
+    rebalance_budget: int = 8  # max patches pulled back per rejoin
+
+    def __post_init__(self):
+        if self.heartbeat_interval < 0:
+            raise ReproError("heartbeat_interval must be non-negative")
+        if not self.enabled:
+            return
+        if self.suspicion_k <= 0:
+            raise ReproError("suspicion_k must be positive")
+        if not (0 < self.min_timeout <= self.max_timeout):
+            raise ReproError(
+                "suspicion timeouts must satisfy 0 < min_timeout <= max_timeout"
+            )
+        if self.min_timeout <= self.heartbeat_interval:
+            raise ReproError(
+                "min_timeout must exceed heartbeat_interval: a suspicion "
+                "bar below one probe period suspects every healthy rank"
+            )
+        if self.probe_cost < 0:
+            raise ReproError("probe_cost must be non-negative")
+        if self.rejoin_probes < 1:
+            raise ReproError("rejoin_probes must be >= 1")
+        if self.rebalance_budget < 0:
+            raise ReproError("rebalance_budget must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.heartbeat_interval > 0
+
+    @classmethod
+    def all_on(cls, **overrides) -> "MembershipConfig":
+        """Membership armed with campaign-friendly defaults."""
+        on = dict(heartbeat_interval=60e-6)
+        on.update(overrides)
+        return cls(**on)
+
+
+@dataclass(frozen=True)
 class RecoveryConfig:
     """Parameters of the runtime's fault-tolerance machinery.
 
@@ -531,6 +657,7 @@ class RecoveryConfig:
     t_failover_program: float = 5.0e-6  # master cost to install a migrant
     watchdog_horizon: float = 20e-3  # no-progress stall horizon; 0 = off
     adaptive: AdaptiveConfig | None = None  # opt-in adaptive features
+    membership: MembershipConfig | None = None  # elastic membership (§14)
 
     def __post_init__(self):
         if self.ack_timeout <= 0 or self.checkpoint_interval <= 0:
@@ -551,6 +678,14 @@ class RecoveryConfig:
             raise ReproError("detection_delay must be non-negative")
         if self.watchdog_horizon < 0:
             raise ReproError("watchdog_horizon must be non-negative")
+        m = self.membership
+        if m is not None and m.enabled and self.watchdog_horizon > 0 \
+                and self.watchdog_horizon <= m.max_timeout:
+            raise ReproError(
+                "watchdog_horizon must exceed the membership "
+                "max_timeout: heartbeat detection needs room to fire "
+                "before the run is declared stalled"
+            )
 
 
 def arm_recovery(

@@ -56,6 +56,17 @@ def general_loop(rt, ctx: SimpleNamespace, deadline: float | None) -> None:
         if kind in ("ack", "nack", "timer", "hedge"):
             getattr(transport, "on_" + kind)(data, now)
             continue
+        if kind in ("hbeat", "hback", "restart"):
+            # The elastic-membership plane (DESIGN.md §14) is control
+            # traffic too: probes, replies and restarts never advance
+            # the makespan or count as progress.  The handlers gate on
+            # quiescence themselves (a heartbeat tick must keep running
+            # while an undetected crash or pending restart holds work).
+            if kind == "hbeat":
+                rec.on_hbeat(now)
+            else:
+                getattr(rec, "on_" + kind)(data, now)
+            continue
 
         # Staleness filtering (only faults ever trigger these).
         if kind in ("run_start", "run_end"):
@@ -102,6 +113,14 @@ def general_loop(rt, ctx: SimpleNamespace, deadline: float | None) -> None:
             rec.on_crash(data, now)
             if data in ctx.cascaded:
                 report.cascade_crashes += 1
+            elif ctx.plan is not None:
+                # A planned flapping crash schedules its comeback
+                # (cascade followers carry no fault object and never
+                # restart; the lookup key (proc, time) is exact).
+                ra = ctx.plan.restart_delay(data, now)
+                if ra > 0:
+                    rec.expect_restart()
+                    sim.push(now + ra, "restart", data)
             if inj is not None:
                 # Correlated failure: seeded survivors follow suit.
                 alive = [q for q in range(lay.nprocs)

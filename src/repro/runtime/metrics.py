@@ -32,6 +32,9 @@ _EVENT_LAYER = {
     "failover": "recovery",
     "ckpt": "recovery",
     "health": "recovery",
+    "hbeat": "recovery",
+    "hback": "recovery",
+    "restart": "recovery",
 }
 
 
@@ -187,6 +190,16 @@ class RunReport:
     snapshots: int = 0  # crash-consistent runtime snapshots written
     snapshot_bytes: int = 0  # total bytes published to snapshot files
 
+    # -- elastic-membership counters (zero when MembershipConfig off) -----
+    heartbeats: int = 0  # probe replies scheduled by the heartbeat plane
+    suspicions: int = 0  # procs suspected after a missed-probe timeout
+    false_suspicions: int = 0  # suspicions of slow-but-alive stragglers
+    fenced_messages: int = 0  # arrivals rejected as a stale incarnation
+    restarts: int = 0  # planned rank restarts that came back
+    rejoins: int = 0  # ranks re-admitted (restart or cleared suspicion)
+    promotions: int = 0  # demotions reversed after healthy probes
+    rebalanced_patches: int = 0  # patches pulled back to rejoined ranks
+
     @property
     def core_seconds(self) -> float:
         return self.makespan * self.total_cores
@@ -242,6 +255,19 @@ class RunReport:
             "speculation_time": self.breakdown.by_category.get(
                 "speculation", 0.0
             ),
+        }
+
+    def membership_summary(self) -> dict[str, float]:
+        """The elastic-membership counters in one dict (DESIGN.md §14)."""
+        return {
+            "heartbeats": self.heartbeats,
+            "suspicions": self.suspicions,
+            "false_suspicions": self.false_suspicions,
+            "fenced_messages": self.fenced_messages,
+            "restarts": self.restarts,
+            "rejoins": self.rejoins,
+            "promotions": self.promotions,
+            "rebalanced_patches": self.rebalanced_patches,
         }
 
     def perf_summary(self) -> dict:
@@ -363,6 +389,8 @@ def trace_fields(kind: str, data, pids=None) -> tuple:
         return None, None, str(pids[i] if pids else i)
     if kind == "requeue":
         return None, None, str(data[0])
-    if kind in ("crash", "failover", "ckpt"):
+    if kind in ("crash", "failover", "ckpt", "restart"):
         return data, None, None
-    return None, None, None  # ack, nack, timer
+    if kind == "hback":
+        return data[0], None, None
+    return None, None, None  # ack, nack, timer, hedge, hbeat, health

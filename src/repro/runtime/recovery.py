@@ -33,6 +33,22 @@ checkpoint-restore + delivery-log-replay + send-re-arm path, while the
 process itself stays alive to ack, forward in-flight streams, and
 serve as a target of last resort.
 
+Elastic membership (opt-in via :class:`~repro.runtime.faults.
+MembershipConfig`; DESIGN.md §14) replaces the ``detection_delay``
+oracle with virtual-time heartbeat failure detection: every heartbeat
+interval the recovery layer probes each live process on the control
+plane and sweeps for silence; a process unheard-from past its adaptive
+suspicion timeout (a per-process Jacobson/Karn
+:class:`~repro.runtime.transport.RttEstimator` over probe reply times)
+is *suspected* - fenced behind a bumped incarnation and drained
+through the failover path.  A truly dead suspect fails over; a
+falsely-suspected straggler keeps replying, rejoins after a healthy
+probe streak, and pulls patches back under a bounded rebalance budget.
+Planned restarts (``CrashFault.restart_after``) announce a new
+incarnation and catch up via snapshot state transfer + delivery-log
+anti-entropy before rebalancing.  Demoted processes re-promote through
+the same healthy-probe streak.
+
 Sits above every other runtime layer: it drives the router's owner
 re-assignment, the transport's send re-arming, and the scheduler's
 queue/run bookkeeping, and books its virtual costs on the master
@@ -53,7 +69,7 @@ from .metrics import Breakdown, RunReport
 from .router import Router
 from .scheduler import RunState, Scheduler
 from .simulator import Simulator
-from .transport import Transport
+from .transport import RttEstimator, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .sanitizer import InvariantSanitizer
@@ -103,16 +119,41 @@ class RecoveryManager:
         self.dirty: set[ProgramId] = set()  # changed since last snapshot
         self.crash_time: dict[int, float] = {}
         self._strikes: dict[int, int] = {}  # proc -> consecutive flags
+        # Elastic membership state (DESIGN.md §14; all inert when off).
+        m = rcfg.membership
+        self.mcfg = m if m is not None and m.enabled else None
+        self._last_heard: dict[int, float] = {
+            p: 0.0 for p in range(router.nprocs)
+        }
+        self._hb_rtt: dict[int, RttEstimator] = {}  # probe-reply estimators
+        self._suspected: set[int] = set()  # currently-suspected procs
+        self._probes: dict[int, int] = {}  # healthy-probe streaks
+        self._undetected: set[int] = set()  # crashed, suspicion not yet fired
+        self._pending_restart = 0  # restart events in flight
+        if self.mcfg is not None:
+            # Rejoin replays migrated programs from checkpoints, so
+            # (exactly like crash failover) it needs idempotent input
+            # handling on every program.
+            for prog in st.progs:
+                if not getattr(prog, "resilient_input", False):
+                    raise ReproError(
+                        "elastic membership replays streams from "
+                        "checkpoints and requires resilient programs "
+                        "(build the solver with resilient=True)"
+                    )
         scheduler.recovery = self  # completed runs mark themselves dirty
 
     def arm(self) -> None:
         """Schedule the first per-process checkpoint round (and the
-        health probe, when degraded-mode demotion is on)."""
+        health probe, when degraded-mode demotion is on; and the first
+        heartbeat tick, when elastic membership is on)."""
         for p in range(self.router.nprocs):
             self.sim.push(self.rcfg.checkpoint_interval, "ckpt", p)
         a = self.rcfg.adaptive
         if a is not None and a.demotion:
             self.sim.push(a.demotion_interval, "health", None)
+        if self.mcfg is not None:
+            self.sim.push(self.mcfg.heartbeat_interval, "hbeat", None)
 
     # -- bookkeeping hooks ---------------------------------------------------------
 
@@ -154,6 +195,15 @@ class RecoveryManager:
             "dirty": sorted(self.dirty),
             "crash_time": dict(self.crash_time),
             "strikes": dict(self._strikes),
+            "last_heard": dict(self._last_heard),
+            "hb_rtt": {
+                p: (e.srtt, e.rttvar, e.samples)
+                for p, e in self._hb_rtt.items()
+            },
+            "suspected": sorted(self._suspected),
+            "probes": dict(self._probes),
+            "undetected": sorted(self._undetected),
+            "pending_restart": self._pending_restart,
         }
 
     def load_state_dict(self, d: dict) -> None:
@@ -168,6 +218,21 @@ class RecoveryManager:
         self.dirty = set(d["dirty"])
         self.crash_time = {int(p): float(t) for p, t in d["crash_time"].items()}
         self._strikes = {int(p): int(n) for p, n in d["strikes"].items()}
+        self._last_heard = {
+            int(p): float(t) for p, t in d.get("last_heard", {}).items()
+        } or {p: 0.0 for p in range(self.router.nprocs)}
+        hb_rtt: dict[int, RttEstimator] = {}
+        for p, (srtt, rttvar, samples) in d.get("hb_rtt", {}).items():
+            est = RttEstimator()
+            est.srtt = srtt
+            est.rttvar = rttvar
+            est.samples = samples
+            hb_rtt[int(p)] = est
+        self._hb_rtt = hb_rtt
+        self._suspected = set(d.get("suspected", ()))
+        self._probes = {int(p): int(n) for p, n in d.get("probes", {}).items()}
+        self._undetected = set(d.get("undetected", ()))
+        self._pending_restart = int(d.get("pending_restart", 0))
 
     # -- event handlers ------------------------------------------------------------
 
@@ -178,25 +243,33 @@ class RecoveryManager:
         self.crash_time[proc] = now
         if len(self.router.dead) >= self.router.nprocs:
             raise ReproError("all processes crashed; no survivors")
-        # Workers of the dead process stop mid-run (their run_end
-        # events are now stale); detection is modeled as a fixed delay
-        # before survivors take over.
-        self.sim.push(now + self.rcfg.detection_delay, "failover", proc)
+        if self.mcfg is None:
+            # Workers of the dead process stop mid-run (their run_end
+            # events are now stale); detection is modeled as a fixed
+            # delay before survivors take over.
+            self.sim.push(now + self.rcfg.detection_delay, "failover", proc)
+        else:
+            # No oracle: the crash is discovered only when the victim's
+            # heartbeat replies stop arriving (missed-probe suspicion).
+            self._undetected.add(proc)
 
     def on_failover(self, proc: int, now: float) -> None:
         moved = self.router.reassign(proc)
         install_end = self._migrate(moved, proc, now)
         self.report.failover_time += install_end - self.crash_time[proc]
 
-    def _migrate(self, moved: list, src: int, now: float) -> float:
+    def _migrate(self, moved: list, src, now: float) -> float:
         """Install migrated programs at their new owners.
 
-        The shared core of crash failover and degraded-mode demotion:
-        bump each program's epoch (staling the lost/abandoned
-        execution), restore it from its snapshot, replay the delivery
-        log into its inbox, book the install cost, requeue it, and
-        re-arm its checkpointed un-acked sends.  Returns the virtual
-        time at which the last install completes.
+        The shared core of crash failover, degraded-mode demotion,
+        rejoin state transfer and rebalance-back: bump each program's
+        epoch (staling the lost/abandoned execution), restore it from
+        its snapshot, replay the delivery log into its inbox, book the
+        install cost, requeue it, and re-arm its checkpointed un-acked
+        sends.  ``src`` is the migration source - one proc for a drain
+        (failover/demotion/self-transfer), or a per-program dict for a
+        multi-donor rebalance.  Returns the virtual time at which the
+        last install completes.
         """
         st = self.st
         moved_set = set(moved)
@@ -206,7 +279,9 @@ class RecoveryManager:
             new_p = self.router.proc_of[pid]
             st.epoch[i] += 1
             self.sim.note(
-                now, "hb_migrate", (str(pid), src, new_p, st.epoch[i])
+                now, "hb_migrate",
+                (str(pid), src[pid] if isinstance(src, dict) else src,
+                 new_p, st.epoch[i]),
             )
             self.scheduler.drop(i)
             prog = st.progs[i]
@@ -285,6 +360,154 @@ class RecoveryManager:
         self.report.demotions += 1
         moved = self.router.reassign(proc)
         self._migrate(moved, proc, now)
+
+    # -- elastic membership (heartbeats, suspicion, rejoin; DESIGN.md §14) ----------
+
+    def _suspicion_timeout(self, p: int) -> float:
+        """Adaptive silence bar for proc ``p``: one heartbeat period of
+        tick slack plus the probe-reply RTO (estimator-driven once
+        warmed up, the configured floor before the first sample)."""
+        m = self.mcfg
+        est = self._hb_rtt.get(p)
+        if est is not None and est.srtt is not None:
+            rto = est.rto(m.suspicion_k, m.min_timeout, m.max_timeout)
+        else:
+            rto = m.min_timeout
+        return m.heartbeat_interval + rto
+
+    def on_hbeat(self, now: float) -> None:
+        """One heartbeat tick: probe every live proc, sweep for silence.
+
+        Control-plane only - probes and replies never advance the
+        makespan or count as progress.  The tick keeps re-arming while
+        work remains *or* a crash is still undetected or a restart is
+        in flight (quiescence can look true while a dead proc holds
+        work); once the job is done the plane drains.
+        """
+        m = self.mcfg
+        if (self.quiescent() and not self._undetected
+                and self._pending_restart == 0):
+            return  # job done and every crash accounted for: drain
+        # An undetected crash keeps the plane alive even past tracker
+        # quiescence: the dead proc may still hold programs whose state
+        # never settled, and only a (detected) failover re-homes them.
+        lat = self.transport.machine.latency_inter
+        for p in range(self.router.nprocs):
+            if p not in self.router.dead:
+                # Reply delay = wire latency + the rank's response cost,
+                # scaled by any active straggler window (deterministic:
+                # no rng draw, so fault-plan draws are unperturbed).
+                delay = lat + m.probe_cost * self.slow(p, now)
+                self.report.heartbeats += 1
+                self.sim.push(now + delay, "hback", (p, now))
+            if p in self._suspected or p in self.router.fenced:
+                continue
+            if now - self._last_heard[p] > self._suspicion_timeout(p):
+                self._suspect(p, now)
+        self.sim.push(now + m.heartbeat_interval, "hbeat", None)
+
+    def _suspect(self, p: int, now: float) -> None:
+        """Silence past the timeout: fence ``p`` and drain its patches.
+
+        A truly dead suspect fails over now (this is the detection the
+        oracle used to fake); a falsely-suspected straggler is drained
+        through the identical path - safe because it rejoins once its
+        probes come back healthy.
+        """
+        self._suspected.add(p)
+        self.report.suspicions += 1
+        self.sim.note(now, "hb_suspect", (p, self.router.inc[p]))
+        self.router.fence(p)
+        if p in self.router.dead:
+            self._undetected.discard(p)
+            self.sim.push(now, "failover", p)
+        else:
+            self.report.false_suspicions += 1
+            self._probes[p] = 0
+            moved = self.router.reassign(p)
+            self._migrate(moved, p, now)
+
+    def on_hback(self, data: tuple, now: float) -> None:
+        """A probe reply: feed the estimator, advance rejoin streaks."""
+        p, sent_at = data
+        m = self.mcfg
+        self._last_heard[p] = now
+        r = now - sent_at
+        est = self._hb_rtt.get(p)
+        if est is None:
+            est = self._hb_rtt[p] = RttEstimator()
+        est.sample(r, 0.125, 0.25)
+        if self.quiescent():
+            return  # job finished: keep liveness fresh, skip rejoins
+        if p in self.router.dead:
+            return  # died after replying; the silence will out
+        if p in self.router.fenced or p in self.router.demoted:
+            self._probes[p] = (
+                self._probes.get(p, 0) + 1 if r <= m.min_timeout else 0
+            )
+            if self._probes[p] >= m.rejoin_probes:
+                if p in self.router.fenced:
+                    self._rejoin(p, now)
+                else:
+                    self._promote(p, now)
+
+    def _rejoin(self, p: int, now: float) -> None:
+        """Re-admit ``p`` under a new incarnation.
+
+        Order matters for the happens-before invariants: the state
+        transfer (snapshot restore + delivery-log anti-entropy for
+        every program still resident) completes before the rejoin is
+        recorded, and only then are patches rebalanced back.
+        """
+        inc = self.router.announce(p)
+        own = sorted(self.router.owned[p])
+        self.sim.note(now, "hb_xfer", (p, inc, len(own)))
+        if own:
+            self._migrate(own, p, now)
+        self.sim.note(now, "hb_rejoin", (p, inc))
+        self.report.rejoins += 1
+        self._suspected.discard(p)
+        self._probes.pop(p, None)
+        self._last_heard[p] = now
+        self._rebalance(p, now)
+
+    def _promote(self, p: int, now: float) -> None:
+        """Reverse a demotion after a healthy probe streak."""
+        self.sim.note(now, "hb_promote", (p,))
+        self.router.promote(p)
+        self.report.promotions += 1
+        self._probes.pop(p, None)
+        self._strikes.pop(p, None)
+        self._rebalance(p, now)
+
+    def _rebalance(self, p: int, now: float) -> None:
+        """Pull patches back to a re-admitted rank (bounded budget)."""
+        moved, srcs = self.router.rebalance_to(p, self.mcfg.rebalance_budget)
+        if moved:
+            self.report.rebalanced_patches += len({pid.patch for pid in moved})
+            self._migrate(moved, srcs, now)
+
+    def expect_restart(self) -> None:
+        """A restart event was scheduled (keeps the heartbeat plane
+        alive across the down window)."""
+        self._pending_restart += 1
+
+    def on_restart(self, p: int, now: float) -> None:
+        """A planned rank restart: announce a new incarnation, catch up
+        via state transfer, rebalance back."""
+        self._pending_restart -= 1
+        if self.mcfg is None:
+            # Oracle path: there is no rejoin protocol - the failover
+            # already rehomed the proc's work for good, so a planned
+            # restart is absorbed as a no-op.
+            return
+        if p not in self.router.dead or self.quiescent():
+            return  # already recovered another way, or the job is done
+        self.report.restarts += 1
+        self.sim.note(now, "hb_restart", (p,))
+        self._undetected.discard(p)
+        self.scheduler.revive(p)
+        self._rejoin(p, now)
 
     def on_ckpt(self, p: int, now: float) -> None:
         """One process's periodic incremental checkpoint round."""

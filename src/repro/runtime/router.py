@@ -10,11 +10,18 @@ through the route table kept here.  The router owns
   map behind it),
 * ``owned``     - process -> resident program ids,
 * ``dead``      - the set of crashed processes,
+* ``inc``/``fenced`` - per-process incarnation numbers and the fenced
+  set: the membership view of the elastic-membership extension
+  (DESIGN.md §14).  A process's life is numbered; fencing pre-bumps
+  the number (invalidating the old life's traffic) and a rejoin
+  *announces* the pre-bumped incarnation,
 
 and implements the dynamic owner re-assignment of the fault-tolerance
 extension (S20): on failover, a dead process's patches are re-assigned
 round-robin over the survivors and every resident program's route is
 updated, so in-flight and future streams chase the migrated programs.
+On rejoin, :meth:`rebalance_to` pulls patches back under a bounded
+move budget.
 
 Construction validates the user-supplied ``patch_proc`` table outright
 (shape, range, program coverage, duplicates) so malformed route tables
@@ -91,6 +98,11 @@ class Router:
         #: receiving/forwarding in-flight streams but no longer own
         #: programs and are skipped as re-assignment targets.
         self.demoted: set[int] = set()
+        #: Per-process incarnation number: bumped once per life
+        #: transition (fence or announce).  Membership view: a fenced
+        #: proc's current traffic is from a life already invalidated.
+        self.inc: list[int] = [0] * nprocs
+        self.fenced: set[int] = set()
 
     # -- durability (snapshot/restore) ---------------------------------------------
 
@@ -109,6 +121,8 @@ class Router:
             "owned": {p: list(v) for p, v in self.owned.items()},
             "dead": sorted(self.dead),
             "demoted": sorted(self.demoted),
+            "inc": list(self.inc),
+            "fenced": sorted(self.fenced),
         }
 
     def load_state_dict(self, d: dict) -> None:
@@ -119,13 +133,19 @@ class Router:
         self.owned = {int(p): list(v) for p, v in d["owned"].items()}
         self.dead = set(d["dead"])
         self.demoted = set(d["demoted"])
+        self.inc = [int(x) for x in d.get("inc", [0] * self.nprocs)]
+        self.fenced = set(d.get("fenced", ()))
 
     def alive(self) -> list[int]:
         return [q for q in range(self.nprocs) if q not in self.dead]
 
     def healthy(self) -> list[int]:
-        """Alive and not demoted: the eligible re-assignment targets."""
-        return [q for q in self.alive() if q not in self.demoted]
+        """Alive, not demoted and not fenced: the eligible
+        re-assignment (and rebalance-donor) targets."""
+        return [
+            q for q in self.alive()
+            if q not in self.demoted and q not in self.fenced
+        ]
 
     def mark_dead(self, proc: int) -> None:
         self.dead.add(proc)
@@ -135,6 +155,40 @@ class Router:
         if proc in self.dead:
             raise ReproError(f"cannot demote dead proc {proc}")
         self.demoted.add(proc)
+
+    def promote(self, proc: int) -> None:
+        """Reverse a demotion: the process is healthy again and becomes
+        an eligible re-assignment/rebalance target."""
+        self.demoted.discard(proc)
+
+    # -- elastic membership (incarnations; DESIGN.md §14) ----------------------------
+
+    def fence(self, proc: int) -> int:
+        """Invalidate ``proc``'s current life: pre-bump its incarnation.
+
+        Idempotent per life: fencing an already-fenced proc does not
+        bump again.  Traffic stamped with the old incarnation is now
+        stale and rejected at receivers.  Returns the new incarnation.
+        """
+        if proc not in self.fenced:
+            self.inc[proc] += 1
+            self.fenced.add(proc)
+        return self.inc[proc]
+
+    def announce(self, proc: int) -> int:
+        """Begin a new life for ``proc``: it is alive, unfenced, and
+        speaks with the announced incarnation.
+
+        A fenced proc adopts its pre-bumped number (fence + announce is
+        one life transition); an unfenced one (a restart discovered
+        before suspicion fired) bumps here.  Returns the incarnation.
+        """
+        if proc in self.fenced:
+            self.fenced.discard(proc)
+        else:
+            self.inc[proc] += 1
+        self.dead.discard(proc)
+        return self.inc[proc]
 
     def reassign(self, proc: int) -> list[ProgramId]:
         """Migrate a dead process's programs to survivors.
@@ -163,3 +217,45 @@ class Router:
             self.proc_idx[self.index_of[pid]] = new_p
             self.owned[new_p].append(pid)
         return moved
+
+    def rebalance_to(
+        self, proc: int, budget: int
+    ) -> tuple[list[ProgramId], dict[ProgramId, int]]:
+        """Pull patches back to a rejoined/re-promoted process.
+
+        Moves up to ``budget`` *patches* (with all their resident
+        programs) from the currently most-loaded healthy donors to
+        ``proc``, stopping once ``proc`` reaches the mean healthy load
+        or donors would drop below it.  Fully deterministic: the donor
+        is the max-loaded proc (ties to the lowest id) and the patch
+        its highest-numbered one.  Returns the moved program ids in
+        sorted order plus each one's donor (the migration source the
+        recovery layer records).  Restoring the moved programs is the
+        recovery layer's job, not the router's.
+        """
+        srcs: dict[ProgramId, int] = {}
+        if budget <= 0 or proc in self.dead or proc in self.fenced:
+            return [], srcs
+        pool = self.healthy()
+        if proc not in pool:
+            return [], srcs
+        target = -(-len(self.pids) // len(pool))  # ceil mean load
+        while budget > 0 and len(self.owned[proc]) < target:
+            donors = [
+                q for q in pool
+                if q != proc and len(self.owned[q]) > len(self.owned[proc]) + 1
+            ]
+            if not donors:
+                break
+            donor = max(donors, key=lambda q: (len(self.owned[q]), -q))
+            patch = max(pid.patch for pid in self.owned[donor])
+            pids = sorted(p for p in self.owned[donor] if p.patch == patch)
+            self.patch_owner[patch] = proc
+            for pid in pids:
+                self.owned[donor].remove(pid)
+                self.proc_of[pid] = proc
+                self.proc_idx[self.index_of[pid]] = proc
+                self.owned[proc].append(pid)
+                srcs[pid] = donor
+            budget -= 1
+        return sorted(srcs), srcs

@@ -17,6 +17,10 @@ on every delivery, commit, booking and failover:
 * **failover consistency** - a rebuilt inbox (checkpoint + delivery
   log) contains no duplicate message uids, and the restored program's
   owner really is the failover target;
+* **incarnation freshness** - with elastic membership armed, no stream
+  stamped by a previous life of its sending process is ever delivered
+  (the transport's fence must reject it first), and nothing is
+  delivered on a fenced process;
 * **end-to-end exactly-once per edge** - after the run, each resilient
   sweep program's applied remote-edge sets match the edge sets its
   upwind neighbours' graphs emit: nothing lost, nothing double-applied
@@ -71,6 +75,18 @@ class InvariantSanitizer:
                 f"message {uid!r} for {s.dst!r} delivered on proc {proc} "
                 f"but the program's owner is proc {owner}"
             )
+        if s.inc is not None:
+            sp, si = s.inc
+            if si < self.router.inc[sp]:
+                raise SanitizerError(
+                    f"message {uid!r} from a stale incarnation of proc "
+                    f"{sp} (life {si} < current {self.router.inc[sp]}) "
+                    "was delivered: the incarnation fence leaked"
+                )
+            if proc in self.router.fenced:
+                raise SanitizerError(
+                    f"message {uid!r} delivered on fenced proc {proc}"
+                )
         self._delivered.add(uid)
 
     # -- scheduler: commit and booking planes ---------------------------------------

@@ -298,6 +298,17 @@ class Scheduler:
         self.running.discard(i)
         self.queued.discard(i)
 
+    def revive(self, p: int) -> None:
+        """Rebuild a restarted process's idle worker pool (rejoin).
+
+        Workers running at crash time are never released - their
+        run_end events are filtered as dead-proc residue - so a
+        rejoining incarnation would otherwise dispatch into an empty
+        pool forever.  All of the old life's programs migrated away at
+        suspicion, so the full roster is exactly the idle set.
+        """
+        self.idle_workers[p] = list(range(len(self.workers[p])))[::-1]
+
     def stale_run(self, data: tuple, now: float) -> bool:
         """Filter superseded run events (only faults ever trigger this)."""
         p, w, i, ep = data[0], data[1], data[2], data[-1]
@@ -306,8 +317,10 @@ class Scheduler:
         if ep != self.st.epoch[i]:
             # Superseded execution on a live process (defensive;
             # reachable only through failover races): free the worker,
-            # drop the run.
-            self.release(p, w, now)
+            # drop the run.  A run that straddled a crash+rejoin may
+            # find its worker already back in the revived pool.
+            if w not in self.idle_workers[p]:
+                self.release(p, w, now)
             return True
         return False
 

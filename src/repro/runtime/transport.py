@@ -184,6 +184,11 @@ class Transport:
         self.rcfg = rcfg
         self.san = sanitizer
         self.acfg = rcfg.adaptive if rcfg is not None else None
+        # Elastic membership (DESIGN.md §14): when armed, every
+        # reliable send is tagged (sender proc, incarnation) and
+        # receivers fence traffic from a previous life.
+        m = rcfg.membership if rcfg is not None else None
+        self.mcfg = m if m is not None and m.enabled else None
         # Next seq per sending program, keyed by the router's interned
         # program index (minted at route-table build) - a flat array
         # instead of a ProgramId-keyed dict on the reliable send path.
@@ -271,6 +276,8 @@ class Transport:
         s.seq = self.out_seq[idx]
         self.out_seq[idx] = s.seq + 1
         s.epoch = ep
+        if self.mcfg is not None:
+            s.inc = (src_proc, self.router.inc[src_proc])
         s.checksum = stream_checksum(s)
         ps = PendingSend(s, src_pid, self._initial_rto(src_proc, dst_proc))
         ps.link = (src_proc, dst_proc)
@@ -513,6 +520,15 @@ class Transport:
             if dst_proc is not None:
                 self._credit_used[dst_proc] -= 1
                 self._drain_parked(now)
+        # Incarnation fence: traffic stamped by a previous life of the
+        # sending process is stale - its send was either dropped at
+        # failover or re-armed under the live incarnation, so this copy
+        # is rejected silently (no ack, never marked seen).
+        if self.mcfg is not None and s.inc is not None \
+                and s.inc[1] < self.router.inc[s.inc[0]]:
+            self.report.fenced_messages += 1
+            self._note_recv(now, wid, proc, False, uid)
+            return False
         owner = self.router.proc_of[s.dst]
         if owner != proc and uid not in self.seen:
             # Ownership moved while the message was in flight (a
@@ -605,6 +621,12 @@ class Transport:
                 ps.attempt += 1
                 ps.sent_at = None  # Karn: a re-armed send is ambiguous
                 ps.parked = None  # failover overrides flow control
+                if self.mcfg is not None:
+                    # Restamp under the new owner's live incarnation:
+                    # left stale, every retransmit would be fenced at
+                    # the receiver and the retry budget would burn out.
+                    sp = self.router.proc_of[s.src]
+                    s.inc = (sp, self.router.inc[sp])
                 self.transmit(ps, now)
                 self.sim.push_id(now + ps.timeout, self._k_timer, (uid, ps.attempt))
 

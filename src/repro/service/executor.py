@@ -73,11 +73,17 @@ class JobExecutor:
     """Builds scenarios (cached) and runs attempts on the runtime."""
 
     def __init__(self, watchdog_horizon: float = 5e-3,
-                 scenario_cache_size: int = 32):
+                 scenario_cache_size: int = 32, trace: bool = False):
         if watchdog_horizon <= 0:
             raise ReproError("watchdog_horizon must be positive")
         if scenario_cache_size < 1:
             raise ReproError("scenario_cache_size must be >= 1")
+        #: Arm event/HB tracing on every attempt's runtime.  Each clean
+        #: attempt's :class:`RunReport` is handed to :attr:`on_report`
+        #: (when set) so a harness can export Chrome traces or replay
+        #: the happens-before checker per job.
+        self.trace = trace
+        self.on_report = None  # callable(spec, report) | None
         #: Watchdog horizon armed on fault-bearing runs: a stalled job
         #: is *diagnosed* (StallReport) after this much progress-free
         #: virtual time instead of spinning against its deadline.
@@ -161,6 +167,7 @@ class JobExecutor:
             rt = DataDrivenRuntime(
                 sc.cores, machine=sc.machine, mode=spec.mode,
                 faults=spec.faults, recovery=recovery,
+                trace=self.trace,
             )
             rep = rt.run(progs, sc.pset.patch_proc, deadline=deadline)
         except DeadlineExceeded as e:
@@ -185,6 +192,8 @@ class JobExecutor:
             return AttemptOutcome(
                 status="error", duration=0.0, detail=str(e)
             )
+        if self.on_report is not None:
+            self.on_report(spec, rep)
         phi, _ = sc.solver.accumulate(faces)
         blob = np.ascontiguousarray(phi).tobytes()
         return AttemptOutcome(

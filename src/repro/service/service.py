@@ -75,6 +75,12 @@ class ServiceConfig:
     #: ``global_slots``; 1.0 disables degradation (backlog can never
     #: exceed the bound itself).
     degrade_at: float = 0.75
+    #: Capacity recovery: once degraded, full-fidelity service resumes
+    #: only after the backlog falls back to this fraction of
+    #: ``global_slots`` (hysteresis - a backlog hovering around
+    #: ``degrade_at`` must not flap between fidelities).  ``None``
+    #: defaults to two thirds of ``degrade_at``.
+    recover_at: float | None = None
     demote_grain: int = 64  # degraded clustering grain (coarser)
     demote_patch: int = 4  # degraded patch parameter (fewer, larger)
     watchdog_horizon: float = 2e-3  # stall diagnosis on fault-bearing runs
@@ -92,6 +98,13 @@ class ServiceConfig:
             raise ReproError("jitter_frac must be in [0, 1)")
         if not (0.0 < self.degrade_at <= 1.0):
             raise ReproError("degrade_at must be in (0, 1]")
+        if self.recover_at is None:
+            object.__setattr__(self, "recover_at", self.degrade_at * 2 / 3)
+        if not (0.0 < self.recover_at <= self.degrade_at):
+            raise ReproError(
+                "recover_at must be in (0, degrade_at]: the recovery "
+                "watermark sits at or below the overload watermark"
+            )
         if not (0.0 <= self.worker_crash_rate < 1.0):
             raise ReproError("worker_crash_rate must be in [0, 1)")
         if self.default_deadline <= 0:
@@ -159,6 +172,11 @@ class SweepService:
         self.coalesced = 0
         self.demotions = 0
         self.worker_crashes = 0
+        #: Degradation latch (hysteresis): set when the backlog crosses
+        #: ``degrade_at``, cleared - one capacity recovery - only when
+        #: it drains back to ``recover_at``.
+        self.degraded = False
+        self.capacity_recoveries = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -230,6 +248,8 @@ class SweepService:
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
             "demotions": self.demotions,
+            "degraded": self.degraded,
+            "capacity_recoveries": self.capacity_recoveries,
             "worker_crashes": self.worker_crashes,
             "breaker_trips": {
                 t: b.trips for t, b in self.breakers.items() if b.trips
@@ -264,11 +284,20 @@ class SweepService:
         submits: list[list] = []  # [spec, settled?]
         buckets: dict[tuple, deque] = {}
         max_id = -1
+        # Re-derive the degradation latch from the journal: the running
+        # submitted-minus-settled backlog crosses the same watermarks
+        # the live service latched on, so a restarted service resumes
+        # at the fidelity it crashed at.
+        backlog = 0
 
         def settle(key: str, tenant: str) -> None:
+            nonlocal backlog
             q = buckets.get((key, tenant))
             if q:
                 submits[q.popleft()][1] = True
+                backlog -= 1
+                if backlog <= config.recover_at * config.global_slots:
+                    svc.degraded = False
 
         for rec in records:
             svc.now = max(svc.now, float(rec["at"]))
@@ -279,6 +308,9 @@ class SweepService:
                     (spec.key(), spec.tenant), deque()
                 ).append(len(submits))
                 submits.append([spec, False])
+                backlog += 1
+                if backlog > config.degrade_at * config.global_slots:
+                    svc.degraded = True
             elif t == "attempt":
                 max_id = max(max_id, int(rec["job_id"]))
             elif t == "commit":
@@ -348,6 +380,7 @@ class SweepService:
         br = self._breaker(spec.tenant)
         if not br.allow(self.now):
             self.admission.release(spec.tenant)
+            self._check_capacity()
             self._reject(JobRejected(
                 RejectReason.BREAKER_OPEN, br.retry_after(self.now),
                 spec.tenant,
@@ -364,11 +397,21 @@ class SweepService:
             fr.cached = True
             primary.followers.append(fr)
             return
-        # 4. Graceful degradation: past the overload watermark, new
-        #    jobs run the coarser (cheaper) configuration.
+        # 4. Graceful degradation: past the overload watermark the
+        #    service latches degraded and new jobs run the coarser
+        #    (cheaper) configuration until capacity recovers - the
+        #    backlog draining back to the ``recover_at`` watermark
+        #    (checked where credits release), not merely dipping below
+        #    ``degrade_at``.
         exec_spec = spec
         result = self._skeleton(spec, key)
-        if self.admission.total > self.cfg.degrade_at * self.cfg.global_slots:
+        if (
+            not self.degraded
+            and self.admission.total
+            > self.cfg.degrade_at * self.cfg.global_slots
+        ):
+            self.degraded = True
+        if self.degraded:
             exec_spec = spec.demoted(
                 self.cfg.demote_grain, self.cfg.demote_patch
             )
@@ -552,6 +595,22 @@ class SweepService:
             fr.demote_note = src.demote_note
             self._record(fr)
             self.admission.release(fr.tenant)
+        self._check_capacity()
+
+    def _check_capacity(self) -> None:
+        """Clear the degradation latch once the backlog drains.
+
+        Called wherever admission credits release; crossing the
+        ``recover_at`` watermark is one capacity recovery and restores
+        full-fidelity execution for subsequent submissions.
+        """
+        if (
+            self.degraded
+            and self.admission.total
+            <= self.cfg.recover_at * self.cfg.global_slots
+        ):
+            self.degraded = False
+            self.capacity_recoveries += 1
 
     def _record(self, result: JobResult) -> None:
         if self.wal is not None and self.committed.get(result.key) is not result:
