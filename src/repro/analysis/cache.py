@@ -1,0 +1,239 @@
+"""Content-hash incremental cache for the lint engine.
+
+The interprocedural pass parses and summarizes every module in
+``src/repro``; on a pre-commit hook or a blocking CI job that cost is
+paid on every run even though almost nothing changed.  This cache
+makes the common case cheap without ever changing the answer:
+
+* Each module's cache entry is keyed by the sha256 **digest of its
+  source text** and stores its phase-1
+  :class:`~repro.analysis.callgraph.ModuleSummary` plus its per-module
+  findings.
+* On a warm run, only the **reverse-dependency cone** of the edited
+  modules is re-parsed and re-checked: the edited files, plus every
+  module that (transitively) imports one of them - import edges bound
+  call edges, so anything whose inferred effects could have changed is
+  inside the cone.  Modules whose cached findings carry a provenance
+  chain through an edited file are pulled in too (covers the bounded
+  dynamic-dispatch edges, which may cross modules without imports).
+* Unchanged modules contribute their cached summaries to the program
+  link (so the whole-program view is complete without re-parsing) and
+  their cached findings verbatim.
+* Program-scope findings (PROTO004) are recomputed whenever *anything*
+  changed - cross-module findings may land outside the cone - and
+  reused verbatim on a full hit.
+* The cache self-invalidates on a version bump or a different rule
+  set/mode, and a corrupt or unreadable file degrades to a cold run.
+
+Warm results are byte-identical to a cold run - pinned by
+``tests/test_analysis_cache.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from .engine import LintEngine, ModuleInfo, Violation, _sort_key, load_module
+
+__all__ = ["cached_lint", "CACHE_VERSION"]
+
+CACHE_VERSION = 1
+
+
+def _signature(rules, interprocedural: bool) -> dict:
+    return {
+        "version": CACHE_VERSION,
+        "interprocedural": bool(interprocedural),
+        "rules": sorted({f"{r.id}:{type(r).__name__}" for r in rules}),
+    }
+
+
+def _load(cache_path: Path) -> dict | None:
+    try:
+        data = json.loads(cache_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict) or "modules" not in data:
+        return None
+    return data
+
+
+def _store(cache_path: Path, data: dict) -> None:
+    tmp = cache_path.with_suffix(cache_path.suffix + ".tmp")
+    try:
+        tmp.write_text(json.dumps(data, indent=1, sort_keys=True))
+        os.replace(tmp, cache_path)
+    except OSError:
+        pass  # an unwritable cache is a perf bug, not a lint failure
+
+
+def _chain_paths(entry: dict) -> set[str]:
+    """Source paths referenced by the entry's finding chains."""
+    out: set[str] = set()
+    for v in entry.get("findings", ()):
+        for link in v.get("chain", ()):
+            loc = link.rsplit(" (", 1)
+            if len(loc) == 2:
+                out.add(loc[1].rstrip(")").rpartition(":")[0])
+    return out
+
+
+def cached_lint(
+    paths,
+    cache_path,
+    rules=None,
+    interprocedural: bool = False,
+) -> list[Violation]:
+    """Lint ``paths`` through the incremental cache at ``cache_path``."""
+    from .rules import rules_for
+
+    if rules is None:
+        rules = rules_for(interprocedural)
+    engine = LintEngine(rules, interprocedural=interprocedural)
+    cache_file = Path(cache_path)
+    files = [str(f) for f in engine.collect_files(list(paths))]
+    current = set(files)
+
+    sig = _signature(rules, interprocedural)
+    data = _load(cache_file)
+    if data is not None and data.get("signature") != sig:
+        data = None
+    cached: dict[str, dict] = dict(data["modules"]) if data else {}
+
+    digests = {p: _digest(p) for p in files}
+    changed = {
+        p for p in files
+        if p not in cached or cached[p].get("digest") != digests[p]
+    }
+    removed = set(cached) - current
+
+    # Full hit: no parsing at all, cached findings verbatim.
+    if data is not None and not changed and not removed:
+        out = [
+            Violation.from_dict(v)
+            for p in files
+            for v in cached[p].get("findings", ())
+        ]
+        out.extend(
+            Violation.from_dict(v)
+            for v in data.get("program_findings", ())
+        )
+        out.sort(key=_sort_key)
+        return out
+
+    cone = _cone(changed, removed, cached, current, interprocedural)
+
+    mods: list[ModuleInfo] = [load_module(p) for p in files if p in cone]
+    summaries = []
+    if interprocedural:
+        from .callgraph import ModuleSummary, Program, extract_summary
+
+        for mod in mods:
+            mod.summary = extract_summary(mod)
+        summaries = [m.summary for m in mods] + [
+            ModuleSummary.from_dict(cached[p]["summary"])
+            for p in files
+            if p not in cone and cached[p].get("summary")
+        ]
+        program = Program(summaries)
+        for mod in mods:
+            mod.program = program
+
+    findings: dict[str, list[Violation]] = {}
+    for mod in mods:
+        findings[mod.path] = engine.lint_module(mod)
+    for p in files:
+        if p not in cone:
+            findings[p] = [
+                Violation.from_dict(v)
+                for v in cached[p].get("findings", ())
+            ]
+
+    program_findings: list[Violation] = []
+    if interprocedural and summaries:
+        by_path = {s.path: s for s in summaries}
+        for rule in engine.rules:
+            if getattr(rule, "scope", "module") != "program":
+                continue
+            for v in rule.check_program(program):
+                owner = by_path.get(v.path)
+                if owner is None or not owner.suppressed(v.rule, v.line):
+                    program_findings.append(v)
+        program_findings.sort(key=_sort_key)
+
+    # Write back: fresh entries for the cone, carried-over for the rest.
+    entries: dict[str, dict] = {}
+    by_mod = {m.path: m for m in mods}
+    for p in files:
+        if p in cone:
+            m = by_mod[p]
+            entries[p] = {
+                "digest": m.digest,
+                "summary": m.summary.to_dict() if m.summary else None,
+                "findings": [v.to_dict() for v in findings[p]],
+            }
+        else:
+            entries[p] = cached[p]
+    _store(cache_file, {
+        "signature": sig,
+        "modules": entries,
+        "program_findings": [v.to_dict() for v in program_findings],
+    })
+
+    out = [v for vs in findings.values() for v in vs]
+    out.extend(program_findings)
+    out.sort(key=_sort_key)
+    return out
+
+
+def _digest(path: str) -> str:
+    try:
+        source = Path(path).read_text()
+    except OSError:
+        return ""
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def _cone(
+    changed: set[str],
+    removed: set[str],
+    cached: dict[str, dict],
+    current: set[str],
+    interprocedural: bool,
+) -> set[str]:
+    """Paths whose findings must be recomputed.
+
+    Single-file mode: just the edited files.  Interprocedural mode:
+    the reverse-import closure of the edited/removed modules, plus any
+    module whose cached finding chains pass through an edited file.
+    """
+    cone = set(changed)
+    if not interprocedural:
+        return cone
+    name_of = {
+        p: e["summary"]["module"]
+        for p, e in cached.items()
+        if e.get("summary")
+    }
+    dirty_names = {
+        name_of[p] for p in (changed | removed) if p in name_of
+    }
+    dirty_paths = set(changed) | removed
+    grew = True
+    while grew:
+        grew = False
+        for p, e in cached.items():
+            if p in cone or p not in current:
+                continue
+            summary = e.get("summary")
+            deps = set(summary["deps"]) if summary else set()
+            if deps & dirty_names or _chain_paths(e) & dirty_paths:
+                cone.add(p)
+                if p in name_of:
+                    dirty_names.add(name_of[p])
+                dirty_paths.add(p)
+                grew = True
+    return cone

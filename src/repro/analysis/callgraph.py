@@ -1,0 +1,1028 @@
+"""Whole-program module summaries and the call graph (phase 1 + link).
+
+The interprocedural rules (DESIGN.md §15) need to see past a single
+file: determinism sinks reached through helpers, counter writes
+laundered through methods, snapshot coverage resolved through the
+methods a ``state_dict`` actually calls.  This module supplies that
+view in two phases:
+
+**Phase 1 - per-module extraction** (:func:`extract_summary`): each
+:class:`~repro.analysis.engine.ModuleInfo` is reduced to a
+JSON-serializable :class:`ModuleSummary` - function definitions with
+their *direct* effect atoms and raw call descriptors, class
+definitions with their base refs, attribute types and method sets,
+plus the event-kind pushes / pop-dispatch comparisons and ``hb_*``
+emissions the protocol rules consume.  Everything cross-module is
+left symbolic (absolute dotted refs resolved from the import table);
+nothing in a summary depends on any other module, which is what makes
+summaries cacheable per content digest.
+
+**Link phase** (:class:`Program`): all summaries are joined into one
+program - class hierarchy (linearized base-class order), def-site
+resolution for plain calls, receiver typing for method calls
+(``self.x.push(...)`` resolves through the attribute types recorded
+in phase 1, e.g. ``self.sim = sim`` with an annotated parameter), and
+a *bounded* fallback for dynamic dispatch: an unresolvable
+``obj.meth(...)`` links to every class shipping ``meth`` when there
+are at most :data:`DYNAMIC_FALLBACK_BOUND` candidates, and to nothing
+(recorded as unresolved) beyond that - false negatives beat wrong
+edges for a repo-local analysis.
+
+Direct effect atoms (the vocabulary the fixed-point engine in
+:mod:`repro.analysis.effects` propagates)::
+
+    ("wall", api)          wall-clock read            (DET001 sites)
+    ("rng", api)           unseeded RNG               (DET002 sites)
+    ("io", api)            real I/O / host blocking   (DES001 sites)
+    ("sink", name)         event-sink push            (DET003 sinks)
+    ("wire", kind)         wire-kind push outside the transport (PROTO001)
+    ("counter", name)      report-counter write outside its owner (PROTO002)
+    ("cparam", i, name)    report-counter write on parameter i
+    ("swrite", attr)       assignment to self.<attr>
+    ("sread", attr)        read of self.<attr>
+    ("pwrite", i, attr)    assignment to <param i>.<attr>
+
+Atoms whose direct site carries the matching ``# repro: allow[RULE]``
+suppression are *not* generated: a blessed site does not propagate,
+so one suppression at the source silences the whole caller cone.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .engine import ModuleInfo
+from .rules.base import dotted_name
+from .rules.des import _BLOCKING_DOTTED, _BLOCKING_NAMES
+from .rules.determinism import _EVENT_SINKS, _GLOBAL_RANDOM, _NUMPY_GLOBAL, _WALL_CLOCK
+from .rules.protocol import _REPORT_BASES, _TRANSPORT_MODULE, _WIRE_KINDS, COUNTER_OWNERS
+
+__all__ = [
+    "DYNAMIC_FALLBACK_BOUND",
+    "CallSite",
+    "FunctionSummary",
+    "ClassSummary",
+    "ModuleSummary",
+    "Program",
+    "extract_summary",
+]
+
+#: Max same-name method candidates a receiver-less call may fan out to.
+DYNAMIC_FALLBACK_BOUND = 3
+
+#: Call-capable push entry points whose second argument is the kind.
+_PUSH_NAMES = {"push", "_push"}
+
+#: Seedable RNG constructors: only the no-argument form is unseeded.
+_SEEDABLE = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "random.Random",
+}
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression, classified but unresolved (phase 1)."""
+
+    line: int
+    #: "plain" name() | "abs" imported dotted ref | "self" self.m() |
+    #: "sattr" self.<attr>.m() | "typed" <known-class var>.m() |
+    #: "dyn" unresolved receiver
+    kind: str
+    target: tuple  # payload, per kind (see _classify_call)
+    self_args: tuple[int, ...] = ()  # positions receiving `self`
+    param_args: tuple[tuple[int, int], ...] = ()  # (position, caller param idx)
+    report_args: tuple[int, ...] = ()  # positions receiving a report base
+
+    def to_list(self) -> list:
+        return [
+            self.line, self.kind, list(self.target),
+            list(self.self_args),
+            [list(p) for p in self.param_args],
+            list(self.report_args),
+        ]
+
+    @staticmethod
+    def from_list(raw: list) -> "CallSite":
+        return CallSite(
+            line=raw[0], kind=raw[1], target=tuple(raw[2]),
+            self_args=tuple(raw[3]),
+            param_args=tuple(tuple(p) for p in raw[4]),
+            report_args=tuple(raw[5]),
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """One function/method: params, direct effects, raw call sites."""
+
+    name: str  # "func" or "Class.meth"
+    module: str
+    path: str
+    line: int
+    params: tuple[str, ...]
+    is_callback: bool  # has a `now` parameter or is an on_* handler
+    #: direct effect atoms with their source line: [(atom, line), ...]
+    atoms: list[tuple[tuple, int]] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def qname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "params": list(self.params),
+            "is_callback": self.is_callback,
+            "atoms": [[list(a), ln] for a, ln in self.atoms],
+            "calls": [c.to_list() for c in self.calls],
+        }
+
+    @staticmethod
+    def from_dict(d: dict, module: str, path: str) -> "FunctionSummary":
+        return FunctionSummary(
+            name=d["name"], module=module, path=path, line=d["line"],
+            params=tuple(d["params"]), is_callback=d["is_callback"],
+            atoms=[(tuple(a), ln) for a, ln in d["atoms"]],
+            calls=[CallSite.from_list(c) for c in d["calls"]],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One class: bases, receiver types, methods, snapshot coverage."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+    bases: tuple[str, ...]  # local name or absolute dotted ref
+    #: attribute -> class ref (receiver typing for self.<attr>.m())
+    attr_types: dict[str, str] = field(default_factory=dict)
+    methods: tuple[str, ...] = ()
+    #: attributes excused from snapshot coverage (# repro: transient)
+    transient_attrs: tuple[str, ...] = ()
+    has_state_dict: bool = False
+
+    @property
+    def qname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": list(self.bases),
+            "attr_types": dict(self.attr_types),
+            "methods": list(self.methods),
+            "transient_attrs": list(self.transient_attrs),
+            "has_state_dict": self.has_state_dict,
+        }
+
+    @staticmethod
+    def from_dict(d: dict, module: str, path: str) -> "ClassSummary":
+        return ClassSummary(
+            name=d["name"], module=module, path=path, line=d["line"],
+            bases=tuple(d["bases"]), attr_types=dict(d["attr_types"]),
+            methods=tuple(d["methods"]),
+            transient_attrs=tuple(d["transient_attrs"]),
+            has_state_dict=d["has_state_dict"],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Phase-1 digest of one module: everything the link phase needs."""
+
+    module: str
+    path: str
+    digest: str
+    is_package: bool
+    #: absolute module names this module imports (cache invalidation).
+    deps: tuple[str, ...] = ()
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    #: event kinds pushed into a simulator/service heap: [(kind, line)]
+    pushed: list[tuple[str, int]] = field(default_factory=list)
+    #: event kinds string-compared in a pop-bound dispatch: [(kind, line)]
+    handled: list[tuple[str, int]] = field(default_factory=list)
+    #: hb_* record kinds emitted via note(): [(kind, line)]
+    hb_emits: list[tuple[str, int]] = field(default_factory=list)
+    #: attrs marked ``# repro: transient`` on *any* assignment in this
+    #: module (covers helper-mediated writes: `win.x = ..` in a
+    #: module-level function flows to a class via the call graph, so
+    #: the pragma must be honored at the helper site too).
+    transient_attrs: tuple[str, ...] = ()
+    #: line -> suppressed rule ids (mirrors ModuleInfo for cached runs)
+    suppressions: dict[int, tuple[str, ...]] = field(default_factory=dict)
+    #: (start, end, rules) def/class-header blocks (cached runs too)
+    suppression_blocks: list[tuple[int, int, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Same semantics as ModuleInfo.suppressed, off the summary."""
+        allowed = self.suppressions.get(line, ())
+        if rule in allowed or "*" in allowed:
+            return True
+        for start, end, rules in self.suppression_blocks:
+            if start <= line <= end and (rule in rules or "*" in rules):
+                return True
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "digest": self.digest,
+            "is_package": self.is_package,
+            "deps": list(self.deps),
+            "functions": [f.to_dict() for f in self.functions.values()],
+            "classes": [c.to_dict() for c in self.classes.values()],
+            "pushed": [list(p) for p in self.pushed],
+            "handled": [list(p) for p in self.handled],
+            "hb_emits": [list(p) for p in self.hb_emits],
+            "transient_attrs": list(self.transient_attrs),
+            "suppressions": {
+                str(k): list(v) for k, v in self.suppressions.items()
+            },
+            "suppression_blocks": [
+                [s, e, list(r)] for s, e, r in self.suppression_blocks
+            ],
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ModuleSummary":
+        module, path = d["module"], d["path"]
+        fns = [FunctionSummary.from_dict(f, module, path)
+               for f in d["functions"]]
+        classes = [ClassSummary.from_dict(c, module, path)
+                   for c in d["classes"]]
+        return ModuleSummary(
+            module=module, path=path, digest=d["digest"],
+            is_package=d["is_package"], deps=tuple(d["deps"]),
+            functions={f.name: f for f in fns},
+            classes={c.name: c for c in classes},
+            pushed=[(k, ln) for k, ln in d["pushed"]],
+            handled=[(k, ln) for k, ln in d["handled"]],
+            hb_emits=[(k, ln) for k, ln in d["hb_emits"]],
+            transient_attrs=tuple(d.get("transient_attrs", ())),
+            suppressions={
+                int(k): tuple(v) for k, v in d["suppressions"].items()
+            },
+            suppression_blocks=[
+                (s, e, tuple(r)) for s, e, r in d.get(
+                    "suppression_blocks", ()
+                )
+            ],
+        )
+
+
+# -- phase 1: extraction ---------------------------------------------------------------
+
+
+class _Imports:
+    """The module's import table: names -> absolute dotted targets."""
+
+    def __init__(self, module: str, is_package: bool):
+        self.package = module if is_package else module.rpartition(".")[0]
+        self.modules: dict[str, str] = {}  # alias -> absolute module
+        self.symbols: dict[str, str] = {}  # name  -> absolute dotted ref
+        self.deps: set[str] = set()
+
+    def _resolve_relative(self, level: int, target: str | None) -> str | None:
+        if level == 0:
+            return target
+        parts = self.package.split(".") if self.package else []
+        drop = level - 1
+        if drop > len(parts):
+            return None
+        base = parts[: len(parts) - drop]
+        if target:
+            base = base + target.split(".")
+        return ".".join(base) if base else None
+
+    def add(self, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self.deps.add(alias.name)
+                name = alias.asname or alias.name.split(".")[0]
+                self.modules[name] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    self.modules[alias.asname] = alias.name
+            return
+        base = self._resolve_relative(node.level, node.module)
+        if base is None:
+            return
+        self.deps.add(base)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.symbols[alias.asname or alias.name] = f"{base}.{alias.name}"
+            # `from pkg import submodule` depends on the submodule too;
+            # non-module symbols add a dep no file matches (harmless).
+            self.deps.add(f"{base}.{alias.name}")
+
+    def resolve(self, name: str) -> str | None:
+        """Absolute dotted ref for a top-level name, if imported."""
+        if name in self.symbols:
+            return self.symbols[name]
+        if name in self.modules:
+            return self.modules[name]
+        return None
+
+
+def _is_report_base(expr: ast.expr) -> bool:
+    name = dotted_name(expr)
+    return name is not None and name in _REPORT_BASES
+
+
+def _const_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _push_kind(node: ast.Call) -> tuple[str | None, bool]:
+    """(kind, interned) of a push(t, kind, ...) / kind_id(kind) call.
+
+    ``interned`` marks ``kind_id`` interning sites: a module interning
+    a kind participates in that kind's protocol from *either* side
+    (transport interns to push via ``push_id``, fastloop interns to
+    dispatch), so PROTO004 counts those toward both sets.
+    """
+    fname = None
+    if isinstance(node.func, ast.Attribute):
+        fname = node.func.attr
+    elif isinstance(node.func, ast.Name):
+        fname = node.func.id
+    if fname in _PUSH_NAMES and len(node.args) >= 2:
+        return _const_str(node.args[1]), False
+    if fname == "kind_id" and len(node.args) >= 1:
+        return _const_str(node.args[0]), True
+    if fname in _PUSH_NAMES:
+        for kw in node.keywords:
+            if kw.arg == "kind":
+                return _const_str(kw.value), False
+    return None, False
+
+
+class _FunctionScanner:
+    """Extract one function's atoms, calls and protocol facts."""
+
+    def __init__(
+        self,
+        mod: ModuleInfo,
+        imports: _Imports,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ast.ClassDef | None,
+        toplevel: set[str],
+        local_classes: set[str],
+    ):
+        self.mod = mod
+        self.imports = imports
+        self.fn = fn
+        self.cls = cls
+        self.toplevel = toplevel
+        self.local_classes = local_classes
+        args = fn.args
+        self.params = tuple(
+            a.arg
+            for a in list(args.posonlyargs) + list(args.args)
+        )
+        self.param_index = {p: i for i, p in enumerate(self.params)}
+        self.kwonly = {a.arg for a in args.kwonlyargs}
+        #: local var -> class ref (receiver typing inside the body)
+        self.var_types: dict[str, str] = {}
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            ref = self._annotation_ref(a.annotation)
+            if ref is not None:
+                self.var_types[a.arg] = ref
+        self.atoms: list[tuple[tuple, int]] = []
+        self.calls: list[CallSite] = []
+        self.pushed: list[tuple[str, int]] = []
+        self.hb_emits: list[tuple[str, int]] = []
+        self.handled: list[tuple[str, int]] = []
+        self._pop_bound: set[str] = set()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _annotation_ref(self, ann: ast.expr | None) -> str | None:
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            # Optional[X] / X | None do not type a *receiver* safely;
+            # plain names and dotted refs do.
+            return None
+        if isinstance(ann, ast.BinOp):
+            return None
+        name = dotted_name(ann)
+        if name is None:
+            return None
+        return self._class_ref(name)
+
+    def _class_ref(self, name: str) -> str | None:
+        """Absolute ref for a class name visible in this module."""
+        head, _, rest = name.partition(".")
+        if not rest and name in self.local_classes:
+            return f"{self.mod.module}.{name}"
+        resolved = self.imports.resolve(head)
+        if resolved is None:
+            return None
+        return f"{resolved}.{rest}" if rest else resolved
+
+    def _suppressed(self, rule: str, line: int) -> bool:
+        return self.mod.suppressed(rule, line)
+
+    def _emit(self, atom: tuple, line: int, rule: str | None) -> None:
+        if rule is not None and self._suppressed(rule, line):
+            return
+        self.atoms.append((atom, line))
+
+    # -- the walk -------------------------------------------------------------------
+
+    def scan(self) -> FunctionSummary:
+        # `self.meth(...)` is a call edge, not a state read: skip the
+        # func position of every Call when collecting sread atoms.
+        func_nodes = {
+            id(node.func)
+            for node in ast.walk(self.fn)
+            if isinstance(node, ast.Call)
+        }
+        for node in ast.walk(self.fn):
+            if isinstance(node, ast.Call):
+                self._scan_call(node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                self._scan_assign(node)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ) and id(node) not in func_nodes:
+                base = node.value
+                if isinstance(base, ast.Name) and base.id == "self":
+                    self._emit(("sread", node.attr), node.lineno, None)
+            elif isinstance(node, ast.Compare):
+                self._scan_compare(node)
+        is_callback = (
+            "now" in self.params
+            or "now" in self.kwonly
+            or self.fn.name.startswith("on_")
+        )
+        name = (
+            f"{self.cls.name}.{self.fn.name}" if self.cls is not None
+            else self.fn.name
+        )
+        return FunctionSummary(
+            name=name,
+            module=self.mod.module,
+            path=self.mod.path,
+            line=self.fn.lineno,
+            params=self.params,
+            is_callback=is_callback,
+            atoms=self.atoms,
+            calls=self.calls,
+        )
+
+    def _scan_call(self, node: ast.Call) -> None:
+        line = node.lineno
+        name = dotted_name(node.func)
+        # Direct external effects (DET001/DET002/DES001 vocabularies).
+        if name is not None:
+            if name in _WALL_CLOCK:
+                self._emit(("wall", name), line, "DET001")
+            norm = name.replace("np.", "numpy.", 1)
+            if norm in _SEEDABLE and not node.args and not node.keywords:
+                self._emit(("rng", name), line, "DET002")
+            elif name.startswith("random.") and (
+                name.split(".", 1)[1] in _GLOBAL_RANDOM
+            ):
+                self._emit(("rng", name), line, "DET002")
+            elif norm.startswith("numpy.random.") and (
+                norm.rsplit(".", 1)[1] in _NUMPY_GLOBAL
+            ):
+                self._emit(("rng", name), line, "DET002")
+            if name in _BLOCKING_DOTTED:
+                self._emit(("io", name), line, "DES001")
+        if isinstance(node.func, ast.Name) and node.func.id in _BLOCKING_NAMES:
+            self._emit(("io", node.func.id), line, "DES001")
+        # Event machinery: sink pushes, wire kinds, protocol facts.
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) else (
+            node.func.id if isinstance(node.func, ast.Name) else None
+        )
+        if attr in _EVENT_SINKS:
+            self._emit(("sink", attr), line, "DET003")
+        kind, interned = _push_kind(node)
+        if kind is not None:
+            self.pushed.append((kind, line))
+            if interned:
+                self.handled.append((kind, line))
+            elif kind in _WIRE_KINDS and self.mod.module != _TRANSPORT_MODULE:
+                self._emit(("wire", kind), line, "PROTO001")
+        if attr == "note" and len(node.args) >= 2:
+            nkind = _const_str(node.args[1])
+            if nkind is not None and nkind.startswith("hb_"):
+                self.hb_emits.append((nkind, line))
+        self._classify_call(node, attr, line)
+
+    def _classify_call(
+        self, node: ast.Call, attr: str | None, line: int
+    ) -> None:
+        self_args = tuple(
+            i for i, a in enumerate(node.args)
+            if isinstance(a, ast.Name) and a.id == "self"
+        )
+        param_args = tuple(
+            (i, self.param_index[a.id])
+            for i, a in enumerate(node.args)
+            if isinstance(a, ast.Name) and a.id in self.param_index
+            and a.id != "self"
+        )
+        report_args = tuple(
+            i for i, a in enumerate(node.args) if _is_report_base(a)
+        )
+
+        kind: str | None = None
+        target: tuple = ()
+        if isinstance(node.func, ast.Name):
+            n = node.func.id
+            if n in self.toplevel or n in self.local_classes:
+                kind, target = "plain", (n,)
+            else:
+                ref = self.imports.resolve(n)
+                if ref is not None:
+                    kind, target = "abs", (ref,)
+        elif isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            bname = dotted_name(base)
+            if bname == "self":
+                kind, target = "self", (attr,)
+            elif bname is not None and bname.startswith("self."):
+                kind, target = "sattr", (bname[5:], attr)
+            elif bname is not None:
+                head = bname.split(".")[0]
+                if head in self.var_types and "." not in bname:
+                    kind, target = "typed", (self.var_types[bname], attr)
+                elif self.imports.resolve(head) is not None:
+                    ref = self.imports.resolve(head)
+                    rest = bname[len(head):].lstrip(".")
+                    full = f"{ref}.{rest}" if rest else ref
+                    kind, target = "abs", (f"{full}.{attr}",)
+                elif bname in self.local_classes:
+                    kind, target = "typed", (f"{self.mod.module}.{bname}", attr)
+                else:
+                    kind, target = "dyn", (attr,)
+            else:
+                kind, target = "dyn", (attr,)
+        if kind is None:
+            return
+        self.calls.append(CallSite(
+            line=line, kind=kind, target=target,
+            self_args=self_args, param_args=param_args,
+            report_args=report_args,
+        ))
+
+    def _scan_assign(
+        self, node: ast.Assign | ast.AugAssign | ast.AnnAssign
+    ) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        line = node.lineno
+        value = getattr(node, "value", None)
+        for tgt in targets:
+            if isinstance(tgt, ast.Tuple):
+                # Tuple unpack: record attr writes + pop-bound names.
+                for el in tgt.elts:
+                    self._assign_target(el, None, line)
+                if value is not None:
+                    self._scan_pop_bind(tgt, value)
+            else:
+                self._assign_target(tgt, value, line)
+        # Receiver typing from plain local binds: v = ClassName(...).
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(value, ast.Call)
+        ):
+            cname = dotted_name(value.func)
+            if cname is not None:
+                ref = self._class_ref(cname)
+                if ref is not None:
+                    self.var_types[node.targets[0].id] = ref
+
+    def _assign_target(
+        self, tgt: ast.expr, value: ast.expr | None, line: int
+    ) -> None:
+        if not isinstance(tgt, ast.Attribute):
+            return
+        base = tgt.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            self._emit(("swrite", tgt.attr), line, None)
+        elif isinstance(base, ast.Name) and base.id in self.param_index:
+            self._emit(
+                ("pwrite", self.param_index[base.id], tgt.attr), line, None
+            )
+            if tgt.attr in COUNTER_OWNERS:
+                self._emit(
+                    ("cparam", self.param_index[base.id], tgt.attr),
+                    line, "PROTO002",
+                )
+        bname = dotted_name(tgt)
+        if bname is not None and tgt.attr in COUNTER_OWNERS:
+            rbase = bname.rsplit(".", 1)[0]
+            if rbase in _REPORT_BASES:
+                owner = COUNTER_OWNERS[tgt.attr]
+                owners = (owner,) if isinstance(owner, str) else owner
+                if self.mod.module not in owners:
+                    self._emit(("counter", tgt.attr), line, "PROTO002")
+
+    def _scan_pop_bind(self, tgt: ast.Tuple, value: ast.expr) -> None:
+        """Record names tuple-bound from an event-pop expression."""
+        if not isinstance(value, ast.Call):
+            return
+        fname = None
+        if isinstance(value.func, ast.Attribute):
+            fname = value.func.attr
+        elif isinstance(value.func, ast.Name):
+            fname = value.func.id
+        if fname not in ("pop", "pop_batch", "heappop"):
+            return
+        for el in tgt.elts:
+            if isinstance(el, ast.Name):
+                self._pop_bound.add(el.id)
+
+    def _scan_compare(self, node: ast.Compare) -> None:
+        """Dispatch comparisons: ``kind == "x"`` / ``kind in (...)``."""
+        left = node.left
+        if not (
+            isinstance(left, ast.Name) and left.id in self._pop_bound
+        ):
+            return
+        if len(node.ops) != 1 or not isinstance(
+            node.ops[0], (ast.Eq, ast.In, ast.NotEq, ast.NotIn)
+        ):
+            return
+        comp = node.comparators[0]
+        consts: list[tuple[str, int]] = []
+        if isinstance(comp, (ast.Tuple, ast.List, ast.Set)):
+            for el in comp.elts:
+                s = _const_str(el)
+                if s is not None:
+                    consts.append((s, node.lineno))
+        else:
+            s = _const_str(comp)
+            if s is not None:
+                consts.append((s, node.lineno))
+        self.handled.extend(consts)
+
+
+def _class_attr_types(
+    cls: ast.ClassDef, scanner_factory
+) -> dict[str, str]:
+    """``self.x`` -> class ref, from constructor-call / typed-param
+    assignments in any method (``__init__`` wins on conflict order)."""
+    out: dict[str, str] = {}
+    for sub in cls.body:
+        if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        sc = scanner_factory(sub)
+        for node in ast.walk(sub):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+            ):
+                continue
+            tgt = node.targets[0]
+            if not (
+                isinstance(tgt.value, ast.Name) and tgt.value.id == "self"
+            ):
+                continue
+            ref: str | None = None
+            if isinstance(node.value, ast.Call):
+                cname = dotted_name(node.value.func)
+                if cname is not None:
+                    ref = sc._class_ref(cname)
+            elif isinstance(node.value, ast.Name):
+                ref = sc.var_types.get(node.value.id)
+            if ref is not None:
+                out.setdefault(tgt.attr, ref)
+    return out
+
+
+def extract_summary(mod: ModuleInfo) -> ModuleSummary:
+    """Phase 1: reduce one parsed module to its cacheable summary."""
+    is_package = mod.path.endswith("__init__.py")
+    imports = _Imports(mod.module, is_package)
+    toplevel: set[str] = set()
+    local_classes: set[str] = set()
+    for node in mod.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            imports.add(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            toplevel.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            local_classes.add(node.name)
+    # Imports may appear below module level (lazy imports in functions).
+    for node in ast.walk(mod.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and node not in (
+            mod.tree.body
+        ):
+            imports.add(node)
+
+    summary = ModuleSummary(
+        module=mod.module,
+        path=mod.path,
+        digest=mod.digest,
+        is_package=is_package,
+        deps=tuple(sorted(imports.deps)),
+        suppressions={
+            ln: tuple(sorted(rules))
+            for ln, rules in mod.suppressions.items()
+        },
+        suppression_blocks=[
+            (s, e, tuple(sorted(r)))
+            for s, e, r in mod.suppression_blocks
+        ],
+    )
+
+    module_transient: set[str] = set()
+
+    def scan_fn(fn, cls):
+        sc = _FunctionScanner(
+            mod, imports, fn, cls, toplevel, local_classes
+        )
+        fs = sc.scan()
+        summary.functions[fs.name] = fs
+        summary.pushed.extend(sc.pushed)
+        summary.handled.extend(sc.handled)
+        summary.hb_emits.extend(sc.hb_emits)
+        for atom, line in fs.atoms:
+            if atom[0] in ("swrite", "pwrite") and (
+                line in mod.transient_lines
+            ):
+                module_transient.add(atom[-1])
+        return sc
+
+    for node in mod.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scan_fn(node, None)
+        elif isinstance(node, ast.ClassDef):
+            methods = []
+            transient: set[str] = set()
+            scanners = {}
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    sc = scan_fn(sub, node)
+                    scanners[sub.name] = sc
+                    methods.append(sub.name)
+                    for atom, line in sc.atoms:
+                        if atom[0] == "swrite" and (
+                            line in mod.transient_lines
+                        ):
+                            transient.add(atom[1])
+                elif (
+                    isinstance(sub, ast.AnnAssign)
+                    and isinstance(sub.target, ast.Name)
+                    and sub.lineno in mod.transient_lines
+                ):
+                    transient.add(sub.target.id)
+            bases = []
+            for b in node.bases:
+                bname = dotted_name(b)
+                if bname is None:
+                    continue
+                if bname in local_classes:
+                    bases.append(f"{mod.module}.{bname}")
+                else:
+                    head, _, rest = bname.partition(".")
+                    resolved = imports.resolve(head)
+                    if resolved is not None:
+                        bases.append(
+                            f"{resolved}.{rest}" if rest else resolved
+                        )
+                    else:
+                        bases.append(bname)
+            attr_types = _class_attr_types(
+                node,
+                lambda sub: _FunctionScanner(
+                    mod, imports, sub, node, toplevel, local_classes
+                ),
+            )
+            summary.classes[node.name] = ClassSummary(
+                name=node.name,
+                module=mod.module,
+                path=mod.path,
+                line=node.lineno,
+                bases=tuple(bases),
+                attr_types=attr_types,
+                methods=tuple(methods),
+                transient_attrs=tuple(sorted(transient)),
+                has_state_dict="state_dict" in methods,
+            )
+    summary.transient_attrs = tuple(sorted(module_transient))
+    return summary
+
+
+# -- link phase ------------------------------------------------------------------------
+
+
+class Program:
+    """All module summaries linked into one resolvable call graph."""
+
+    def __init__(self, summaries: list[ModuleSummary]):
+        self.modules: dict[str, ModuleSummary] = {}
+        for s in sorted(summaries, key=lambda s: s.path):
+            self.modules[s.module] = s
+        #: "module.func" / "module.Class.meth" -> FunctionSummary
+        self.functions: dict[str, FunctionSummary] = {}
+        #: "module.Class" -> ClassSummary
+        self.classes: dict[str, ClassSummary] = {}
+        #: method name -> sorted qnames (bounded dynamic fallback)
+        self._by_method: dict[str, list[str]] = {}
+        for s in self.modules.values():
+            for f in s.functions.values():
+                self.functions[f.qname] = f
+                short = f.name.rpartition(".")[2]
+                self._by_method.setdefault(short, []).append(f.qname)
+            for c in s.classes.values():
+                self.classes[c.qname] = c
+        for lst in self._by_method.values():
+            lst.sort()
+        #: resolved edges: caller qname -> [(CallSite, (target qnames))]
+        self.calls: dict[str, list[tuple[CallSite, tuple[str, ...]]]] = {}
+        #: (path, line) -> target qnames (AST-side lookups, e.g. DET003)
+        self.calls_at: dict[tuple[str, int], list[str]] = {}
+        self.unresolved_dynamic = 0
+        for f in self.functions.values():
+            edges = []
+            for site in f.calls:
+                targets = self._resolve(f, site)
+                edges.append((site, targets))
+                if targets:
+                    self.calls_at.setdefault(
+                        (f.path, site.line), []
+                    ).extend(targets)
+            self.calls[f.qname] = edges
+
+    # -- hierarchy ------------------------------------------------------------------
+
+    def mro(self, classref: str) -> list[ClassSummary]:
+        """Linearized base order (DFS, first-seen wins)."""
+        out: list[ClassSummary] = []
+        seen: set[str] = set()
+        stack = [classref]
+        while stack:
+            ref = stack.pop(0)
+            if ref in seen:
+                continue
+            seen.add(ref)
+            cls = self.classes.get(ref)
+            if cls is None:
+                continue
+            out.append(cls)
+            stack.extend(cls.bases)
+        return out
+
+    def resolve_method(self, classref: str, meth: str) -> str | None:
+        """Def-site of ``meth`` on ``classref``, hierarchy-aware."""
+        for cls in self.mro(classref):
+            if meth in cls.methods:
+                return f"{cls.qname}.{meth}"
+        return None
+
+    def subclasses(self, classref: str) -> list[ClassSummary]:
+        return [
+            c for c in self.classes.values()
+            if classref in {b.qname for b in self.mro(c.qname)[1:]}
+        ]
+
+    # -- call resolution ------------------------------------------------------------
+
+    def _resolve(
+        self, caller: FunctionSummary, site: CallSite
+    ) -> tuple[str, ...]:
+        kind = site.kind
+        if kind == "plain":
+            (name,) = site.target
+            q = f"{caller.module}.{name}"
+            if q in self.functions:
+                return (q,)
+            if q in self.classes:
+                init = self.resolve_method(q, "__init__")
+                return (init,) if init else ()
+            return ()
+        if kind == "abs":
+            (ref,) = site.target
+            if ref in self.functions:
+                return (ref,)
+            if ref in self.classes:
+                init = self.resolve_method(ref, "__init__")
+                return (init,) if init else ()
+            # Constructor via re-exporting package: X imported from a
+            # package __init__ that re-exports the real class.
+            mod, _, name = ref.rpartition(".")
+            for cref, cls in self.classes.items():
+                if cls.name == name and cref.startswith(mod.split(".")[0]):
+                    if mod in self.modules and name in {
+                        s.rpartition(".")[2]
+                        for s in self.modules[mod].deps
+                    }:
+                        pass
+                    init = self.resolve_method(cref, "__init__")
+                    if init and self._unique_class_name(name):
+                        return (init,)
+                    break
+            return ()
+        if kind == "self":
+            (meth,) = site.target
+            cref = self._enclosing_class(caller)
+            if cref is None:
+                return ()
+            q = self.resolve_method(cref, meth)
+            return (q,) if q else self._dynamic(meth)
+        if kind == "sattr":
+            attr, meth = site.target
+            cref = self._enclosing_class(caller)
+            if cref is not None:
+                for cls in self.mro(cref):
+                    tref = cls.attr_types.get(attr)
+                    if tref is not None:
+                        q = self.resolve_method(tref, meth)
+                        if q:
+                            return (q,)
+            return self._dynamic(meth)
+        if kind == "typed":
+            cref, meth = site.target
+            q = self.resolve_method(cref, meth)
+            return (q,) if q else self._dynamic(meth)
+        if kind == "dyn":
+            (meth,) = site.target
+            return self._dynamic(meth)
+        return ()
+
+    def _unique_class_name(self, name: str) -> bool:
+        return sum(1 for c in self.classes.values() if c.name == name) == 1
+
+    def _enclosing_class(self, fn: FunctionSummary) -> str | None:
+        cls, _, _meth = fn.name.rpartition(".")
+        if not cls:
+            return None
+        return f"{fn.module}.{cls}"
+
+    def _dynamic(self, meth: str | None) -> tuple[str, ...]:
+        """Bounded fallback: link to every same-name *method* when the
+        candidate set is small; drop the edge (and count it) beyond."""
+        if meth is None:
+            return ()
+        cands = [
+            q for q in self._by_method.get(meth, ())
+            if q.rpartition(".")[0] in self.classes
+        ]
+        if not cands:
+            return ()
+        if len(cands) > DYNAMIC_FALLBACK_BOUND:
+            self.unresolved_dynamic += 1
+            return ()
+        return tuple(cands)
+
+    # -- protocol facts --------------------------------------------------------------
+
+    def pushed_kinds(self) -> dict[str, list[tuple[str, int]]]:
+        """kind -> [(path, line), ...] of every push site."""
+        out: dict[str, list[tuple[str, int]]] = {}
+        for s in self.modules.values():
+            for kind, line in s.pushed:
+                out.setdefault(kind, []).append((s.path, line))
+        return out
+
+    def handled_kinds(self) -> dict[str, list[tuple[str, int]]]:
+        out: dict[str, list[tuple[str, int]]] = {}
+        for s in self.modules.values():
+            for kind, line in s.handled:
+                out.setdefault(kind, []).append((s.path, line))
+        return out
+
+    def hb_known_kinds(self) -> set[str]:
+        """Record kinds the HB checker understands (``_on_*`` methods
+        of any ``*HbChecker`` class in the program)."""
+        known: set[str] = set()
+        for cls in self.classes.values():
+            if not cls.name.endswith("HbChecker"):
+                continue
+            for meth in cls.methods:
+                if meth.startswith("_on_"):
+                    known.add("hb_" + meth[4:])
+        return known

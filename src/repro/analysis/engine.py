@@ -7,43 +7,80 @@ and filters the returned :class:`Violation`\\ s against the
 ``# repro: allow[RULE]`` suppressions.  Rules live in
 :mod:`repro.analysis.rules` and know nothing about files or comments.
 
+Every file is parsed exactly once per run: the engine loads all
+:class:`ModuleInfo` objects up front and shares the AST (and, in
+interprocedural mode, the whole-program call graph and effect
+database, see :mod:`repro.analysis.callgraph` /
+:mod:`repro.analysis.effects`) across all rules.
+
 Suppression syntax::
 
     x = time.time()  # repro: allow[DET001]
     # repro: allow[DET003, PROTO001]   <- alone on a line: covers the
     for p in procs: ...                   next line
 
-``allow[*]`` suppresses every rule on the covered line.
+``allow[*]`` suppresses every rule on the covered line.  An ``allow``
+placed on a ``def``/``class`` header line (or one of its decorator
+lines) covers the whole declaration body - the way to bless a short
+annotated helper without sprinkling per-line pragmas.
 
-Fixture files (which do not live under ``src/repro``) can claim a
-logical module identity for the module-scoped PROTO rules with::
+Two more pragmas::
 
-    # repro: module=repro.runtime.scheduler
+    # repro: module=repro.runtime.scheduler   <- fixture files claim a
+                                                 logical module identity
+    self._cache = {}  # repro: transient      <- the attribute is rebuilt
+                                                 at composition; PERSIST002
+                                                 does not require it in
+                                                 state_dict()
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import json
 import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .callgraph import ModuleSummary, Program
     from .rules import Rule
 
-__all__ = ["Violation", "ModuleInfo", "LintEngine", "lint_paths"]
+__all__ = [
+    "Violation",
+    "ModuleInfo",
+    "LintEngine",
+    "lint_paths",
+    "load_module",
+    "render",
+    "render_sarif",
+]
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
 _MODULE_RE = re.compile(r"#\s*repro:\s*module=([A-Za-z0-9_.]+)")
+_TRANSIENT_RE = re.compile(r"#\s*repro:\s*transient\b")
+
+#: Files parsed since import (the single-parse regression test pins
+#: that one lint run parses each file exactly once, rules included).
+_parse_count = 0
+
+
+def parse_count() -> int:
+    return _parse_count
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule finding, with enough context to act on it."""
+    """One rule finding, with enough context to act on it.
+
+    ``chain`` is only populated by the interprocedural rules: the
+    call-propagation path from the flagged call site down to the
+    direct effect site (each entry ``"qualified.name (file:line)"``).
+    """
 
     rule: str
     path: str
@@ -51,12 +88,16 @@ class Violation:
     col: int
     message: str
     hint: str
+    chain: tuple[str, ...] = ()
 
     def format(self) -> str:
-        return (
+        out = (
             f"{self.path}:{self.line}:{self.col}: {self.rule} "
             f"{self.message}\n    hint: {self.hint}"
         )
+        if self.chain:
+            out += "\n    via: " + " -> ".join(self.chain)
+        return out
 
     def to_dict(self) -> dict:
         return {
@@ -66,7 +107,20 @@ class Violation:
             "col": self.col,
             "message": self.message,
             "hint": self.hint,
+            "chain": list(self.chain),
         }
+
+    @staticmethod
+    def from_dict(d: dict) -> "Violation":
+        return Violation(
+            rule=d["rule"],
+            path=d["path"],
+            line=int(d["line"]),
+            col=int(d["col"]),
+            message=d["message"],
+            hint=d["hint"],
+            chain=tuple(d.get("chain", ())),
+        )
 
 
 @dataclass
@@ -81,12 +135,30 @@ class ModuleInfo:
     module: str
     #: line -> set of rule ids allowed ("*" = all) on that line.
     suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: (start, end, rules) ranges from allow[] on def/class headers.
+    suppression_blocks: list[tuple[int, int, frozenset[str]]] = field(
+        default_factory=list
+    )
+    #: lines carrying a ``# repro: transient`` pragma (PERSIST002).
+    transient_lines: frozenset[int] = frozenset()
     #: "name" and "Class.name" -> FunctionDef, for one-hop call lookup.
     functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: sha256 of the source text (incremental-cache identity).
+    digest: str = ""
+    #: whole-program context, set by the engine in interprocedural
+    #: mode; None under the classic per-file run.
+    program: "Program | None" = None
+    #: this module's phase-1 summary (interprocedural mode only).
+    summary: "ModuleSummary | None" = None
 
     def suppressed(self, rule: str, line: int) -> bool:
         allowed = self.suppressions.get(line, ())
-        return rule in allowed or "*" in allowed
+        if rule in allowed or "*" in allowed:
+            return True
+        for start, end, rules in self.suppression_blocks:
+            if start <= line <= end and (rule in rules or "*" in rules):
+                return True
+        return False
 
 
 def _logical_module(path: Path) -> str:
@@ -98,14 +170,17 @@ def _logical_module(path: Path) -> str:
     return ".".join(parts)
 
 
-def _scan_comments(source: str) -> tuple[dict[int, set[str]], str | None]:
-    """Extract suppression lines and the module pragma from comments."""
+def _scan_comments(
+    source: str,
+) -> tuple[dict[int, set[str]], str | None, frozenset[int]]:
+    """Extract suppressions, the module pragma and transient lines."""
     suppressions: dict[int, set[str]] = {}
     module: str | None = None
+    transient: set[int] = set()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except tokenize.TokenError:
-        return suppressions, module
+        return suppressions, module, frozenset(transient)
     code_lines = {
         t.start[0]
         for t in tokens
@@ -119,25 +194,59 @@ def _scan_comments(source: str) -> tuple[dict[int, set[str]], str | None]:
             tokenize.ENDMARKER,
         )
     }
+
+    def _covered(line: int) -> int | None:
+        if line in code_lines:
+            return line
+        # Comment alone on its line: covers the next code line.
+        return min((ln for ln in code_lines if ln > line), default=None)
+
     for t in tokens:
         if t.type != tokenize.COMMENT:
             continue
         m = _MODULE_RE.search(t.string)
         if m:
             module = m.group(1)
+        if _TRANSIENT_RE.search(t.string):
+            line = _covered(t.start[0])
+            if line is not None:
+                transient.add(line)
         m = _ALLOW_RE.search(t.string)
         if not m:
             continue
         rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-        line = t.start[0]
-        if line in code_lines:
+        line = _covered(t.start[0])
+        if line is not None:
             suppressions.setdefault(line, set()).update(rules)
-        else:
-            # Comment alone on its line: covers the next code line.
-            nxt = min((ln for ln in code_lines if ln > line), default=None)
-            if nxt is not None:
-                suppressions.setdefault(nxt, set()).update(rules)
-    return suppressions, module
+    return suppressions, module, frozenset(transient)
+
+
+def _suppression_blocks(
+    tree: ast.Module, suppressions: dict[int, set[str]]
+) -> list[tuple[int, int, frozenset[str]]]:
+    """Expand allow[] pragmas sitting on def/class headers to blocks.
+
+    A suppression whose covered line is a ``def``/``class`` statement's
+    header (or one of its decorator lines) applies to the whole
+    declaration - findings inside short annotated bodies can then be
+    suppressed at the declaration instead of per line.
+    """
+    if not suppressions:
+        return []
+    blocks: list[tuple[int, int, frozenset[str]]] = []
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        header_lines = {node.lineno}
+        header_lines.update(d.lineno for d in node.decorator_list)
+        rules: set[str] = set()
+        for ln in header_lines:
+            rules.update(suppressions.get(ln, ()))
+        if rules and node.end_lineno is not None:
+            blocks.append((node.lineno, node.end_lineno, frozenset(rules)))
+    return blocks
 
 
 def _index_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
@@ -158,29 +267,50 @@ def _index_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
 
 def load_module(path: str | Path) -> ModuleInfo:
     """Parse one file into a :class:`ModuleInfo` (raises SyntaxError)."""
+    global _parse_count
     p = Path(path)
     source = p.read_text()
+    _parse_count += 1
     tree = ast.parse(source, filename=str(p))
-    suppressions, pragma = _scan_comments(source)
+    suppressions, pragma, transient = _scan_comments(source)
     return ModuleInfo(
         path=str(p),
         source=source,
         tree=tree,
         module=pragma if pragma is not None else _logical_module(p),
         suppressions=suppressions,
+        suppression_blocks=_suppression_blocks(tree, suppressions),
+        transient_lines=transient,
         functions=_index_functions(tree),
+        digest=hashlib.sha256(source.encode()).hexdigest(),
     )
 
 
+def _sort_key(v: Violation) -> tuple:
+    return (v.path, v.line, v.col, v.rule, v.message)
+
+
 class LintEngine:
-    """Run a rule set over files and directories."""
+    """Run a rule set over files and directories.
 
-    def __init__(self, rules: "list[Rule] | None" = None):
+    ``interprocedural=True`` additionally links all loaded modules into
+    a whole-program :class:`~repro.analysis.callgraph.Program`, runs
+    fixed-point effect inference over its call graph, and enables the
+    interprocedural rules (multi-hop DET/DES/PROTO re-hosts, PERSIST002
+    snapshot completeness, PROTO004 event-protocol exhaustiveness).
+    """
+
+    def __init__(
+        self,
+        rules: "list[Rule] | None" = None,
+        interprocedural: bool = False,
+    ):
         if rules is None:
-            from .rules import ALL_RULES
+            from .rules import rules_for
 
-            rules = ALL_RULES
+            rules = rules_for(interprocedural)
         self.rules = list(rules)
+        self.interprocedural = interprocedural
 
     def collect_files(self, paths: list[str | Path]) -> list[Path]:
         files: list[Path] = []
@@ -195,31 +325,91 @@ class LintEngine:
                 files.append(p)
         return files
 
+    # -- loading / program linkage ---------------------------------------------------
+
+    def load_modules(self, paths: list[str | Path]) -> list[ModuleInfo]:
+        """Parse every file once; link the program when interprocedural."""
+        mods = [load_module(f) for f in self.collect_files(paths)]
+        if self.interprocedural:
+            self.link_program(mods)
+        return mods
+
+    def link_program(self, mods: list[ModuleInfo]) -> "Program":
+        """Summarize + link ``mods`` into a Program, attach it to each."""
+        from .callgraph import Program, extract_summary
+
+        for mod in mods:
+            if mod.summary is None:
+                mod.summary = extract_summary(mod)
+        program = Program([m.summary for m in mods])
+        for mod in mods:
+            mod.program = program
+        return program
+
+    # -- linting ---------------------------------------------------------------------
+
     def lint_file(self, path: str | Path) -> list[Violation]:
-        mod = load_module(path)
-        return self.lint_module(mod)
+        return self.lint_paths([path])
 
     def lint_module(self, mod: ModuleInfo) -> list[Violation]:
+        """Per-module rule pass (program-scope rules excluded)."""
         out: list[Violation] = []
         for rule in self.rules:
+            if getattr(rule, "scope", "module") != "module":
+                continue
             for v in rule.check(mod):
                 if not mod.suppressed(v.rule, v.line):
                     out.append(v)
-        out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        out.sort(key=_sort_key)
+        return out
+
+    def lint_program(self, mods: list[ModuleInfo]) -> list[Violation]:
+        """Program-scope rule pass (PROTO004-style whole-program checks)."""
+        if not self.interprocedural or not mods:
+            return []
+        program = mods[0].program
+        by_path = {m.path: m for m in mods}
+        out: list[Violation] = []
+        for rule in self.rules:
+            if getattr(rule, "scope", "module") != "program":
+                continue
+            for v in rule.check_program(program):
+                owner = by_path.get(v.path)
+                if owner is None or not owner.suppressed(v.rule, v.line):
+                    out.append(v)
+        out.sort(key=_sort_key)
         return out
 
     def lint_paths(self, paths: list[str | Path]) -> list[Violation]:
+        mods = self.load_modules(paths)
         out: list[Violation] = []
-        for f in self.collect_files(paths):
-            out.extend(self.lint_file(f))
+        for mod in mods:
+            out.extend(self.lint_module(mod))
+        out.extend(self.lint_program(mods))
+        out.sort(key=_sort_key)
         return out
 
 
 def lint_paths(
-    paths: list[str | Path], rules: "list[Rule] | None" = None
+    paths: list[str | Path],
+    rules: "list[Rule] | None" = None,
+    interprocedural: bool = False,
+    cache: "str | Path | None" = None,
 ) -> list[Violation]:
-    """Convenience wrapper: lint ``paths`` with ``rules`` (default all)."""
-    return LintEngine(rules).lint_paths(paths)
+    """Convenience wrapper: lint ``paths`` with ``rules`` (default all).
+
+    ``cache`` names an incremental-cache file (see
+    :mod:`repro.analysis.cache`): unchanged modules reuse their cached
+    findings; only the reverse-dependency cone of edited modules is
+    re-analyzed.  Results are byte-identical to a cold run.
+    """
+    if cache is not None:
+        from .cache import cached_lint
+
+        return cached_lint(
+            paths, cache, rules=rules, interprocedural=interprocedural
+        )
+    return LintEngine(rules, interprocedural=interprocedural).lint_paths(paths)
 
 
 def render(violations: list[Violation], as_json: bool = False) -> str:
@@ -235,3 +425,69 @@ def render(violations: list[Violation], as_json: bool = False) -> str:
     lines = [v.format() for v in violations]
     lines.append(f"repro.analysis: {len(violations)} violation(s)")
     return "\n".join(lines)
+
+
+def render_sarif(
+    violations: list[Violation], rules: "list[Rule] | None" = None
+) -> str:
+    """SARIF 2.1.0 rendering (GitHub code-scanning annotations).
+
+    One run, one result per violation; rule metadata (title + fix
+    hint) rides in the driver's rule table so the annotations carry
+    the hint text inline.
+    """
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    rule_meta = [
+        {
+            "id": r.id,
+            "name": r.__class__.__name__,
+            "shortDescription": {"text": r.title},
+            "help": {"text": r.hint},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for r in rules
+    ]
+    index = {r.id: i for i, r in enumerate(rules)}
+    results: list[dict[str, Any]] = []
+    for v in violations:
+        message = v.message
+        if v.chain:
+            message += " [via: " + " -> ".join(v.chain) + "]"
+        results.append({
+            "ruleId": v.rule,
+            "ruleIndex": index.get(v.rule, -1),
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": v.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": v.line,
+                        "startColumn": max(v.col + 1, 1),
+                    },
+                },
+            }],
+        })
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "informationUri": "https://example.invalid/repro",
+                    "rules": rule_meta,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=1)

@@ -17,6 +17,16 @@ from .determinism import (
     UnseededRngRule,
     WallClockRule,
 )
+from .interproc import (
+    EventProtocolRule,
+    SnapshotCompletenessRule,
+    TransitiveCallbackIoRule,
+    TransitiveCounterRule,
+    TransitiveRngRule,
+    TransitiveSetIterationRule,
+    TransitiveWallClockRule,
+    TransitiveWireRule,
+)
 from .persist import SnapshotCodecRule
 from .protocol import (
     COUNTER_OWNERS,
@@ -28,10 +38,12 @@ from .protocol import (
 
 __all__ = [
     "ALL_RULES",
+    "INTERPROC_RULES",
     "COUNTER_OWNERS",
     "SERVICE_FACADE_ALLOWED",
     "Rule",
     "rule_table",
+    "rules_for",
 ]
 
 ALL_RULES: list[Rule] = [
@@ -46,9 +58,36 @@ ALL_RULES: list[Rule] = [
     SnapshotCodecRule(),
 ]
 
+#: Whole-program rules, active only under ``lint --interprocedural``:
+#: the effect-inference re-hosts of DET/DES/PROTO (same ids, deeper
+#: reach) plus the two program-only families.
+INTERPROC_RULES: list[Rule] = [
+    TransitiveWallClockRule(),
+    TransitiveRngRule(),
+    TransitiveSetIterationRule(),
+    TransitiveCallbackIoRule(),
+    TransitiveWireRule(),
+    TransitiveCounterRule(),
+    SnapshotCompletenessRule(),
+    EventProtocolRule(),
+]
 
-def rule_table() -> list[dict]:
+
+def rules_for(interprocedural: bool = False) -> list[Rule]:
+    """The active rule set for a lint run."""
+    if interprocedural:
+        return ALL_RULES + INTERPROC_RULES
+    return list(ALL_RULES)
+
+
+def rule_table(interprocedural: bool = False) -> list[dict]:
     """The shipped rules as rows (docs and ``--rules`` output)."""
-    return [
-        {"id": r.id, "title": r.title, "hint": r.hint} for r in ALL_RULES
-    ]
+    seen: set[tuple[str, str]] = set()
+    rows = []
+    for r in rules_for(interprocedural):
+        key = (r.id, r.title)
+        if key in seen:
+            continue
+        seen.add(key)
+        rows.append({"id": r.id, "title": r.title, "hint": r.hint})
+    return rows

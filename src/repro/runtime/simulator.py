@@ -332,9 +332,12 @@ class Simulator:
         :class:`StallReport` to confirm the stall (raised wrapped in
         :class:`StallError`) or ``None`` to wave it off.
         """
-        self._wd_horizon = horizon
-        self._wd_snapshot = snapshot
-        self._wd_kinds = frozenset(watch_kinds)
+        # Watchdog config is re-armed by the composition root on every
+        # run (engine_des), restore included; the snapshot hook is a
+        # bound callback and cannot round-trip through a codec anyway.
+        self._wd_horizon = horizon  # repro: transient
+        self._wd_snapshot = snapshot  # repro: transient
+        self._wd_kinds = frozenset(watch_kinds)  # repro: transient
         self._wd_mask = [k in self._wd_kinds for k in self._kind_names]
 
     def kind_id(self, kind: str) -> int:

@@ -141,7 +141,9 @@ class KBASchedule:
                                     deps += 1  # angle pipelining in-order
                                 remaining[key] = deps
                                 if deps == 0:
-                                    sim.push(0.0, "task", key)
+                                    # Single-kind loop: every pop below
+                                    # consumes a 'task', no dispatch.
+                                    sim.push(0.0, "task", key)  # repro: allow[PROTO004]
             num_tasks += len(remaining)
 
             def release(key, t):
@@ -255,7 +257,8 @@ class BSPSweepRuntime:
         sim = Simulator()
         procs_res = [Resource(("bsp", p)) for p in range(nprocs)]
         if active:
-            sim.push(0.0, "superstep", None)
+            # Single-kind loop: each pop is the next BSP super-step.
+            sim.push(0.0, "superstep", None)  # repro: allow[PROTO004]
         while sim:
             now, _, _ = sim.pop()
             steps += 1

@@ -1,0 +1,14 @@
+# repro: module=repro.runtime.chainio
+"""Interprocedural DES001: a simulated callback reaching host I/O
+through a helper.  The helper itself is not a callback, so the
+single-file rule cannot see it - only the effect re-host can."""
+
+
+def _persist(data):
+    with open("/tmp/out.bin", "wb") as fh:
+        fh.write(data)
+
+
+class Layer:
+    def on_commit(self, now, data):
+        _persist(data)

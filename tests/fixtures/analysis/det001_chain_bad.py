@@ -1,0 +1,18 @@
+# repro: module=repro.runtime.chainclock
+"""Interprocedural DET001: a wall-clock read two helpers deep.  The
+single-file rule flags the direct site; the transitive re-host flags
+`helper` and `caller` with the propagation chain."""
+
+import time
+
+
+def _stamp():
+    return time.time()
+
+
+def helper():
+    return _stamp()
+
+
+def caller():
+    return helper()

@@ -1,0 +1,17 @@
+# repro: module=repro.runtime.chainclockok
+"""Blessing the direct site kills the atom before it propagates: one
+suppression at the source clears the entire caller cone."""
+
+import time
+
+
+def _stamp():
+    return time.time()  # repro: allow[DET001]
+
+
+def helper():
+    return _stamp()
+
+
+def caller():
+    return helper()

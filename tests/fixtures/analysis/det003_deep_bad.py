@@ -1,0 +1,26 @@
+# repro: module=repro.runtime.deepset
+"""Interprocedural DET003: set-order iteration reaching an event sink
+two call hops away - past the single-file rule's one-hop lookup."""
+
+
+class Fanout:
+    def __init__(self, sim):
+        self.sim = sim
+        self.pending = set()
+
+    def _emit(self, pid):
+        self.sim.push(0.0, "deliver", pid)
+
+    def _relay(self, pid):
+        self._emit(pid)
+
+    def flush(self):
+        for pid in self.pending:
+            self._relay(pid)
+
+    def drain(self):
+        while self.sim:
+            now, kind, data = self.sim.pop()
+            if kind == "deliver":
+                return (now, data)
+        return None

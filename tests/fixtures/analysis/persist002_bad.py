@@ -1,0 +1,32 @@
+# repro: module=repro.runtime.badwindow
+"""Golden violation: PERSIST002 flags mutable state that never makes
+it into the state_dict round trip - one write directly in a method,
+one laundered through a module-level helper (call-graph resolved)."""
+
+
+def _tick(win):
+    # pwrite: the helper mutates its parameter; the call graph turns
+    # this into a self-write of Window when called as `_tick(self)`.
+    win.phase = win.phase + 1
+
+
+class Window:
+    def __init__(self):
+        self.acked = 0
+        self.inflight = {}
+        self.phase = 0
+        self.rtt_ewma = 0.0
+
+    def on_ack(self, now, seq):
+        self.acked = seq
+        self.rtt_ewma = 0.9 * self.rtt_ewma + 0.1 * now  # never persisted
+
+    def on_tick(self, now):
+        _tick(self)  # helper-mediated write of `phase`
+
+    def state_dict(self):
+        return {"acked": self.acked, "inflight": dict(self.inflight)}
+
+    def load_state_dict(self, state):
+        self.acked = state["acked"]
+        self.inflight = dict(state["inflight"])

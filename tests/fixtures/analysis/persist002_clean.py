@@ -1,0 +1,35 @@
+# repro: module=repro.runtime.goodwindow
+"""Clean: every run-time write is covered by the snapshot round trip."""
+
+
+def _tick(win):
+    win.phase = win.phase + 1
+
+
+class Window:
+    def __init__(self):
+        self.acked = 0
+        self.inflight = {}
+        self.phase = 0
+        self.rtt_ewma = 0.0
+
+    def on_ack(self, now, seq):
+        self.acked = seq
+        self.rtt_ewma = 0.9 * self.rtt_ewma + 0.1 * now
+
+    def on_tick(self, now):
+        _tick(self)
+
+    def state_dict(self):
+        return {
+            "acked": self.acked,
+            "inflight": dict(self.inflight),
+            "phase": self.phase,
+            "rtt_ewma": self.rtt_ewma,
+        }
+
+    def load_state_dict(self, state):
+        self.acked = state["acked"]
+        self.inflight = dict(state["inflight"])
+        self.phase = state["phase"]
+        self.rtt_ewma = state["rtt_ewma"]

@@ -1,0 +1,26 @@
+# repro: module=repro.runtime.okwindow
+"""Suppressed: allow[PERSIST002] on the flagged write lines."""
+
+
+def _tick(win):
+    win.phase = win.phase + 1  # repro: allow[PERSIST002]
+
+
+class Window:
+    def __init__(self):
+        self.acked = 0
+        self.phase = 0
+        self.rtt_ewma = 0.0
+
+    def on_ack(self, now, seq):
+        self.acked = seq
+        self.rtt_ewma = 0.9 * self.rtt_ewma + 0.1 * now  # repro: allow[PERSIST002]
+
+    def on_tick(self, now):
+        _tick(self)
+
+    def state_dict(self):
+        return {"acked": self.acked}
+
+    def load_state_dict(self, state):
+        self.acked = state["acked"]

@@ -1,0 +1,27 @@
+# repro: module=repro.runtime.transientwindow
+"""Clean via pragma: the uncovered attributes are marked transient -
+rebuilt at composition time, deliberately outside the snapshot."""
+
+
+def _tick(win):
+    win.phase = win.phase + 1  # repro: transient
+
+
+class Window:
+    def __init__(self):
+        self.acked = 0
+        self.phase = 0
+        self.rtt_ewma = 0.0
+
+    def on_ack(self, now, seq):
+        self.acked = seq
+        self.rtt_ewma = 0.9 * self.rtt_ewma + 0.1 * now  # repro: transient
+
+    def on_tick(self, now):
+        _tick(self)
+
+    def state_dict(self):
+        return {"acked": self.acked}
+
+    def load_state_dict(self, state):
+        self.acked = state["acked"]

@@ -1,0 +1,13 @@
+# repro: module=repro.runtime.scheduler
+"""Interprocedural PROTO002: the counter write is laundered through a
+helper whose parameter name gives the single-file heuristic nothing
+to match - but the caller hands it the RunReport, so the caller's
+layer (scheduler, which does not own `retries`) is the writer."""
+
+
+def _account(out, n):
+    out.retries = out.retries + n
+
+
+def after_timeout(report, n):
+    _account(report, n)

@@ -1,0 +1,34 @@
+# repro: module=repro.runtime.badproto
+"""Golden violation: PROTO004 flags all three exhaustiveness holes -
+a pushed kind nobody dispatches, a dispatch branch for a kind nobody
+pushes, and an hb record kind the HB checker does not understand."""
+
+
+class MiniSim:
+    def __init__(self):
+        self.events = []
+
+    def push(self, t, kind, data):
+        self.events.append((t, kind, data))
+
+    def pop(self):
+        return self.events.pop(0)
+
+    def note(self, t, kind, detail=None):
+        return (t, kind, detail)
+
+
+class MiniHbChecker:
+    """Knows exactly one record kind: hb_send."""
+
+    def _on_send(self, rec):
+        return rec
+
+
+def loop(sim):
+    sim.push(0.0, "orphan", None)  # pushed, never handled
+    now, kind, data = sim.pop()
+    if kind == "ghost":  # handled, never pushed
+        return None
+    sim.note(now, "hb_warp")  # unknown to the HB checker
+    return data

@@ -1,0 +1,29 @@
+# repro: module=repro.runtime.goodproto
+"""Clean: push and dispatch sides agree, hb kinds are known."""
+
+
+class MiniSim:
+    def __init__(self):
+        self.events = []
+
+    def push(self, t, kind, data):
+        self.events.append((t, kind, data))
+
+    def pop(self):
+        return self.events.pop(0)
+
+    def note(self, t, kind, detail=None):
+        return (t, kind, detail)
+
+
+class MiniHbChecker:
+    def _on_send(self, rec):
+        return rec
+
+
+def loop(sim):
+    sim.push(0.0, "tick", None)
+    now, kind, data = sim.pop()
+    if kind == "tick":
+        sim.note(now, "hb_send")
+    return data

@@ -1,0 +1,30 @@
+# repro: module=repro.runtime.okproto
+"""Suppressed: allow[PROTO004] on every flagged protocol site."""
+
+
+class MiniSim:
+    def __init__(self):
+        self.events = []
+
+    def push(self, t, kind, data):
+        self.events.append((t, kind, data))
+
+    def pop(self):
+        return self.events.pop(0)
+
+    def note(self, t, kind, detail=None):
+        return (t, kind, detail)
+
+
+class MiniHbChecker:
+    def _on_send(self, rec):
+        return rec
+
+
+def loop(sim):
+    sim.push(0.0, "orphan", None)  # repro: allow[PROTO004]
+    now, kind, data = sim.pop()
+    if kind == "ghost":  # repro: allow[PROTO004]
+        return None
+    sim.note(now, "hb_warp")  # repro: allow[PROTO004]
+    return data
